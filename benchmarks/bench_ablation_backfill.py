@@ -1,0 +1,57 @@
+"""Ablation: EASY backfill on/off.
+
+Design-choice check behind Figures 4/6: the backfill scheduler is what
+turns walltime overestimation into shorter queues.  Disabling it must
+lengthen mean waits; enabling it must start a substantial fraction of
+jobs out of order without delaying queue heads.
+"""
+
+import numpy as np
+
+from repro._util.tables import TextTable
+from repro._util.timefmt import month_bounds
+from repro.sched import SimConfig, simulate_range
+
+
+def _week(backfill: bool, depth: int = 200):
+    start, _ = month_bounds("2024-03")
+    return simulate_range(
+        "testsys", start, start + 10 * 86400, seed=3, rate_scale=1.0,
+        config=SimConfig(seed=3, backfill=backfill, backfill_depth=depth))
+
+
+def test_ablation_backfill_on_off(benchmark):
+    on = benchmark.pedantic(lambda: _week(True), rounds=1, iterations=1)
+    off = _week(False)
+
+    def stats(res):
+        waits = np.array([j.wait_s for j in res.jobs])
+        return waits.mean(), np.median(waits), res.n_backfilled
+
+    mean_on, med_on, nbf_on = stats(on)
+    mean_off, med_off, nbf_off = stats(off)
+    table = TextTable(["config", "jobs", "backfilled", "mean wait (s)",
+                       "median wait (s)"],
+                      title="Ablation — EASY backfill")
+    table.add_row(["backfill on", len(on.jobs), nbf_on,
+                   round(mean_on), round(med_on)])
+    table.add_row(["backfill off", len(off.jobs), nbf_off,
+                   round(mean_off), round(med_off)])
+    print()
+    print(table.render())
+    improvement = 1 - mean_on / mean_off if mean_off else 0
+    print(f"backfill reduces mean wait by {improvement:.0%}")
+
+    assert nbf_off == 0 and nbf_on > 0
+    assert mean_on < mean_off
+    assert len(on.jobs) == len(off.jobs)
+
+
+def test_ablation_backfill_depth(benchmark):
+    """Scan depth: deeper queue scans find more backfill candidates."""
+    shallow = benchmark.pedantic(lambda: _week(True, depth=5),
+                                 rounds=1, iterations=1)
+    deep = _week(True, depth=500)
+    print(f"\ndepth 5: {shallow.n_backfilled} backfilled; "
+          f"depth 500: {deep.n_backfilled}")
+    assert deep.n_backfilled >= shallow.n_backfilled

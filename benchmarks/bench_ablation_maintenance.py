@@ -1,0 +1,58 @@
+"""Ablation: maintenance windows and wait-time spikes.
+
+Figure 4's narrative: "spikes in wait times that could be linked to
+specific usage patterns or policy inefficiencies" and further
+investigation into "maintenance windows".  Expected shape: a one-day
+full-system drain produces a localized wait spike for jobs submitted
+around the window, with the rest of the month unaffected.
+"""
+
+import numpy as np
+
+from repro._util.tables import TextTable
+from repro._util.timefmt import month_bounds
+from repro.cluster import get_system
+from repro.sched import SimConfig, Simulator
+from repro.workload import WorkloadGenerator, workload_for
+
+
+def test_ablation_maintenance(benchmark):
+    system = get_system("testsys")
+    start, _ = month_bounds("2024-01")
+    window = (start + 10 * 86400, start + 11 * 86400)
+    gen = WorkloadGenerator(workload_for("testsys"), seed=5,
+                            rate_scale=0.5)
+    stream = gen.generate(start, start + 20 * 86400)
+
+    maint = benchmark.pedantic(
+        lambda: Simulator(system, SimConfig(
+            seed=5, maintenance=(window,))).run(stream),
+        rounds=1, iterations=1)
+    quiet = Simulator(system, SimConfig(seed=5)).run(stream)
+
+    def mean_wait(jobs, lo, hi):
+        w = np.array([j.wait_s for j in jobs if lo <= j.submit < hi])
+        return float(w.mean()) if w.size else 0.0
+
+    periods = [("before (day 0-9)", start, window[0] - 86400),
+               ("around window", window[0] - 86400, window[1]),
+               ("after (day 11-20)", window[1], start + 20 * 86400)]
+    table = TextTable(["period", "mean wait, maintenance (s)",
+                       "mean wait, none (s)"],
+                      title="Ablation — a 1-day full-system maintenance "
+                            "window")
+    rows = {}
+    for name, lo, hi in periods:
+        rows[name] = (mean_wait(maint.jobs, lo, hi),
+                      mean_wait(quiet.jobs, lo, hi))
+        table.add_row([name, round(rows[name][0]), round(rows[name][1])])
+    print()
+    print(table.render())
+    print("paper: Figure 4's wait spikes 'linked to specific usage "
+          "patterns' — here, reproduced causally")
+
+    spike_m, spike_q = rows["around window"]
+    assert spike_m > 2 * max(1.0, spike_q)
+    # the spike is localized: early-month waits match
+    before_m, before_q = rows["before (day 0-9)"]
+    assert before_m <= before_q * 1.5 + 60

@@ -1,0 +1,39 @@
+"""Figure 1: total jobs and job-steps per year.
+
+Paper shape: job-steps vastly outnumber jobs (srun task parallelism;
+the abstract's 1.5M jobs vs 18M steps is ~12x), with volumes of the
+same order across periods.
+"""
+
+from repro._util.tables import TextTable
+from repro.analytics import volume_by_month, volume_by_year
+from repro.charts import fig1_volume_chart
+
+
+def test_fig1_volume(benchmark, frontier_ds):
+    vol = benchmark(volume_by_year, frontier_ds.jobs, frontier_ds.steps)
+
+    table = TextTable(["period", "jobs", "job-steps", "steps/job"],
+                      title="Figure 1 — jobs and job-steps per period "
+                            "(frontier profile)")
+    for period, jobs, steps, ratio in vol.rows():
+        table.add_row([period, jobs, steps, round(ratio, 1)])
+    print()
+    print(table.render())
+    print(f"paper: steps/jobs ~ 12x (1.5M jobs, 18M steps)  |  "
+          f"measured: {vol.steps_per_job:.1f}x")
+
+    # shape assertions
+    assert vol.total_jobs > 0
+    assert vol.steps_per_job > 5, "steps must vastly outnumber jobs"
+    chart = fig1_volume_chart(vol, "frontier")
+    assert chart.y_axis.scale == "log"
+
+
+def test_fig1_monthly_volume_stable(benchmark, frontier_ds):
+    vol = benchmark(volume_by_month, frontier_ds.jobs, frontier_ds.steps)
+    months = [p for p, j in zip(vol.periods, vol.jobs) if j > 0]
+    counts = [j for j in vol.jobs if j > 0]
+    print(f"\nmonthly jobs: {dict(zip(months, counts))}")
+    # paper: "job submissions remained relatively stable each year"
+    assert max(counts) < 3 * min(counts)

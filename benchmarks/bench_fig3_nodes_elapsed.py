@@ -1,0 +1,45 @@
+"""Figure 3: allocated nodes versus job duration on Frontier.
+
+Paper shape: the system accommodates "both small, short-lived jobs and
+massively parallel, long-duration tasks" — the scatter spans the full
+node range up to (near) full-system, with a nontrivial large-and-long
+population reflecting the exascale mission.
+"""
+
+from repro._util.tables import TextTable
+from repro.analytics import nodes_vs_elapsed
+from repro.charts import fig3_nodes_vs_elapsed_chart
+from repro.raster import render_png
+
+
+def test_fig3_nodes_vs_elapsed(benchmark, frontier_ds):
+    scale = benchmark(nodes_vs_elapsed, frontier_ds.jobs)
+
+    table = TextTable(["quadrant", "fraction"],
+                      title="Figure 3 — nodes vs duration (frontier), "
+                            "splits: 128 nodes / 4 h")
+    for name, frac in scale.quadrant_rows():
+        table.add_row([name, round(frac, 3)])
+    print()
+    print(table.render())
+    print(f"median nodes: {scale.median_nodes:.0f}   max nodes: "
+          f"{scale.max_nodes}   median duration: "
+          f"{scale.median_elapsed_s / 3600:.2f} h")
+    print("paper: diverse scale, including full-system runs; a visible "
+          "large/long population")
+
+    assert scale.max_nodes > 4000, "hero runs must reach near full system"
+    assert scale.frac_large_long > 0.01
+    assert scale.frac_small_short > 0.2
+    total = sum(f for _, f in scale.quadrant_rows())
+    assert abs(total - 1.0) < 1e-9
+
+
+def test_fig3_chart_render(benchmark, frontier_ds, bench_out):
+    scale = nodes_vs_elapsed(frontier_ds.jobs)
+    spec = fig3_nodes_vs_elapsed_chart(scale, "frontier")
+    png = benchmark.pedantic(
+        lambda: render_png(spec, str(bench_out / "fig3.png")),
+        rounds=2, iterations=1)
+    print(f"\nrendered {len(scale.nnodes):,} points -> {png}")
+    assert spec.x_axis.scale == "log" and spec.y_axis.scale == "log"

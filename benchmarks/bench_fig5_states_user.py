@@ -1,0 +1,46 @@
+"""Figure 5: job end states per user on Frontier.
+
+Paper shape: "some users dominate failure counts" — failures are
+concentrated in a few heavy users, visible as tall red stacks; the
+workflow surfaces "users with disproportionately high failure or
+cancellation rates".
+"""
+
+from repro._util.tables import TextTable
+from repro.analytics import states_per_user
+from repro.charts import fig5_states_per_user_chart
+
+
+def test_fig5_states_per_user(benchmark, frontier_ds):
+    states = benchmark(states_per_user, frontier_ds.jobs, 5)
+
+    table = TextTable(["user", "jobs", "completed", "failed", "cancelled",
+                       "timeout"],
+                      title="Figure 5 — end states per user "
+                            "(frontier, busiest 10)")
+    for user, counts in states.stack_rows(top_n=10):
+        table.add_row([user, sum(counts.values()),
+                       counts.get("COMPLETED", 0),
+                       counts.get("FAILED", 0),
+                       counts.get("CANCELLED", 0),
+                       counts.get("TIMEOUT", 0)])
+    print()
+    print(table.render())
+    print(f"failure rate: mean {states.failure_rate_mean:.3f}, "
+          f"std {states.failure_rate_std:.3f} across users; top-5 users "
+          f"own {states.top5_failure_share:.0%} of failures")
+    print("paper: heterogeneous workload where 'some users dominate "
+          "failure counts'")
+
+    assert states.top5_failure_share > 0.2
+    assert states.failure_rate_std > 0.05, "rates must vary across users"
+    total = sum(sum(c.values()) for c in states.counts.values())
+    assert total == len(frontier_ds.jobs)
+
+
+def test_fig5_chart_stacks(benchmark, frontier_ds):
+    states = states_per_user(frontier_ds.jobs)
+    spec = benchmark(fig5_states_per_user_chart, states, "frontier", 40)
+    stacked = spec.series[0]
+    assert len(stacked.categories) <= 40
+    assert "COMPLETED" in stacked.segments

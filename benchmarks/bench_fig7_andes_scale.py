@@ -1,0 +1,33 @@
+"""Figure 7: nodes vs duration on Andes (the portability contrast).
+
+Paper shape: "Andes exhibits a denser concentration of short-duration
+jobs with fewer nodes ... In contrast, Frontier's distribution includes
+a larger fraction of high-node, long-duration jobs."
+"""
+
+from repro._util.tables import TextTable
+from repro.analytics import nodes_vs_elapsed
+
+
+def test_fig7_andes_vs_frontier_scale(benchmark, andes_ds, frontier_ds):
+    andes = benchmark(nodes_vs_elapsed, andes_ds.jobs)
+    frontier = nodes_vs_elapsed(frontier_ds.jobs)
+
+    table = TextTable(["quadrant", "andes", "frontier"],
+                      title="Figure 7 vs Figure 3 — quadrant occupancy")
+    for (name, a), (_, f) in zip(andes.quadrant_rows(),
+                                 frontier.quadrant_rows()):
+        table.add_row([name, round(a, 3), round(f, 3)])
+    print()
+    print(table.render())
+    print(f"median nodes: andes {andes.median_nodes:.0f} vs frontier "
+          f"{frontier.median_nodes:.0f}; max nodes: {andes.max_nodes} "
+          f"vs {frontier.max_nodes}")
+    print("paper: Andes denser in small/short; Frontier has the "
+          "large/long population")
+
+    assert andes.frac_small_short > frontier.frac_small_short
+    assert andes.frac_large_long < frontier.frac_large_long
+    assert andes.median_elapsed_s < frontier.median_elapsed_s
+    assert andes.max_nodes <= 384           # partition ceiling
+    assert frontier.max_nodes > 4000

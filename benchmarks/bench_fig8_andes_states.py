@@ -1,0 +1,37 @@
+"""Figure 8: job end states per user on Andes.
+
+Paper shape: "Andes users tend to have fewer failed or canceled jobs
+overall ... the lower variance in failure rates across users suggests a
+more uniform usage pattern", versus Frontier "where some users dominate
+failure counts".
+"""
+
+from repro._util.tables import TextTable
+from repro.analytics import states_per_user
+
+
+def test_fig8_andes_vs_frontier_states(benchmark, andes_ds, frontier_ds):
+    andes = benchmark(states_per_user, andes_ds.jobs, 5)
+    frontier = states_per_user(frontier_ds.jobs, 5)
+
+    table = TextTable(["metric", "andes", "frontier"],
+                      title="Figure 8 vs Figure 5 — per-user end states")
+    table.add_row(["overall failure rate",
+                   round(andes.overall_failure_rate, 4),
+                   round(frontier.overall_failure_rate, 4)])
+    table.add_row(["failure-rate std across users",
+                   round(andes.failure_rate_std, 4),
+                   round(frontier.failure_rate_std, 4)])
+    table.add_row(["top-5 users' failure share",
+                   round(andes.top5_failure_share, 3),
+                   round(frontier.top5_failure_share, 3)])
+    table.add_row(["overall cancel rate",
+                   round(andes.overall_cancel_rate, 4),
+                   round(frontier.overall_cancel_rate, 4)])
+    print()
+    print(table.render())
+    print("paper: lower failure rates and lower cross-user variance on "
+          "Andes")
+
+    assert andes.overall_failure_rate < frontier.overall_failure_rate
+    assert andes.failure_rate_std < frontier.failure_rate_std

@@ -1,0 +1,62 @@
+"""The policy laboratory sweep (the 'guide policy evolution' deliverable).
+
+One congested week replayed under the standard policy menu.  Expected
+shape: removing backfill inflates waits badly; fairshare and predicted
+walltimes improve mean wait; preemption buys urgent latency with
+requeues; deep backfill scan is a no-op past the queue's natural depth.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro._util.timefmt import month_bounds
+from repro.cluster import get_system
+from repro.policylab import PolicySweep, standard_variants
+from repro.predict import WalltimePredictor
+from repro.sched import simulate_month
+from repro.workload import WorkloadGenerator, workload_for
+
+
+def _mixed_stream():
+    gen = WorkloadGenerator(workload_for("testsys"), seed=6,
+                            rate_scale=1.0)
+    start, _ = month_bounds("2024-02")
+    stream = gen.generate(start, start + 7 * 86400)
+    rng = np.random.default_rng(0)
+    mixed = []
+    for r in stream:
+        roll = rng.random()
+        if roll < 0.25 and r.qos == "normal":
+            mixed.append(dataclasses.replace(r, qos="standby",
+                                             steps=list(r.steps)))
+        elif roll < 0.32 and r.nnodes <= 4:
+            mixed.append(dataclasses.replace(
+                r, qos="urgent",
+                true_runtime_s=min(r.true_runtime_s, 900),
+                outcome="COMPLETED", steps=list(r.steps)))
+        else:
+            mixed.append(r)
+    return mixed
+
+
+def test_policy_sweep(benchmark):
+    stream = _mixed_stream()
+    history = simulate_month("testsys", "2024-01", seed=9,
+                             rate_scale=0.4).jobs
+    predictor = WalltimePredictor().fit(history)
+    sweep = PolicySweep(get_system("testsys"), stream)
+    variants = standard_variants(seed=6, predictor=predictor)
+
+    outcomes = benchmark.pedantic(lambda: sweep.run(variants),
+                                  rounds=1, iterations=1)
+    print()
+    print(PolicySweep.table(outcomes).render())
+
+    o = {x.name: x for x in outcomes}
+    assert o["no-backfill"].mean_wait_s > 2 * o["baseline"].mean_wait_s
+    assert o["predicted-walltime"].mean_wait_s < o["baseline"].mean_wait_s
+    assert o["predicted-walltime"].timeouts >= o["baseline"].timeouts
+    assert o["preemption"].preempted > 0
+    assert o["fairshare"].mean_wait_s <= o["baseline"].mean_wait_s * 1.1
+    assert o["deep-backfill"].backfilled >= o["baseline"].backfilled

@@ -1,0 +1,41 @@
+"""Table 2: the LLM offering survey and the paper's backend selection.
+
+Paper shape: ten offerings compared on API access, cost, and image
+input; the criteria (free API, no usage limits, multimodal, low
+latency) select Google's Gemma 3.
+"""
+
+from repro._util.tables import TextTable
+from repro.llm import choose_provider, provider_table_rows
+from repro.llm.providers import PROVIDERS
+
+
+def test_tab2_provider_survey(benchmark):
+    rows = benchmark(provider_table_rows)
+
+    table = TextTable(["LLM / AI", "Version", "API", "Access", "Remarks"],
+                      title="Table 2 — LLM offerings")
+    for row in rows:
+        table.add_row(row)
+    print()
+    print(table.render())
+
+    assert len(rows) == 10
+    vendors = [r[0] for r in rows]
+    for vendor in ("OpenAI", "Google", "Anthropic", "DeepSeek", "Meta"):
+        assert vendor in vendors
+
+
+def test_tab2_selection_logic(benchmark):
+    winner = benchmark(choose_provider)
+    print(f"\nselection criteria -> {winner.vendor} {winner.version} "
+          f"({winner.remarks})")
+    print("paper: 'We chose Google's Gemma 3 as the LLM backend'")
+    assert (winner.vendor, winner.version) == ("Google", "Gemma 3")
+
+    # counterfactuals: each criterion matters
+    no_free = choose_provider(require_free=False,
+                              require_unrestricted=False)
+    assert no_free.has_api and no_free.image_input
+    multimodal = [p for p in PROVIDERS if p.image_input and p.has_api]
+    assert len(multimodal) >= 4

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Adapting the workflow to a new site (the portability recipe).
+
+The paper positions the workflow as portable across HPC centers.  This
+example defines a brand-new system — a mid-size GPU cluster — from
+scratch: its :class:`SystemProfile` (nodes, partitions, QOS) and its
+:class:`WorkloadProfile` (job classes, arrival rates, user behaviour),
+then runs the standard analytics over it with no pipeline changes.
+
+    python examples/custom_system.py
+"""
+
+from repro._util.tables import TextTable
+from repro._util.timefmt import month_bounds
+from repro.analytics import nodes_vs_elapsed, states_per_user, wait_times, walltime_accuracy
+from repro.cluster import Partition, QOS, SystemProfile
+from repro.frame import Frame
+from repro.sched import SimConfig, Simulator
+from repro.workload import WorkloadGenerator, WorkloadProfile
+from repro.workload.profiles import ClassParams
+
+
+def build_system() -> SystemProfile:
+    """A 512-node GPU cluster with an interactive partition."""
+    return SystemProfile(
+        name="aurora-mini",
+        node_prefix="am",
+        total_nodes=512,
+        cpus_per_node=48,
+        gpus_per_node=4,
+        mem_per_node_kib=384 * 1024**2,
+        partitions=(
+            Partition("batch", max_nodes=512, max_time_s=24 * 3600,
+                      priority_tier=1),
+            Partition("interactive", max_nodes=8, max_time_s=4 * 3600,
+                      priority_tier=2),
+        ),
+        qos_levels=(
+            QOS("normal"),
+            QOS("debug", priority_boost=50_000, max_time_s=7200),
+            QOS("urgent", priority_boost=150_000, max_time_s=4 * 3600),
+        ),
+        node_power_w=900.0,
+    )
+
+
+def build_workload(system: SystemProfile) -> WorkloadProfile:
+    """An AI-heavy mix: training, inference, and interactive sessions."""
+    classes = {
+        "ai_train": ClassParams(
+            weight=0.35, node_lo=4, node_hi=256,
+            runtime_median_s=6 * 3600, runtime_sigma=0.9,
+            steps_mean=24.0, uses_gpu=True, prob_request_max=0.3),
+        "ai_infer": ClassParams(
+            weight=0.35, node_lo=1, node_hi=4,
+            runtime_median_s=8 * 60, runtime_sigma=0.9,
+            steps_mean=3.0, uses_gpu=True),
+        "simulation": ClassParams(
+            weight=0.15, node_lo=1, node_hi=64,
+            runtime_median_s=2 * 3600, runtime_sigma=1.0, steps_mean=2.0),
+        "debug": ClassParams(
+            weight=0.15, node_lo=1, node_hi=8,
+            runtime_median_s=10 * 60, runtime_sigma=0.7, steps_mean=1.5,
+            partition="interactive", qos="debug"),
+    }
+    return WorkloadProfile(
+        system=system, classes=classes,
+        arrival_rate=25.0, diurnal_amp=0.5, weekend_factor=0.7,
+        burst_rate_per_week=2.0,
+        n_users=120, failure_alpha=0.8, failure_beta=6.0,
+        cancel_scale=0.06, overrequest_median=2.5, overrequest_spread=0.4,
+    )
+
+
+def main() -> None:
+    system = build_system()
+    profile = build_workload(system)
+    print(f"custom system: {system.name}, {system.total_nodes} nodes, "
+          f"{len(profile.classes)} job classes")
+
+    # rate_scale keeps the 512-node system busy without an unbounded
+    # backlog (the AI-training class is node-hungry)
+    gen = WorkloadGenerator(profile, seed=42, rate_scale=0.12)
+    start, end = month_bounds("2024-05")
+    requests = gen.generate(start, end)
+    result = Simulator(system, SimConfig(seed=42)).run(requests)
+    print(f"simulated {len(result.jobs):,} jobs "
+          f"({result.n_steps:,} steps), {result.n_backfilled} backfilled")
+
+    # same analytics, zero modification — frames built straight from
+    # the records here (the CSV pipeline works identically)
+    jobs = Frame.from_records([{
+        "SubmitTime": j.submit, "Eligible": j.eligible,
+        "StartTime": j.start, "EndTime": j.end, "Elapsed": j.elapsed,
+        "Timelimit": j.timelimit_s, "WaitS": j.wait_s,
+        "NNodes": j.nnodes, "State": j.state, "User": j.user,
+        "Backfill": int(j.backfilled),
+    } for j in result.jobs])
+
+    scale = nodes_vs_elapsed(jobs)
+    waits = wait_times(jobs)
+    states = states_per_user(jobs, min_jobs=5)
+    bf = walltime_accuracy(jobs)
+
+    t = TextTable(["metric", "value"], title="\naurora-mini analytics")
+    t.add_row(["median nodes", scale.median_nodes])
+    t.add_row(["frac large-long", round(scale.frac_large_long, 3)])
+    t.add_row(["median wait (s)", waits.overall_median])
+    t.add_row(["failure rate", round(states.overall_failure_rate, 3)])
+    t.add_row(["median actual/requested", round(bf.median_ratio_all, 3)])
+    t.add_row(["reclaimable node-hours",
+               round(bf.reclaimable_node_hours)])
+    print(t.render())
+
+
+if __name__ == "__main__":
+    main()

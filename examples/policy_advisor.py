@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The conversational policy advisor (Section 6 future work).
+
+Runs the full analytic battery over a congested simulated system, then
+lets the advisor turn the measurements into grounded policy
+recommendations — and answers follow-up questions the way the paper's
+envisioned "interactive agents" would.
+
+    python examples/policy_advisor.py
+"""
+
+from repro.advisor import PolicyAdvisor
+from repro.analytics import (
+    nodes_vs_elapsed,
+    states_per_user,
+    utilization,
+    wait_times,
+    walltime_accuracy,
+)
+from repro.cluster import get_system
+from repro.datasets import synthesize_curated
+
+
+def main() -> None:
+    print("synthesizing a congested month on testsys...")
+    ds = synthesize_curated("testsys", ["2024-01"], seed=7, rate_scale=1.0)
+    jobs = ds.jobs
+
+    advisor = PolicyAdvisor(
+        waits=wait_times(jobs),
+        states=states_per_user(jobs, min_jobs=5),
+        backfill=walltime_accuracy(jobs),
+        scale=nodes_vs_elapsed(jobs),
+        util=utilization(jobs,
+                         total_nodes=get_system("testsys").total_nodes),
+    )
+
+    print("\n" + "=" * 72)
+    print("POLICY ADVISOR REPORT")
+    print("=" * 72)
+    print(advisor.report())
+
+    print("\n" + "=" * 72)
+    print("CONVERSATIONAL FOLLOW-UPS")
+    print("=" * 72)
+    for question in (
+        "Why are walltime requests so inflated?",
+        "Which users need support with failures?",
+        "Should we tune backfill scan depth?",
+        "Is the network topology a bottleneck?",
+    ):
+        print(f"\n>>> {question}")
+        print(advisor.ask(question))
+
+
+if __name__ == "__main__":
+    main()

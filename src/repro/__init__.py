@@ -1,0 +1,28 @@
+"""repro — reproduction of "An LLM-enabled Workflow for Understanding and
+Evolving HPC Scheduling Practices" (WISDOM 2025).
+
+The package provides:
+
+- a Slurm accounting substrate (:mod:`repro.slurm`, :mod:`repro.cluster`,
+  :mod:`repro.workload`, :mod:`repro.sched`) that synthesizes sacct-shaped
+  job traces for Frontier-like and Andes-like systems,
+- the paper's static data-analysis subworkflow (:mod:`repro.pipeline`,
+  :mod:`repro.analytics`, :mod:`repro.charts`, :mod:`repro.dashboard`),
+- the user-defined AI subworkflow (:mod:`repro.raster`, :mod:`repro.llm`),
+- a Swift/T-style dataflow engine (:mod:`repro.flow`) and the composed
+  end-to-end workflow (:mod:`repro.workflows`),
+- future-work extensions (:mod:`repro.predict`).
+
+Quickstart::
+
+    from repro.workflows import SchedulingAnalysisWorkflow, WorkflowConfig
+
+    cfg = WorkflowConfig(system="frontier", months=["2024-01", "2024-02"])
+    result = SchedulingAnalysisWorkflow(cfg).run()
+    print(result.dashboard_path)
+"""
+
+from repro._util.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]
+__version__ = "1.0.0"

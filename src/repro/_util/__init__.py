@@ -1,0 +1,46 @@
+"""Shared low-level utilities: errors, deterministic RNG streams, Slurm
+time/size parsing and formatting, and plain-text table rendering."""
+
+from repro._util.errors import (
+    ReproError,
+    DataError,
+    ConfigError,
+    WorkflowError,
+    RenderError,
+)
+from repro._util.rng import RngStreams
+from repro._util.timefmt import (
+    format_slurm_duration,
+    parse_slurm_duration,
+    format_timestamp,
+    parse_timestamp,
+    month_bounds,
+    iter_months,
+)
+from repro._util.sizefmt import (
+    format_count_k,
+    parse_count_k,
+    format_mem,
+    parse_mem,
+)
+from repro._util.tables import TextTable
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "ConfigError",
+    "WorkflowError",
+    "RenderError",
+    "RngStreams",
+    "format_slurm_duration",
+    "parse_slurm_duration",
+    "format_timestamp",
+    "parse_timestamp",
+    "month_bounds",
+    "iter_months",
+    "format_count_k",
+    "parse_count_k",
+    "format_mem",
+    "parse_mem",
+    "TextTable",
+]

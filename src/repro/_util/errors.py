@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch package failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DataError(ReproError):
+    """Malformed or inconsistent data encountered while parsing or curating."""
+
+
+class ConfigError(ReproError):
+    """Invalid user-supplied configuration (bad field names, date specs, ...)."""
+
+
+class WorkflowError(ReproError):
+    """Failure while composing or executing a dataflow workflow."""
+
+
+class RenderError(ReproError):
+    """Failure while rendering charts, rasters, or dashboards."""

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for benchmark harness output.
+
+Every benchmark regenerating a paper table or figure prints its rows
+through :class:`TextTable`, so the harness output is uniform and easy to
+diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """A minimal fixed-width text table.
+
+    Example::
+
+        t = TextTable(["year", "jobs", "steps"])
+        t.add_row([2023, 180_000, 2_500_000])
+        print(t.render())
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        if not headers:
+            raise ValueError("table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "nan"
+            if abs(cell) >= 1000 or (cell and abs(cell) < 0.01):
+                return f"{cell:.3g}"
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

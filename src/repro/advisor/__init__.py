@@ -1,0 +1,14 @@
+"""Scheduling-policy advisor (future-work extension).
+
+Section 6: "we aim to evaluate ... interactive agents that can guide
+users through visual narratives and recommend scheduling strategies in a
+more conversational and adaptive manner."  :class:`PolicyAdvisor` is
+that agent, built the same way as the chart analyst: every
+recommendation is grounded in measured analytics (never free-floating
+text), carries its evidence, severity, and the paper passage motivating
+it, and can be queried conversationally (:meth:`PolicyAdvisor.ask`).
+"""
+
+from repro.advisor.rules import Recommendation, PolicyAdvisor
+
+__all__ = ["Recommendation", "PolicyAdvisor"]

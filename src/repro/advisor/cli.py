@@ -1,0 +1,77 @@
+"""The ``repro-advisor`` command: policy advice over any trace file.
+
+Accepts a curated jobs CSV (as written by the Curate stage) or an SWF
+trace, runs the analytic battery, and prints the advisor's report — or
+answers one question with ``--ask``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._util.errors import ReproError
+from repro.advisor import PolicyAdvisor
+from repro.analytics import (
+    nodes_vs_elapsed,
+    states_per_user,
+    utilization,
+    wait_times,
+    walltime_accuracy,
+)
+from repro.frame import read_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-advisor",
+        description="scheduling-policy advice from a job trace")
+    p.add_argument("input", help="curated jobs CSV or SWF trace file")
+    p.add_argument("--cpus-per-node", type=int, default=1,
+                   help="cores per node for SWF processor counts")
+    p.add_argument("--total-nodes", type=int, default=None,
+                   help="system size for utilization (default: max "
+                        "allocated nodes in the trace)")
+    p.add_argument("--ask", default=None,
+                   help="ask one question instead of the full report")
+    return p
+
+
+def _load(path: str, cpus_per_node: int):
+    if path.endswith(".swf"):
+        from repro.interop import swf_to_frame
+        return swf_to_frame(path, cpus_per_node=cpus_per_node)
+    return read_csv(path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        jobs = _load(args.input, args.cpus_per_node)
+        total_nodes = args.total_nodes or \
+            int(np.asarray(jobs["NNodes"]).max())
+        advisor = PolicyAdvisor(
+            waits=wait_times(jobs),
+            states=states_per_user(jobs, min_jobs=5),
+            backfill=walltime_accuracy(jobs),
+            scale=nodes_vs_elapsed(jobs),
+            util=utilization(jobs, total_nodes=total_nodes),
+        )
+        print(f"# {len(jobs):,} jobs from {args.input} "
+              f"(system size {total_nodes} nodes)\n")
+        if args.ask:
+            print(advisor.ask(args.ask))
+        else:
+            print(advisor.report())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,271 @@
+"""The rule base of the policy advisor.
+
+Each rule examines one analytics summary and, when its trigger fires,
+emits a :class:`Recommendation` with the measured evidence inline.  The
+rules encode the policy levers the paper's Sections 1, 4 and 6 discuss:
+walltime prediction, near-real-time QOS, debug/interactive partitions,
+user support targeting, backfill tuning, and node sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.errors import DataError
+from repro.analytics.backfill import BackfillSummary
+from repro.analytics.scale import ScaleSummary
+from repro.analytics.states import StateSummary
+from repro.analytics.utilization import UtilizationSummary
+from repro.analytics.waits import WaitSummary
+
+__all__ = ["Recommendation", "PolicyAdvisor"]
+
+SEVERITIES = ("info", "advisory", "action")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One grounded policy recommendation."""
+
+    rule_id: str
+    title: str
+    severity: str                  # info | advisory | action
+    evidence: str                  # measured numbers, human-readable
+    proposal: str                  # what to change
+    paper_basis: str               # where the paper motivates this
+    topics: tuple[str, ...] = field(default=())
+
+    def render(self) -> str:
+        return (f"[{self.severity.upper()}] {self.title}\n"
+                f"  evidence: {self.evidence}\n"
+                f"  proposal: {self.proposal}\n"
+                f"  basis:    {self.paper_basis}")
+
+
+class PolicyAdvisor:
+    """Evaluate analytics summaries against the policy rule base."""
+
+    def __init__(self, *, waits: WaitSummary | None = None,
+                 states: StateSummary | None = None,
+                 backfill: BackfillSummary | None = None,
+                 scale: ScaleSummary | None = None,
+                 util: UtilizationSummary | None = None) -> None:
+        self.waits = waits
+        self.states = states
+        self.backfill = backfill
+        self.scale = scale
+        self.util = util
+        self._recs: list[Recommendation] | None = None
+
+    # -- evaluation -------------------------------------------------------------
+
+    def recommendations(self) -> list[Recommendation]:
+        """All firing recommendations, most severe first."""
+        if self._recs is None:
+            recs: list[Recommendation] = []
+            for rule in (self._rule_walltime_prediction,
+                         self._rule_reclaim_via_backfill,
+                         self._rule_wait_spikes,
+                         self._rule_pending_cancels,
+                         self._rule_failure_concentration,
+                         self._rule_small_job_turnover,
+                         self._rule_underutilization,
+                         self._rule_timeout_guidance):
+                rec = rule()
+                if rec is not None:
+                    recs.append(rec)
+            order = {s: i for i, s in enumerate(reversed(SEVERITIES))}
+            recs.sort(key=lambda r: order[r.severity])
+            self._recs = recs
+        return self._recs
+
+    def report(self) -> str:
+        recs = self.recommendations()
+        if not recs:
+            return "No policy recommendations fire on this dataset."
+        return "\n\n".join(r.render() for r in recs)
+
+    # -- conversational interface ----------------------------------------------------
+
+    def ask(self, question: str) -> str:
+        """Answer a free-form question with the matching recommendations.
+
+        Keyword routing over recommendation topics — the 'conversational'
+        layer the paper's future work sketches.
+        """
+        q = question.lower().strip()
+        if not q:
+            raise DataError("empty question")
+        matched = [r for r in self.recommendations()
+                   if any(t in q for t in r.topics)]
+        if not matched:
+            topics = sorted({t for r in self.recommendations()
+                             for t in r.topics})
+            return ("Nothing in the current data speaks to that. "
+                    f"I can discuss: {', '.join(topics)}.")
+        return "\n\n".join(r.render() for r in matched)
+
+    # -- rules -----------------------------------------------------------------------
+
+    def _rule_walltime_prediction(self) -> Recommendation | None:
+        bf = self.backfill
+        if bf is None or bf.median_ratio_all >= 0.5:
+            return None
+        return Recommendation(
+            rule_id="walltime-prediction",
+            title="Deploy history-based walltime prediction",
+            severity="action",
+            evidence=(f"median actual/requested walltime is "
+                      f"{bf.median_ratio_all:.2f}; "
+                      f"{bf.frac_under_half:.0%} of jobs use under half "
+                      f"their request; "
+                      f"{bf.reclaimable_node_hours:,.0f} node-hours "
+                      f"requested but unused"),
+            proposal=("predict per-user limits from accounting history "
+                      "(repro.predict.WalltimePredictor) and offer them "
+                      "at submission; see the reclamation what-if for "
+                      "the measured wait improvement"),
+            paper_basis="Sections 4.1/6: 'embedding AI-predicted walltime "
+                        "estimation ... dynamic rescheduling and time "
+                        "reclamation'",
+            topics=("walltime", "request", "overestimat", "reclaim",
+                    "predict"),
+        )
+
+    def _rule_reclaim_via_backfill(self) -> Recommendation | None:
+        bf = self.backfill
+        if bf is None or bf.n_jobs == 0:
+            return None
+        frac_bf = bf.n_backfilled / bf.n_jobs
+        if frac_bf >= 0.05 or bf.median_ratio_all >= 0.5:
+            return None
+        return Recommendation(
+            rule_id="backfill-tuning",
+            title="Backfill is underused despite loose requests",
+            severity="advisory",
+            evidence=(f"only {frac_bf:.1%} of jobs started via backfill "
+                      f"while requests inflate runtimes by "
+                      f"{1 / max(bf.median_ratio_all, 1e-6):.1f}x"),
+            proposal="raise the backfill scan depth / interval, or "
+                     "shorten default walltime limits on small partitions",
+            paper_basis="Section 4.1: backfilled jobs 'complete in less "
+                        "time than requested, revealing underutilization'",
+            topics=("backfill", "scan", "depth"),
+        )
+
+    def _rule_wait_spikes(self) -> Recommendation | None:
+        w = self.waits
+        if w is None or not w.spike_months:
+            return None
+        return Recommendation(
+            rule_id="wait-spikes",
+            title="Queue-wait spikes detected in specific months",
+            severity="advisory",
+            evidence=(f"months {', '.join(w.spike_months)} show median "
+                      f"waits above 2x the global median "
+                      f"({w.overall_median:.0f}s)"),
+            proposal="correlate with maintenance windows and campaign "
+                     "bursts; consider a surge QOS or temporary "
+                     "reservation policy for campaign starts",
+            paper_basis="Section 4.1: 'spikes in wait times that could be "
+                        "linked to specific usage patterns or policy "
+                        "inefficiencies'",
+            topics=("spike", "wait", "queue", "month"),
+        )
+
+    def _rule_pending_cancels(self) -> Recommendation | None:
+        w = self.waits
+        if w is None or "CANCELLED" not in w.by_state:
+            return None
+        count, med, p95 = w.by_state["CANCELLED"]
+        total = sum(c for c, _, _ in w.by_state.values())
+        if count / max(1, total) < 0.1 or p95 < 2 * 3600:
+            return None
+        return Recommendation(
+            rule_id="pending-cancellations",
+            title="Users abandon long-queued jobs",
+            severity="advisory",
+            evidence=(f"{count} cancellations ({count / total:.0%} of "
+                      f"jobs) with p95 wait {p95:,.0f}s before the "
+                      f"cancel"),
+            proposal="surface expected start times at submission and "
+                     "provide a fast debug/interactive lane for "
+                     "exploratory work",
+            paper_basis="Section 1: users 'encountering limitations in "
+                        "responsiveness' under batch-oriented policies",
+            topics=("cancel", "abandon", "responsiveness", "interactive"),
+        )
+
+    def _rule_failure_concentration(self) -> Recommendation | None:
+        s = self.states
+        if s is None or s.top5_failure_share < 0.3:
+            return None
+        return Recommendation(
+            rule_id="failure-concentration",
+            title="A handful of users dominate failures",
+            severity="action",
+            evidence=(f"top-5 users own {s.top5_failure_share:.0%} of all "
+                      f"failed jobs (per-user failure-rate std "
+                      f"{s.failure_rate_std:.2f})"),
+            proposal="target user support/training at the heavy failers; "
+                     "consider submission linting or canary runs for "
+                     "their workflows",
+            paper_basis="Section 4.1: per-user breakdowns 'guide training, "
+                        "user support, or system configuration changes'",
+            topics=("failure", "user", "support", "training"),
+        )
+
+    def _rule_small_job_turnover(self) -> Recommendation | None:
+        sc = self.scale
+        if sc is None or sc.frac_small_short < 0.7:
+            return None
+        return Recommendation(
+            rule_id="small-job-turnover",
+            title="Workload is dominated by small, short jobs",
+            severity="advisory",
+            evidence=(f"{sc.frac_small_short:.0%} of jobs use fewer than "
+                      f"{sc.node_split} nodes for under "
+                      f"{sc.elapsed_split_s / 3600:.0f}h"),
+            proposal="tune for turnover: node-sharing, job arrays, a "
+                     "high-throughput partition with short limits, and "
+                     "scheduler intervals sized for small jobs",
+            paper_basis="Section 4.3: Andes 'requires optimizations for "
+                        "high job turnover and interactive usage'",
+            topics=("small", "short", "turnover", "sharing", "array"),
+        )
+
+    def _rule_underutilization(self) -> Recommendation | None:
+        u = self.util
+        w = self.waits
+        if u is None or w is None:
+            return None
+        if u.utilization > 0.5 or w.overall_median < 60:
+            return None
+        return Recommendation(
+            rule_id="idle-capacity-with-queues",
+            title="Capacity sits idle while jobs queue",
+            severity="action",
+            evidence=(f"utilization {u.utilization:.0%} yet median wait "
+                      f"{w.overall_median:,.0f}s"),
+            proposal="audit reservations and partition fences; allow "
+                     "opportunistic/preemptible jobs to soak idle nodes",
+            paper_basis="Section 5: 'preemptive and opportunistic "
+                        "scheduling ... urgent or short jobs'",
+            topics=("utilization", "idle", "preempt", "opportunistic"),
+        )
+
+    def _rule_timeout_guidance(self) -> Recommendation | None:
+        bf = self.backfill
+        if bf is None or bf.frac_timeout < 0.03:
+            return None
+        return Recommendation(
+            rule_id="timeout-guidance",
+            title="A visible share of jobs die at their walltime limit",
+            severity="info",
+            evidence=f"{bf.frac_timeout:.1%} of jobs end in TIMEOUT",
+            proposal="pair walltime prediction with checkpoint/requeue "
+                     "guidance so tightened limits do not lose work",
+            paper_basis="Section 6: 'dynamic rescheduling' as the "
+                        "complement of time reclamation",
+            topics=("timeout", "checkpoint", "requeue", "walltime"),
+        )

@@ -1,0 +1,70 @@
+"""Shared analytics helpers: loading curated CSVs, time bucketing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.errors import DataError
+from repro.frame import Frame, concat, read_csv
+from repro.slurm.records import JOB_STATES
+
+__all__ = ["load_jobs", "load_steps", "epoch_to_month", "epoch_to_year",
+           "filter_states", "iqr_bounds"]
+
+
+def load_jobs(paths: list[str] | str) -> Frame:
+    """Load one or more curated ``*-jobs.csv`` files into a single frame."""
+    if isinstance(paths, str):
+        paths = [paths]
+    if not paths:
+        raise DataError("no job CSVs given")
+    frames = [read_csv(p) for p in paths]
+    return concat(frames)
+
+
+def load_steps(paths: list[str] | str) -> Frame:
+    """Load one or more curated ``*-steps.csv`` files."""
+    if isinstance(paths, str):
+        paths = [paths]
+    if not paths:
+        raise DataError("no step CSVs given")
+    return concat([read_csv(p) for p in paths])
+
+
+def epoch_to_month(epochs: np.ndarray) -> np.ndarray:
+    """Vectorized epoch-seconds → ``YYYY-MM`` strings (UTC)."""
+    arr = np.asarray(epochs, dtype="int64")
+    months = arr.astype("datetime64[s]").astype("datetime64[M]")
+    return months.astype(str).astype(object)
+
+
+def epoch_to_year(epochs: np.ndarray) -> np.ndarray:
+    """Vectorized epoch-seconds → ``YYYY`` strings (UTC)."""
+    arr = np.asarray(epochs, dtype="int64")
+    years = arr.astype("datetime64[s]").astype("datetime64[Y]")
+    return years.astype(str).astype(object)
+
+
+def filter_states(frame: Frame, states: list[str]) -> Frame:
+    """Keep rows whose State is in ``states`` (validated against the
+    catalog; CANCELLED matches Slurm's 'CANCELLED by <uid>' variants)."""
+    unknown = [s for s in states if s not in JOB_STATES]
+    if unknown:
+        raise DataError(f"unknown job states {unknown}")
+    col = frame["State"]
+    mask = np.zeros(len(frame), dtype=bool)
+    for s in states:
+        mask |= np.fromiter((str(v).startswith(s) for v in col),
+                            dtype=bool, count=len(frame))
+    return frame.filter(mask)
+
+
+def iqr_bounds(values: np.ndarray, k: float = 1.5) -> tuple[float, float]:
+    """Tukey outlier fences — the paper's Figure 4 'outliers are omitted
+    for clarity' filter."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return (0.0, 0.0)
+    q1, q3 = np.percentile(v, [25, 75])
+    span = q3 - q1
+    return (q1 - k * span, q3 + k * span)

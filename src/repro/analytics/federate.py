@@ -1,0 +1,79 @@
+"""Multi-cluster federated analytics (future-work extension).
+
+Section 6: "Additional work will explore multi-cluster and federated
+analytics, providing cross-facility visibility into scheduling
+behaviors."  :func:`compare_systems` runs the per-system analytics over
+several curated frames and assembles the side-by-side deltas the
+portability section (4.3) narrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytics.backfill import BackfillSummary, walltime_accuracy
+from repro.analytics.scale import ScaleSummary, nodes_vs_elapsed
+from repro.analytics.states import StateSummary, states_per_user
+from repro.analytics.waits import WaitSummary, wait_times
+from repro._util.errors import DataError
+from repro.frame import Frame
+
+__all__ = ["FederatedComparison", "compare_systems"]
+
+
+@dataclass
+class SystemView:
+    """One system's full analytic snapshot."""
+
+    name: str
+    n_jobs: int
+    scale: ScaleSummary
+    waits: WaitSummary
+    states: StateSummary
+    backfill: BackfillSummary
+
+
+@dataclass
+class FederatedComparison:
+    """Cross-system deltas over two or more systems."""
+
+    systems: list[SystemView] = field(default_factory=list)
+
+    def view(self, name: str) -> SystemView:
+        for v in self.systems:
+            if v.name == name:
+                return v
+        raise DataError(f"no system {name!r} in comparison")
+
+    def delta_rows(self) -> list[tuple[str, str, float]]:
+        """(metric, system, value) rows across every system."""
+        out: list[tuple[str, str, float]] = []
+        for v in self.systems:
+            out.extend([
+                ("median_nodes", v.name, v.scale.median_nodes),
+                ("median_elapsed_s", v.name, v.scale.median_elapsed_s),
+                ("frac_large_long", v.name, v.scale.frac_large_long),
+                ("median_wait_s", v.name, v.waits.overall_median),
+                ("failure_rate", v.name, v.states.overall_failure_rate),
+                ("failure_rate_std", v.name, v.states.failure_rate_std),
+                ("median_walltime_ratio", v.name,
+                 v.backfill.median_ratio_all),
+            ])
+        return out
+
+
+def compare_systems(frames: dict[str, Frame]) -> FederatedComparison:
+    """Run the full analytic battery per system and collect the views."""
+    if len(frames) < 2:
+        raise DataError("federated comparison needs >= 2 systems")
+    comp = FederatedComparison()
+    for name, frame in frames.items():
+        comp.systems.append(SystemView(
+            name=name,
+            n_jobs=len(frame),
+            scale=nodes_vs_elapsed(frame),
+            waits=wait_times(frame),
+            states=states_per_user(frame),
+            backfill=walltime_accuracy(frame),
+        ))
+    return comp

@@ -1,0 +1,55 @@
+"""Pending-reason breakdown.
+
+Slurm's ``Reason`` field records why a job last waited; the curated
+dataset carries it (Table 1's Job State group).  The breakdown separates
+resource contention from priority queueing, dependency holds, and the
+operational requeues (node failure, preemption, resubmission) — the
+first place to look when Figure 4's wait spikes need explaining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frame import Frame
+
+__all__ = ["ReasonSummary", "reason_breakdown"]
+
+
+@dataclass
+class ReasonSummary:
+    """Job counts and wait statistics per scheduler reason."""
+
+    #: reason -> (count, mean wait s, p95 wait s)
+    by_reason: dict[str, tuple[int, float, float]] = field(
+        default_factory=dict)
+    n_jobs: int = 0
+
+    def rows(self) -> list[tuple[str, int, float, float]]:
+        """(reason, count, mean wait, p95) ordered by count desc."""
+        return sorted(((r, c, m, p) for r, (c, m, p)
+                       in self.by_reason.items()),
+                      key=lambda x: -x[1])
+
+    @property
+    def frac_waiting_on_resources(self) -> float:
+        """Share of jobs whose last hold was raw resource contention."""
+        res = self.by_reason.get("Resources", (0, 0.0, 0.0))[0]
+        return res / self.n_jobs if self.n_jobs else 0.0
+
+
+def reason_breakdown(jobs: Frame) -> ReasonSummary:
+    """Group the curated frame by the Reason column."""
+    reasons = np.array([str(r) if str(r) else "None"
+                        for r in jobs["Reason"]], dtype=object)
+    waits = np.asarray(jobs["WaitS"], dtype=float)
+    out = ReasonSummary(n_jobs=len(jobs))
+    for reason in sorted(set(reasons.tolist())):
+        mask = reasons == reason
+        w = waits[mask]
+        out.by_reason[reason] = (
+            int(mask.sum()), float(w.mean()),
+            float(np.percentile(w, 95)))
+    return out

@@ -1,0 +1,69 @@
+"""Figures 3 and 7: allocated nodes versus job duration.
+
+The Frontier/Andes contrast the paper draws: Frontier's scatter "includes
+a larger fraction of high-node, long-duration jobs", Andes shows "a
+denser concentration of short-duration jobs with fewer nodes".
+:func:`nodes_vs_elapsed` also quantifies that contrast via quadrant
+occupancy so benches can assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import Frame
+
+__all__ = ["ScaleSummary", "nodes_vs_elapsed"]
+
+
+@dataclass
+class ScaleSummary:
+    """Scatter data plus quadrant statistics."""
+
+    nnodes: np.ndarray
+    elapsed_s: np.ndarray
+    #: thresholds splitting the plane into quadrants
+    node_split: int
+    elapsed_split_s: int
+    #: fraction of jobs in each quadrant
+    frac_small_short: float
+    frac_small_long: float
+    frac_large_short: float
+    frac_large_long: float
+    median_nodes: float
+    median_elapsed_s: float
+    max_nodes: int
+
+    def quadrant_rows(self) -> list[tuple[str, float]]:
+        return [
+            ("small-short", self.frac_small_short),
+            ("small-long", self.frac_small_long),
+            ("large-short", self.frac_large_short),
+            ("large-long", self.frac_large_long),
+        ]
+
+
+def nodes_vs_elapsed(jobs: Frame, node_split: int = 128,
+                     elapsed_split_s: int = 4 * 3600) -> ScaleSummary:
+    """Nodes-vs-duration scatter summary over jobs that actually ran."""
+    ran = jobs.filter(jobs["Elapsed"] > 0)
+    nn = np.asarray(ran["NNodes"], dtype=np.int64)
+    el = np.asarray(ran["Elapsed"], dtype=np.int64)
+    n = max(1, len(ran))
+    small = nn < node_split
+    short = el < elapsed_split_s
+    return ScaleSummary(
+        nnodes=nn,
+        elapsed_s=el,
+        node_split=node_split,
+        elapsed_split_s=elapsed_split_s,
+        frac_small_short=float((small & short).sum() / n),
+        frac_small_long=float((small & ~short).sum() / n),
+        frac_large_short=float((~small & short).sum() / n),
+        frac_large_long=float((~small & ~short).sum() / n),
+        median_nodes=float(np.median(nn)) if len(nn) else 0.0,
+        median_elapsed_s=float(np.median(el)) if len(el) else 0.0,
+        max_nodes=int(nn.max()) if len(nn) else 0,
+    )

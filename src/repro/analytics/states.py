@@ -1,0 +1,88 @@
+"""Figures 5 and 8: job end states per user.
+
+"The inclusion of state color-coding within user-level breakdowns makes
+it easier to identify users with disproportionately high failure or
+cancellation rates" (Frontier), versus Andes' "lower failure rates and
+more consistent user behavior".  :func:`states_per_user` computes the
+stacked counts plus the concentration metrics the benches assert:
+failure-rate variance across users and the share of failures owned by
+the top-k users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frame import Frame
+
+__all__ = ["StateSummary", "states_per_user"]
+
+_BAD = ("FAILED", "OUT_OF_MEMORY", "NODE_FAIL")
+
+
+@dataclass
+class StateSummary:
+    """Per-user stacked state counts and skew statistics."""
+
+    users: list[str]                      # ordered by total jobs, desc
+    states: list[str]
+    #: counts[user][state]
+    counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    failure_rate_mean: float = 0.0
+    failure_rate_std: float = 0.0
+    #: fraction of all failed jobs owned by the 5 most-failing users
+    top5_failure_share: float = 0.0
+    overall_failure_rate: float = 0.0
+    overall_cancel_rate: float = 0.0
+
+    def stack_rows(self, top_n: int | None = None
+                   ) -> list[tuple[str, dict[str, int]]]:
+        users = self.users if top_n is None else self.users[:top_n]
+        return [(u, self.counts[u]) for u in users]
+
+
+def states_per_user(jobs: Frame, min_jobs: int = 1) -> StateSummary:
+    """Stacked end-state counts per user.
+
+    ``min_jobs`` drops users with fewer jobs from the rate statistics
+    (rates over tiny denominators are noise), while keeping their counts.
+    """
+    users_col = np.array([str(u) for u in jobs["User"]], dtype=object)
+    states_col = np.array(
+        ["CANCELLED" if str(s).startswith("CANCELLED") else str(s)
+         for s in jobs["State"]], dtype=object)
+    counts: dict[str, dict[str, int]] = {}
+    for u, s in zip(users_col, states_col):
+        counts.setdefault(u, {})
+        counts[u][s] = counts[u].get(s, 0) + 1
+
+    users = sorted(counts, key=lambda u: -sum(counts[u].values()))
+    states = sorted(set(states_col.tolist()))
+
+    totals = np.array([sum(counts[u].values()) for u in users], dtype=float)
+    fails = np.array([sum(counts[u].get(s, 0) for s in _BAD) for u in users],
+                     dtype=float)
+    cancels = np.array([counts[u].get("CANCELLED", 0) for u in users],
+                       dtype=float)
+
+    eligible = totals >= min_jobs
+    rates = fails[eligible] / totals[eligible] if eligible.any() else \
+        np.array([0.0])
+    fail_sorted = np.sort(fails)[::-1]
+    total_fail = fails.sum()
+    top5 = float(fail_sorted[:5].sum() / total_fail) if total_fail else 0.0
+
+    return StateSummary(
+        users=users,
+        states=states,
+        counts=counts,
+        failure_rate_mean=float(rates.mean()),
+        failure_rate_std=float(rates.std()),
+        top5_failure_share=top5,
+        overall_failure_rate=float(total_fail / totals.sum())
+        if totals.sum() else 0.0,
+        overall_cancel_rate=float(cancels.sum() / totals.sum())
+        if totals.sum() else 0.0,
+    )

@@ -1,0 +1,71 @@
+"""Job-step analytics.
+
+Figure 1's companion view: the paper stresses that "many scientific
+workflows depend on fine-grained task execution that occurs at the
+job-step level rather than through single, monolithic jobs".  This
+module characterizes that level: steps-per-job distribution, step
+durations, and the share of many-task jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import Frame
+
+__all__ = ["StepSummary", "step_statistics"]
+
+
+@dataclass
+class StepSummary:
+    """Distributional statistics of job steps."""
+
+    n_steps: int
+    n_parent_jobs: int
+    steps_per_job_mean: float
+    steps_per_job_median: float
+    steps_per_job_p95: float
+    #: fraction of jobs with more than ``many_task_threshold`` steps
+    frac_many_task_jobs: float
+    many_task_threshold: int
+    step_elapsed_median_s: float
+    step_elapsed_p95_s: float
+    #: fraction of steps that did not complete cleanly
+    frac_failed_steps: float
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("steps_per_job_mean", self.steps_per_job_mean),
+            ("steps_per_job_median", self.steps_per_job_median),
+            ("steps_per_job_p95", self.steps_per_job_p95),
+            ("frac_many_task_jobs", self.frac_many_task_jobs),
+            ("step_elapsed_median_s", self.step_elapsed_median_s),
+            ("frac_failed_steps", self.frac_failed_steps),
+        ]
+
+
+def step_statistics(steps: Frame, many_task_threshold: int = 16
+                    ) -> StepSummary:
+    """Summarize a curated steps frame (schema STEP_CSV_COLUMNS)."""
+    n = len(steps)
+    if n == 0:
+        return StepSummary(0, 0, 0.0, 0.0, 0.0, 0.0, many_task_threshold,
+                           0.0, 0.0, 0.0)
+    parents = np.array([str(p) for p in steps["ParentJobID"]], dtype=object)
+    _, counts = np.unique(parents, return_counts=True)
+    elapsed = np.array([float(e) for e in steps["Elapsed"]])
+    states = np.array([str(s) for s in steps["State"]], dtype=object)
+    return StepSummary(
+        n_steps=n,
+        n_parent_jobs=len(counts),
+        steps_per_job_mean=float(counts.mean()),
+        steps_per_job_median=float(np.median(counts)),
+        steps_per_job_p95=float(np.percentile(counts, 95)),
+        frac_many_task_jobs=float((counts > many_task_threshold).mean()),
+        many_task_threshold=many_task_threshold,
+        step_elapsed_median_s=float(np.median(elapsed)),
+        step_elapsed_p95_s=float(np.percentile(elapsed, 95)),
+        frac_failed_steps=float((states != "COMPLETED").mean()),
+    )

@@ -1,0 +1,66 @@
+"""System utilization and energy summaries.
+
+Not a standalone paper figure, but the dashboard's "system usage
+patterns" view and the denominator behind several insights (backfill
+reclaim opportunity as a share of capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import Frame
+
+__all__ = ["UtilizationSummary", "utilization"]
+
+
+@dataclass
+class UtilizationSummary:
+    """Aggregate usage over an observation window."""
+
+    window_s: int
+    total_node_s: int                # capacity: nodes * window
+    used_node_s: int                 # sum of nnodes * elapsed
+    utilization: float               # used / capacity
+    energy_mwh: float
+    jobs_ran: int
+    cpu_time_core_s: int
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("utilization", self.utilization),
+            ("energy_MWh", self.energy_mwh),
+            ("jobs_ran", float(self.jobs_ran)),
+        ]
+
+
+def utilization(jobs: Frame, total_nodes: int,
+                window_s: int | None = None) -> UtilizationSummary:
+    """Node-time utilization over the span of the frame.
+
+    ``window_s`` defaults to the observed submit→end span.
+    """
+    ran = jobs.filter(np.asarray(jobs["Elapsed"]) > 0)
+    nn = np.asarray(ran["NNodes"], dtype=np.int64)
+    el = np.asarray(ran["Elapsed"], dtype=np.int64)
+    used = int((nn * el).sum())
+    if window_s is None:
+        if len(jobs):
+            start = int(np.asarray(jobs["SubmitTime"]).min())
+            end = int(np.asarray(jobs["EndTime"]).max())
+            window_s = max(1, end - start)
+        else:
+            window_s = 1
+    capacity = total_nodes * window_s
+    energy_j = float(np.asarray(ran["ConsumedEnergy"], dtype=np.float64).sum())
+    return UtilizationSummary(
+        window_s=window_s,
+        total_node_s=capacity,
+        used_node_s=used,
+        utilization=used / capacity if capacity else 0.0,
+        energy_mwh=energy_j / 3.6e9,
+        jobs_ran=len(ran),
+        cpu_time_core_s=int(np.asarray(ran["TotalCPU"], dtype=np.int64).sum()),
+    )

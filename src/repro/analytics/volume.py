@@ -1,0 +1,88 @@
+"""Figure 1: job and job-step volume per period.
+
+"Total number of jobs and job-steps executed ... The plot shows that,
+while job submissions remained relatively stable each year, the number of
+job-steps was significantly higher than the job count", reflecting srun
+task parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.common import epoch_to_month, epoch_to_year
+from repro.frame import Frame
+
+__all__ = ["VolumeSummary", "volume_by_year", "volume_by_month"]
+
+
+@dataclass
+class VolumeSummary:
+    """Counts per period plus the headline steps-to-jobs ratio."""
+
+    periods: list[str]
+    jobs: list[int]
+    steps: list[int]
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(self.jobs)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(self.steps)
+
+    @property
+    def steps_per_job(self) -> float:
+        return self.total_steps / self.total_jobs if self.total_jobs else 0.0
+
+    def rows(self) -> list[tuple[str, int, int, float]]:
+        """(period, jobs, steps, ratio) rows for the bench table."""
+        return [(p, j, s, s / j if j else 0.0)
+                for p, j, s in zip(self.periods, self.jobs, self.steps)]
+
+
+def _volume(jobs: Frame, steps: Frame, keys_jobs: np.ndarray,
+            keys_steps: np.ndarray) -> VolumeSummary:
+    periods = sorted(set(keys_jobs.tolist()) | set(keys_steps.tolist()))
+    jcount = {p: 0 for p in periods}
+    scount = {p: 0 for p in periods}
+    uniq, counts = np.unique(keys_jobs.astype(str), return_counts=True)
+    for p, c in zip(uniq, counts):
+        jcount[str(p)] = int(c)
+    uniq, counts = np.unique(keys_steps.astype(str), return_counts=True)
+    for p, c in zip(uniq, counts):
+        scount[str(p)] = int(c)
+    return VolumeSummary(
+        periods=periods,
+        jobs=[jcount[p] for p in periods],
+        steps=[scount[p] for p in periods],
+    )
+
+
+def _epochs(col: np.ndarray) -> np.ndarray:
+    """Coerce a (possibly string-typed) column to int64 epochs, >= 0."""
+    arr = np.asarray(col)
+    if arr.dtype == object:
+        arr = arr.astype(str).astype(np.int64)
+    return np.maximum(arr.astype(np.int64), 0)
+
+
+def volume_by_year(jobs: Frame, steps: Frame) -> VolumeSummary:
+    """Yearly volumes (Figure 1's granularity).
+
+    Step periods come from the step's own StartTime; steps without a
+    parent in ``jobs`` still count, as in sacct output.
+    """
+    return _volume(jobs, steps,
+                   epoch_to_year(_epochs(jobs["SubmitTime"])),
+                   epoch_to_year(_epochs(steps["StartTime"])))
+
+
+def volume_by_month(jobs: Frame, steps: Frame) -> VolumeSummary:
+    """Monthly volumes (for finer-grained dashboards)."""
+    return _volume(jobs, steps,
+                   epoch_to_month(_epochs(jobs["SubmitTime"])),
+                   epoch_to_month(_epochs(steps["StartTime"])))

@@ -1,0 +1,60 @@
+"""Chart construction and rendering (the Plotly substitute).
+
+A :class:`ChartSpec` declares the figure (axes, scales, series); the
+layout engine (:mod:`repro.charts.render`) lowers it to resolution-
+independent primitives; backends then serialize those primitives:
+
+- :mod:`repro.charts.svg` → standalone SVG,
+- :mod:`repro.charts.html` → interactive HTML (hover + zoom, vanilla JS),
+- :mod:`repro.raster` → PNG pixels (the HTML2PNG stage's output).
+
+Figure builders for every paper figure live in
+:mod:`repro.charts.figures`.
+"""
+
+from repro.charts.spec import (
+    Axis,
+    ChartSpec,
+    ScatterSeries,
+    LineSeries,
+    BarSeries,
+    StackedBarSeries,
+    HistogramSeries,
+)
+from repro.charts.colors import STATE_COLORS, categorical_color
+from repro.charts.scale import LinearScale, LogScale, make_scale
+from repro.charts.render import layout_chart, Primitive
+from repro.charts.svg import to_svg
+from repro.charts.html import to_html, write_html
+from repro.charts.figures import (
+    fig1_volume_chart,
+    fig3_nodes_vs_elapsed_chart,
+    fig4_wait_times_chart,
+    fig5_states_per_user_chart,
+    fig6_walltime_chart,
+)
+
+__all__ = [
+    "Axis",
+    "ChartSpec",
+    "ScatterSeries",
+    "LineSeries",
+    "BarSeries",
+    "StackedBarSeries",
+    "HistogramSeries",
+    "STATE_COLORS",
+    "categorical_color",
+    "LinearScale",
+    "LogScale",
+    "make_scale",
+    "layout_chart",
+    "Primitive",
+    "to_svg",
+    "to_html",
+    "write_html",
+    "fig1_volume_chart",
+    "fig3_nodes_vs_elapsed_chart",
+    "fig4_wait_times_chart",
+    "fig5_states_per_user_chart",
+    "fig6_walltime_chart",
+]

@@ -1,0 +1,171 @@
+"""Builders for every figure in the paper's evaluation.
+
+Each builder takes the corresponding analytics summary and returns a
+:class:`~repro.charts.spec.ChartSpec`.  Figures 7/8/9 (Andes) reuse the
+Figure 3/5/6 builders on Andes data — that reuse *is* the paper's
+portability claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.backfill import BackfillSummary
+from repro.analytics.scale import ScaleSummary
+from repro.analytics.states import StateSummary
+from repro.analytics.timeline import OccupancySummary
+from repro.analytics.volume import VolumeSummary
+from repro.analytics.waits import WaitSummary
+from repro.charts.colors import STATE_COLORS, categorical_color
+from repro.charts.spec import (
+    Axis,
+    BarSeries,
+    ChartSpec,
+    LineSeries,
+    ScatterSeries,
+    StackedBarSeries,
+)
+
+__all__ = [
+    "fig1_volume_chart",
+    "fig3_nodes_vs_elapsed_chart",
+    "fig4_wait_times_chart",
+    "fig5_states_per_user_chart",
+    "fig6_walltime_chart",
+    "occupancy_chart",
+]
+
+
+def fig1_volume_chart(vol: VolumeSummary, system: str = "frontier"
+                      ) -> ChartSpec:
+    """Figure 1: jobs and job-steps per year (log count axis)."""
+    return ChartSpec(
+        title=f"Jobs and job-steps per year on {system}",
+        x_axis=Axis("year"),
+        y_axis=Axis("count", scale="log",
+                    domain=(1, max(10, max(vol.steps, default=1)) * 2)),
+        x_categories=list(vol.periods),
+        series=[
+            BarSeries("jobs", vol.periods,
+                      np.maximum(vol.jobs, 1), color=categorical_color(0)),
+            BarSeries("job-steps", vol.periods,
+                      np.maximum(vol.steps, 1), color=categorical_color(1)),
+        ],
+        chart_id=f"fig1-{system}",
+    )
+
+
+def fig3_nodes_vs_elapsed_chart(scale: ScaleSummary, system: str
+                                ) -> ChartSpec:
+    """Figures 3/7: allocated nodes versus elapsed time (log-log)."""
+    el = np.maximum(scale.elapsed_s, 1)
+    nn = np.maximum(scale.nnodes, 1)
+    return ChartSpec(
+        title=f"Allocated nodes vs job duration ({system})",
+        x_axis=Axis("elapsed time (s)", scale="log",
+                    domain=(1, float(el.max()) * 1.5 if el.size else 10)),
+        y_axis=Axis("allocated nodes", scale="log",
+                    domain=(1, float(nn.max()) * 1.5 if nn.size else 10)),
+        series=[ScatterSeries("jobs", el, nn,
+                              color=categorical_color(0), size=2.0,
+                              opacity=0.35)],
+        chart_id=f"fig3-{system}",
+    )
+
+
+def fig4_wait_times_chart(waits: WaitSummary, system: str = "frontier"
+                          ) -> ChartSpec:
+    """Figure 4: queue waits over time, color-coded by final state."""
+    t0 = float(waits.submit.min()) if waits.submit.size else 0.0
+    days = (waits.submit - t0) / 86400.0
+    series = []
+    for state in sorted(set(waits.state.tolist())):
+        mask = waits.state == state
+        series.append(ScatterSeries(
+            state, days[mask], np.maximum(waits.wait_s[mask], 1.0),
+            color=STATE_COLORS.get(state, "#333333"), size=2.0,
+            opacity=0.45))
+    return ChartSpec(
+        title=f"Job wait times by final state ({system})",
+        x_axis=Axis("days since window start"),
+        y_axis=Axis("wait time (s)", scale="log"),
+        series=series,
+        chart_id=f"fig4-{system}",
+    )
+
+
+def fig5_states_per_user_chart(states: StateSummary, system: str = "frontier",
+                               top_n: int = 40) -> ChartSpec:
+    """Figures 5/8: stacked end-state counts for the busiest users."""
+    rows = states.stack_rows(top_n=top_n)
+    users = [u for u, _ in rows]
+    segments = {
+        s: np.array([counts.get(s, 0) for _, counts in rows], dtype=float)
+        for s in states.states
+    }
+    stacked = StackedBarSeries(
+        "states", users, segments=segments,
+        colors={s: STATE_COLORS.get(s, "#333333") for s in states.states})
+    return ChartSpec(
+        title=f"Job end states per user ({system}, top {len(users)})",
+        x_axis=Axis("user"),
+        y_axis=Axis("jobs"),
+        x_categories=users,
+        series=[stacked],
+        chart_id=f"fig5-{system}",
+    )
+
+
+def fig6_walltime_chart(bf: BackfillSummary, system: str = "frontier"
+                        ) -> ChartSpec:
+    """Figures 6/9: requested vs actual walltime; plus = backfilled."""
+    req_h = bf.requested_s / 3600.0
+    act_h = np.maximum(bf.actual_s, 1.0) / 3600.0
+    regular = ~bf.backfilled
+    hi = float(max(req_h.max(), act_h.max()) * 1.4) if len(req_h) else 10.0
+    series = [
+        ScatterSeries("regular", req_h[regular], act_h[regular],
+                      color=categorical_color(0), marker="dot", size=2.0,
+                      opacity=0.4),
+        ScatterSeries("backfilled", req_h[bf.backfilled],
+                      act_h[bf.backfilled], color=categorical_color(3),
+                      marker="plus", size=2.2, opacity=0.55),
+    ]
+    lo = 1.0 / 60.0
+    return ChartSpec(
+        title=f"Requested vs actual walltime ({system})",
+        x_axis=Axis("requested walltime (h)", scale="log",
+                    domain=(lo, hi)),
+        y_axis=Axis("actual duration (h)", scale="log", domain=(lo, hi)),
+        series=series,
+        chart_id=f"fig6-{system}",
+    )
+
+
+def occupancy_chart(occ: OccupancySummary, system: str) -> ChartSpec:
+    """Dashboard extra: allocated nodes and queued demand over time."""
+    if occ.allocated_nodes.size:
+        centers = (occ.bin_edges_s[:-1] + occ.bin_edges_s[1:]) / 2.0
+        days = (centers - occ.bin_edges_s[0]) / 86400.0
+        alloc = occ.allocated_nodes
+        queued = occ.queued_nodes
+    else:
+        days = np.array([0.0])
+        alloc = queued = np.array([0.0])
+    hi = max(float(occ.total_nodes) * 1.05,
+             float(queued.max()) * 1.1 if queued.size else 1.0)
+    return ChartSpec(
+        title=f"Node occupancy and queued demand ({system})",
+        x_axis=Axis("days since window start"),
+        y_axis=Axis("nodes", domain=(0.0, hi)),
+        series=[
+            LineSeries("allocated", days, alloc,
+                       color=categorical_color(0)),
+            LineSeries("queued demand", days, queued,
+                       color=categorical_color(3)),
+            LineSeries("capacity", days,
+                       np.full_like(days, float(occ.total_nodes)),
+                       color="#7f7f7f", width=1.0),
+        ],
+        chart_id=f"occupancy-{system}",
+    )

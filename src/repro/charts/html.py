@@ -1,0 +1,114 @@
+"""Interactive HTML export.
+
+The paper's stages emit "interactive HTML charts that support zooming
+and filtering".  This backend embeds the chart SVG in a self-contained
+HTML page with vanilla-JS wheel zoom, drag pan, double-click reset, and
+a readout of the cursor's data coordinates (computed from the embedded
+calibration sidecar).  The calibration JSON is also what the HTML2PNG →
+LLM path ships alongside the pixels.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.charts.spec import ChartSpec
+from repro.charts.svg import to_svg
+
+__all__ = ["to_html", "write_html"]
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font-family: Helvetica, Arial, sans-serif; margin: 16px; }}
+  .chart-frame {{ border: 1px solid #ddd; overflow: hidden;
+                 width: {width}px; height: {height}px; }}
+  .chart-frame svg {{ transform-origin: 0 0; }}
+  .readout {{ color: #555; font-size: 12px; margin-top: 4px; }}
+</style>
+</head>
+<body>
+<div class="chart-frame" id="frame">{svg}</div>
+<div class="readout" id="readout">scroll to zoom, drag to pan,
+double-click to reset</div>
+<script type="application/json" id="calibration">{calibration}</script>
+<script>
+(function () {{
+  var frame = document.getElementById('frame');
+  var svg = frame.querySelector('svg');
+  var cal = JSON.parse(
+      document.getElementById('calibration').textContent);
+  var scale = 1, tx = 0, ty = 0, dragging = false, lx = 0, ly = 0;
+  function apply() {{
+    svg.style.transform = 'translate(' + tx + 'px,' + ty + 'px) ' +
+                          'scale(' + scale + ')';
+  }}
+  frame.addEventListener('wheel', function (e) {{
+    e.preventDefault();
+    var k = e.deltaY < 0 ? 1.15 : 1 / 1.15;
+    scale = Math.min(40, Math.max(0.5, scale * k));
+    apply();
+  }});
+  frame.addEventListener('mousedown', function (e) {{
+    dragging = true; lx = e.clientX; ly = e.clientY;
+  }});
+  window.addEventListener('mouseup', function () {{ dragging = false; }});
+  window.addEventListener('mousemove', function (e) {{
+    if (!dragging) return;
+    tx += e.clientX - lx; ty += e.clientY - ly;
+    lx = e.clientX; ly = e.clientY;
+    apply();
+  }});
+  frame.addEventListener('dblclick', function () {{
+    scale = 1; tx = 0; ty = 0; apply();
+  }});
+  frame.addEventListener('mousemove', function (e) {{
+    var r = frame.getBoundingClientRect();
+    var px = (e.clientX - r.left - tx) / scale;
+    var py = (e.clientY - r.top - ty) / scale;
+    var m = {{l: 80, t: 48, rt: 170, b: 56}};
+    var w = {width}, h = {height};
+    var fx = (px - m.l) / (w - m.l - m.rt);
+    var fy = (h - m.b - py) / (h - m.b - m.t);
+    if (fx < 0 || fx > 1 || fy < 0 || fy > 1) return;
+    function fromFrac(f, dom, kind) {{
+      if (kind === 'log') {{
+        var l0 = Math.log10(dom[0]), l1 = Math.log10(dom[1]);
+        return Math.pow(10, l0 + f * (l1 - l0));
+      }}
+      return dom[0] + f * (dom[1] - dom[0]);
+    }}
+    var dx = fromFrac(fx, cal.x_domain, cal.x_scale);
+    var dy = fromFrac(fy, cal.y_domain, cal.y_scale);
+    document.getElementById('readout').textContent =
+      cal.x_label + ' = ' + dx.toPrecision(4) + ', ' +
+      cal.y_label + ' = ' + dy.toPrecision(4);
+  }});
+}})();
+</script>
+</body>
+</html>
+"""
+
+
+def to_html(spec: ChartSpec) -> str:
+    """Render a chart spec to a self-contained interactive HTML page."""
+    return _PAGE.format(
+        title=spec.title,
+        width=spec.width,
+        height=spec.height,
+        svg=to_svg(spec),
+        calibration=json.dumps(spec.calibration()),
+    )
+
+
+def write_html(spec: ChartSpec, path: str) -> str:
+    """Write the interactive page to ``path`` (returns the path)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_html(spec))
+    return path

@@ -1,0 +1,255 @@
+"""The layout engine: ChartSpec → drawing primitives.
+
+Primitives are backend-neutral; :mod:`repro.charts.svg` serializes them
+to SVG and :mod:`repro.raster` rasterizes them to pixels, guaranteeing
+the interactive chart and its PNG snapshot are the same picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.errors import RenderError
+from repro.charts.scale import make_scale
+from repro.charts.spec import (
+    BarSeries,
+    ChartSpec,
+    HistogramSeries,
+    LineSeries,
+    ScatterSeries,
+    StackedBarSeries,
+)
+
+__all__ = ["Primitive", "layout_chart", "MARGIN"]
+
+#: plot margins: left, top, right (legend space), bottom
+MARGIN = (80, 48, 170, 56)
+
+
+@dataclass
+class Primitive:
+    """One drawable item in chart pixel space (y grows downward)."""
+
+    kind: str                      # line|rect|circle|plus|text
+    color: str = "#000000"
+    # geometry (used per kind)
+    x: float = 0.0
+    y: float = 0.0
+    x2: float = 0.0
+    y2: float = 0.0
+    w: float = 0.0
+    h: float = 0.0
+    r: float = 0.0
+    width: float = 1.0             # stroke width
+    opacity: float = 1.0
+    text: str = ""
+    size: float = 12.0             # font size
+    anchor: str = "start"          # start|middle|end
+    rotate: float = 0.0
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.0e}".replace("e+0", "e").replace("e-0", "e-")
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def layout_chart(spec: ChartSpec) -> list[Primitive]:
+    """Lower a chart spec to primitives (background to foreground order)."""
+    ml, mt, mr, mb = MARGIN
+    px0, px1 = ml, spec.width - mr
+    py0, py1 = spec.height - mb, mt     # y axis: data-up = pixel-down
+    if px1 <= px0 or py0 <= py1:
+        raise RenderError("chart too small for margins")
+
+    prims: list[Primitive] = []
+    prims.append(Primitive("rect", color="#ffffff", x=0, y=0,
+                           w=spec.width, h=spec.height))
+    prims.append(Primitive("text", x=spec.width / 2, y=mt / 2 + 6,
+                           text=spec.title, size=15, anchor="middle"))
+
+    categorical_x = spec.x_categories is not None
+
+    # ---- scales -------------------------------------------------------------
+    if categorical_x:
+        ncat = max(1, len(spec.x_categories))
+        band = (px1 - px0) / ncat
+        x_scale = None
+    else:
+        xd = spec.x_axis.domain or spec.data_domain("x")
+        x_scale = make_scale(spec.x_axis.scale, xd, (px0, px1))
+    yd = spec.y_axis.domain or spec.data_domain("y")
+    y_scale = make_scale(spec.y_axis.scale, yd, (py0, py1))
+
+    # ---- gridlines + ticks ----------------------------------------------------
+    for ty in y_scale.ticks():
+        py = y_scale(ty)
+        prims.append(Primitive("line", color="#e5e5e5", x=px0, y=py,
+                               x2=px1, y2=py, width=1))
+        prims.append(Primitive("text", color="#444444", x=px0 - 8, y=py + 4,
+                               text=_fmt_tick(ty), size=11, anchor="end"))
+    if categorical_x:
+        step = max(1, len(spec.x_categories) // 24)
+        for i, cat in enumerate(spec.x_categories):
+            if i % step:
+                continue
+            cx = px0 + (i + 0.5) * band
+            prims.append(Primitive("text", color="#444444", x=cx,
+                                   y=py0 + 16, text=str(cat)[:12], size=10,
+                                   anchor="middle", rotate=-35))
+    else:
+        for tx in x_scale.ticks():
+            px = x_scale(tx)
+            prims.append(Primitive("line", color="#e5e5e5", x=px, y=py0,
+                                   x2=px, y2=py1, width=1))
+            prims.append(Primitive("text", color="#444444", x=px, y=py0 + 18,
+                                   text=_fmt_tick(tx), size=11,
+                                   anchor="middle"))
+
+    # ---- axes ------------------------------------------------------------------
+    prims.append(Primitive("line", color="#222222", x=px0, y=py0, x2=px1,
+                           y2=py0, width=1.5))
+    prims.append(Primitive("line", color="#222222", x=px0, y=py0, x2=px0,
+                           y2=py1, width=1.5))
+    prims.append(Primitive("text", x=(px0 + px1) / 2, y=spec.height - 10,
+                           text=spec.x_axis.label, size=13, anchor="middle"))
+    prims.append(Primitive("text", x=18, y=(py0 + py1) / 2,
+                           text=spec.y_axis.label, size=13, anchor="middle",
+                           rotate=-90))
+
+    # ---- series ------------------------------------------------------------------
+    legend: list[tuple[str, str, str]] = []   # (label, color, glyph)
+    clip = (px0, px1, py1, py0)               # x range, y range (pixel)
+    for s in spec.series:
+        if isinstance(s, ScatterSeries):
+            _scatter(prims, s, x_scale, y_scale, clip)
+            legend.append((s.name, s.color,
+                           "plus" if s.marker == "plus" else "dot"))
+        elif isinstance(s, LineSeries):
+            _line(prims, s, x_scale, y_scale)
+            legend.append((s.name, s.color, "line"))
+        elif isinstance(s, HistogramSeries):
+            if x_scale is None:
+                raise RenderError("histogram needs a numeric x axis")
+            _histogram(prims, s, x_scale, y_scale, py0)
+            legend.append((s.name, s.color, "rect"))
+        elif isinstance(s, BarSeries):
+            if not categorical_x:
+                raise RenderError("bar series needs x_categories")
+            group = [t for t in spec.series if isinstance(t, BarSeries)]
+            _bars(prims, s, group.index(s), len(group), px0, band,
+                  y_scale, py0)
+            legend.append((s.name, s.color, "rect"))
+        elif isinstance(s, StackedBarSeries):
+            if not categorical_x:
+                raise RenderError("stacked bars need x_categories")
+            _stacked(prims, s, px0, band, y_scale, py0)
+            for key in s.segments:
+                legend.append((key, s.colors.get(key, "#1f77b4"), "rect"))
+        else:
+            raise RenderError(f"unknown series type {type(s).__name__}")
+
+    # ---- legend --------------------------------------------------------------------
+    lx = px1 + 16
+    ly = py1 + 6
+    for label, color, glyph in legend[:14]:
+        if glyph == "dot":
+            prims.append(Primitive("circle", color=color, x=lx + 5, y=ly,
+                                   r=4))
+        elif glyph == "plus":
+            prims.append(Primitive("plus", color=color, x=lx + 5, y=ly,
+                                   r=5, width=1.6))
+        elif glyph == "line":
+            prims.append(Primitive("line", color=color, x=lx, y=ly,
+                                   x2=lx + 12, y2=ly, width=2))
+        else:
+            prims.append(Primitive("rect", color=color, x=lx, y=ly - 5,
+                                   w=10, h=10))
+        prims.append(Primitive("text", x=lx + 16, y=ly + 4,
+                               text=str(label)[:20], size=11))
+        ly += 18
+    return prims
+
+
+def _scatter(prims, s: ScatterSeries, x_scale, y_scale,
+             clip: tuple[float, float, float, float]) -> None:
+    if x_scale is None:
+        raise RenderError("scatter series needs a numeric x axis")
+    xs = x_scale(s.x) if s.x.size else s.x
+    ys = y_scale(s.y) if s.y.size else s.y
+    xs = np.atleast_1d(np.asarray(xs, dtype=float))
+    ys = np.atleast_1d(np.asarray(ys, dtype=float))
+    # clip marks to the plot rectangle (points outside the axis domain
+    # are dropped, as an interactive chart's viewport would)
+    cx0, cx1, cy0, cy1 = clip
+    keep = (xs >= cx0) & (xs <= cx1) & (ys >= cy0) & (ys <= cy1)
+    for cx, cy in zip(xs[keep], ys[keep]):
+        if s.marker == "plus":
+            prims.append(Primitive("plus", color=s.color, x=cx, y=cy,
+                                   r=s.size + 1.2, width=1.1,
+                                   opacity=s.opacity))
+        else:
+            prims.append(Primitive("circle", color=s.color, x=cx, y=cy,
+                                   r=s.size, opacity=s.opacity))
+
+
+def _line(prims, s: LineSeries, x_scale, y_scale) -> None:
+    if x_scale is None:
+        raise RenderError("line series needs a numeric x axis")
+    xs = np.atleast_1d(x_scale(s.x))
+    ys = np.atleast_1d(y_scale(s.y))
+    for i in range(len(xs) - 1):
+        prims.append(Primitive("line", color=s.color, x=xs[i], y=ys[i],
+                               x2=xs[i + 1], y2=ys[i + 1], width=s.width))
+
+
+def _histogram(prims, s: HistogramSeries, x_scale, y_scale, py0) -> None:
+    lo, hi = x_scale.domain
+    edges, heights = s.compute(lo, hi)
+    for i, h in enumerate(heights):
+        if h <= 0:
+            continue
+        x0 = x_scale(edges[i])
+        x1 = x_scale(edges[i + 1])
+        y = y_scale(h)
+        prims.append(Primitive(
+            "rect", color=s.color, x=min(x0, x1) + 0.5, y=min(y, py0),
+            w=max(1.0, abs(x1 - x0) - 1.0), h=abs(py0 - y),
+            opacity=s.opacity))
+
+
+def _bars(prims, s: BarSeries, slot: int, nslots: int, px0, band,
+          y_scale, py0) -> None:
+    """Grouped bars: each BarSeries gets its own sub-band per category."""
+    pad = band * 0.12
+    usable = band - 2 * pad
+    sub = usable / max(1, nslots)
+    for i, v in enumerate(s.values):
+        x = px0 + i * band + pad + slot * sub
+        y = y_scale(v)
+        prims.append(Primitive("rect", color=s.color, x=x, y=min(y, py0),
+                               w=max(1.0, sub * 0.9), h=abs(py0 - y),
+                               opacity=0.9))
+
+
+def _stacked(prims, s: StackedBarSeries, px0, band, y_scale, py0) -> None:
+    pad = band * 0.15
+    base = np.zeros(len(s.categories))
+    for key, vals in s.segments.items():
+        color = s.colors.get(key, "#1f77b4")
+        for i, v in enumerate(vals):
+            if v <= 0:
+                continue
+            y_lo = y_scale(base[i])
+            y_hi = y_scale(base[i] + v)
+            prims.append(Primitive("rect", color=color,
+                                   x=px0 + i * band + pad, y=y_hi,
+                                   w=band - 2 * pad, h=max(0.5, y_lo - y_hi),
+                                   opacity=0.95))
+        base += vals

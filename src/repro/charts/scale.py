@@ -1,0 +1,110 @@
+"""Axis scales and tick generation.
+
+Linear scales pick "nice" ticks with the classic 1-2-5 ladder; log scales
+tick at decades.  Both map data values into a pixel range and are shared
+by the SVG backend and the rasterizer, so the two renderings of a chart
+are geometrically identical.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util.errors import RenderError
+
+__all__ = ["LinearScale", "LogScale", "make_scale", "nice_ticks"]
+
+
+def nice_ticks(lo: float, hi: float, target: int = 6) -> list[float]:
+    """Nice tick positions covering [lo, hi] with ~``target`` ticks."""
+    if hi < lo:
+        raise RenderError(f"bad tick range [{lo}, {hi}]")
+    if hi == lo:
+        return [lo]
+    span = hi - lo
+    raw_step = span / max(1, target - 1)
+    mag = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 5, 10):
+        step = mult * mag
+        if span / step <= target:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * span:
+        ticks.append(round(t, 12))
+        t += step
+    return ticks or [lo]
+
+
+class LinearScale:
+    """Affine map from a data domain to a pixel range."""
+
+    def __init__(self, domain: tuple[float, float],
+                 range_px: tuple[float, float]) -> None:
+        d0, d1 = float(domain[0]), float(domain[1])
+        if d1 == d0:
+            d1 = d0 + 1.0
+        self.domain = (d0, d1)
+        self.range_px = (float(range_px[0]), float(range_px[1]))
+        self._k = (self.range_px[1] - self.range_px[0]) / (d1 - d0)
+
+    def __call__(self, value):
+        v = np.asarray(value, dtype=float)
+        out = self.range_px[0] + (v - self.domain[0]) * self._k
+        return float(out) if out.ndim == 0 else out
+
+    def ticks(self, target: int = 6) -> list[float]:
+        return nice_ticks(self.domain[0], self.domain[1], target)
+
+    def invert(self, px: float) -> float:
+        return self.domain[0] + (px - self.range_px[0]) / self._k
+
+
+class LogScale:
+    """Log10 map from a positive data domain to a pixel range."""
+
+    def __init__(self, domain: tuple[float, float],
+                 range_px: tuple[float, float]) -> None:
+        d0, d1 = float(domain[0]), float(domain[1])
+        if d0 <= 0 or d1 <= 0:
+            raise RenderError(f"log scale needs positive domain, got "
+                              f"[{d0}, {d1}]")
+        if d1 == d0:
+            d1 = d0 * 10.0
+        self.domain = (d0, d1)
+        self.range_px = (float(range_px[0]), float(range_px[1]))
+        self._l0 = math.log10(d0)
+        self._k = (self.range_px[1] - self.range_px[0]) / \
+            (math.log10(d1) - self._l0)
+
+    def __call__(self, value):
+        v = np.asarray(value, dtype=float)
+        if np.any(v <= 0):
+            raise RenderError("log scale got non-positive value")
+        out = self.range_px[0] + (np.log10(v) - self._l0) * self._k
+        return float(out) if out.ndim == 0 else out
+
+    def ticks(self, target: int = 6) -> list[float]:
+        lo = math.floor(self._l0)
+        hi = math.ceil(math.log10(self.domain[1]))
+        decades = [10.0 ** e for e in range(lo, hi + 1)
+                   if self.domain[0] <= 10.0 ** e <= self.domain[1]]
+        if not decades:
+            decades = [self.domain[0]]
+        return decades
+
+    def invert(self, px: float) -> float:
+        return 10.0 ** (self._l0 + (px - self.range_px[0]) / self._k)
+
+
+def make_scale(kind: str, domain: tuple[float, float],
+               range_px: tuple[float, float]):
+    """Factory: ``"linear"`` or ``"log"``."""
+    if kind == "linear":
+        return LinearScale(domain, range_px)
+    if kind == "log":
+        return LogScale(domain, range_px)
+    raise RenderError(f"unknown scale kind {kind!r}")

@@ -1,0 +1,268 @@
+"""Declarative chart specifications.
+
+A :class:`ChartSpec` carries the data and presentation of one figure.
+It also keeps a machine-readable ``calibration`` sidecar (axis domains
+and per-series statistics) that travels with rendered images — the
+offline chart-analyst (:mod:`repro.llm`) reads images *plus* this sidecar
+the way a multimodal LLM reads pixels plus its prompt context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro._util.errors import RenderError
+
+__all__ = ["Axis", "ChartSpec", "ScatterSeries", "LineSeries",
+           "BarSeries", "StackedBarSeries", "HistogramSeries"]
+
+
+@dataclass
+class Axis:
+    """One axis: label, scale kind, optional fixed domain."""
+
+    label: str
+    scale: str = "linear"            # "linear" | "log"
+    domain: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale not in ("linear", "log"):
+            raise RenderError(f"unknown axis scale {self.scale!r}")
+
+
+@dataclass
+class ScatterSeries:
+    """Point cloud; marker is ``"dot"`` or ``"plus"`` (Figure 6's split)."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    color: str = "#1f77b4"
+    marker: str = "dot"
+    size: float = 2.5
+    opacity: float = 0.55
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise RenderError(
+                f"series {self.name}: x{self.x.shape} != y{self.y.shape}")
+        if self.marker not in ("dot", "plus"):
+            raise RenderError(f"unknown marker {self.marker!r}")
+
+
+@dataclass
+class LineSeries:
+    """Polyline (monthly medians, sweep curves)."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    color: str = "#1f77b4"
+    width: float = 1.8
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise RenderError(f"series {self.name}: shape mismatch")
+
+
+@dataclass
+class BarSeries:
+    """Grouped bars over categorical x."""
+
+    name: str
+    categories: Sequence[str]
+    values: np.ndarray
+    color: str = "#1f77b4"
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if len(self.categories) != len(self.values):
+            raise RenderError(f"bar series {self.name}: arity mismatch")
+
+
+@dataclass
+class HistogramSeries:
+    """Binned distribution over a numeric x axis.
+
+    Binning happens at layout time against the axis domain; ``log_bins``
+    uses log-spaced edges (wait-time distributions need it).
+    """
+
+    name: str
+    values: np.ndarray
+    bins: int = 30
+    color: str = "#1f77b4"
+    opacity: float = 0.8
+    log_bins: bool = False
+    density: bool = False
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1:
+            raise RenderError(f"histogram {self.name}: 1-D values only")
+        if self.bins < 1:
+            raise RenderError(f"histogram {self.name}: bins < 1")
+
+    def compute(self, lo: float, hi: float
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """(edges, heights) over [lo, hi]."""
+        if self.log_bins:
+            if lo <= 0:
+                raise RenderError("log bins need a positive domain")
+            edges = np.logspace(np.log10(lo), np.log10(hi), self.bins + 1)
+        else:
+            edges = np.linspace(lo, hi, self.bins + 1)
+        vals = self.values[(self.values >= lo) & (self.values <= hi)]
+        heights, _ = np.histogram(vals, bins=edges,
+                                  density=self.density)
+        return edges, heights.astype(float)
+
+
+@dataclass
+class StackedBarSeries:
+    """Stacked bars: per category, one segment per stack key
+    (Figure 5's states-per-user)."""
+
+    name: str
+    categories: Sequence[str]
+    #: stack key -> per-category values
+    segments: dict[str, np.ndarray] = field(default_factory=dict)
+    #: stack key -> color
+    colors: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, vals in self.segments.items():
+            vals = np.asarray(vals, dtype=float)
+            self.segments[key] = vals
+            if len(vals) != len(self.categories):
+                raise RenderError(
+                    f"stacked series {self.name}: segment {key} arity")
+
+    def totals(self) -> np.ndarray:
+        if not self.segments:
+            return np.zeros(len(self.categories))
+        return np.sum(list(self.segments.values()), axis=0)
+
+
+@dataclass
+class ChartSpec:
+    """One complete figure."""
+
+    title: str
+    x_axis: Axis
+    y_axis: Axis
+    series: list = field(default_factory=list)
+    width: int = 900
+    height: int = 560
+    #: categorical x tick labels (bar charts)
+    x_categories: list[str] | None = None
+    #: free-form identifier ("fig4", "fig6-2024-03", ...)
+    chart_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width < 100 or self.height < 100:
+            raise RenderError("chart smaller than 100px is unreadable")
+
+    # -- data extent ---------------------------------------------------------
+
+    def data_domain(self, axis: str) -> tuple[float, float]:
+        """Min/max of the data along ``"x"`` or ``"y"``."""
+        lo, hi = np.inf, -np.inf
+        for s in self.series:
+            if isinstance(s, (ScatterSeries, LineSeries)):
+                vals = s.x if axis == "x" else s.y
+                if vals.size:
+                    lo = min(lo, float(np.min(vals)))
+                    hi = max(hi, float(np.max(vals)))
+            elif isinstance(s, HistogramSeries):
+                if not s.values.size:
+                    continue
+                if axis == "x":
+                    vmin = float(np.min(s.values))
+                    if s.log_bins or self.x_axis.scale == "log":
+                        vmin = max(vmin, 1e-9)
+                    lo = min(lo, vmin)
+                    hi = max(hi, float(np.max(s.values)))
+                else:
+                    xd = self.x_axis.domain
+                    if xd is None:
+                        vmin = float(np.min(s.values))
+                        if s.log_bins:
+                            vmin = max(vmin, 1e-9)
+                        xd = (vmin, float(np.max(s.values)))
+                    _, heights = s.compute(xd[0], max(xd[1], xd[0] + 1e-9))
+                    lo = min(lo, 0.0)
+                    hi = max(hi, float(heights.max()) if heights.size
+                             else 1.0)
+            elif isinstance(s, BarSeries):
+                if axis == "y" and s.values.size:
+                    lo = min(lo, 0.0, float(np.min(s.values)))
+                    hi = max(hi, float(np.max(s.values)))
+            elif isinstance(s, StackedBarSeries):
+                if axis == "y":
+                    t = s.totals()
+                    if t.size:
+                        lo = min(lo, 0.0)
+                        hi = max(hi, float(np.max(t)))
+        if lo is np.inf or not np.isfinite(lo):
+            lo, hi = 0.0, 1.0
+        if hi <= lo:
+            hi = lo + 1.0
+        return lo, hi
+
+    # -- calibration sidecar ----------------------------------------------------
+
+    def calibration(self) -> dict:
+        """Machine-readable summary shipped alongside rendered images."""
+        series_meta = []
+        for s in self.series:
+            meta: dict = {"name": s.name, "kind": type(s).__name__}
+            if hasattr(s, "color"):
+                meta["color"] = s.color
+            elif isinstance(s, StackedBarSeries):
+                meta["colors"] = dict(s.colors)
+            if isinstance(s, (ScatterSeries, LineSeries)):
+                meta.update(
+                    n=int(s.x.size),
+                    x_median=float(np.median(s.x)) if s.x.size else None,
+                    y_median=float(np.median(s.y)) if s.y.size else None,
+                    y_p95=float(np.percentile(s.y, 95)) if s.y.size else None,
+                    y_max=float(np.max(s.y)) if s.y.size else None,
+                )
+                if isinstance(s, ScatterSeries):
+                    meta["marker"] = s.marker
+            elif isinstance(s, BarSeries):
+                meta.update(n=len(s.categories),
+                            total=float(s.values.sum()))
+            elif isinstance(s, StackedBarSeries):
+                meta.update(
+                    n=len(s.categories),
+                    stack_totals={k: float(v.sum())
+                                  for k, v in s.segments.items()})
+            elif isinstance(s, HistogramSeries):
+                meta.update(
+                    n=int(s.values.size),
+                    x_median=float(np.median(s.values))
+                    if s.values.size else None,
+                    bins=s.bins)
+            series_meta.append(meta)
+        return {
+            "chart_id": self.chart_id,
+            "title": self.title,
+            "x_label": self.x_axis.label,
+            "y_label": self.y_axis.label,
+            "x_scale": self.x_axis.scale,
+            "y_scale": self.y_axis.scale,
+            # the domains the layout actually maps through (explicit axis
+            # domain wins over the data extent, as in render.layout_chart)
+            "x_domain": list(self.x_axis.domain or self.data_domain("x")),
+            "y_domain": list(self.y_axis.domain or self.data_domain("y")),
+            "series": series_meta,
+        }

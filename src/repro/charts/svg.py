@@ -1,0 +1,55 @@
+"""SVG backend: primitives → standalone SVG text."""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro._util.errors import RenderError
+from repro.charts.render import Primitive, layout_chart
+from repro.charts.spec import ChartSpec
+
+__all__ = ["to_svg", "primitives_to_svg"]
+
+
+def _f(x: float) -> str:
+    return f"{x:.2f}".rstrip("0").rstrip(".")
+
+
+def _prim_svg(p: Primitive) -> str:
+    op = f' opacity="{p.opacity:g}"' if p.opacity < 1 else ""
+    if p.kind == "line":
+        return (f'<line x1="{_f(p.x)}" y1="{_f(p.y)}" x2="{_f(p.x2)}" '
+                f'y2="{_f(p.y2)}" stroke="{p.color}" '
+                f'stroke-width="{p.width:g}"{op}/>')
+    if p.kind == "rect":
+        return (f'<rect x="{_f(p.x)}" y="{_f(p.y)}" width="{_f(p.w)}" '
+                f'height="{_f(p.h)}" fill="{p.color}"{op}/>')
+    if p.kind == "circle":
+        return (f'<circle cx="{_f(p.x)}" cy="{_f(p.y)}" r="{p.r:g}" '
+                f'fill="{p.color}"{op}/>')
+    if p.kind == "plus":
+        r = p.r
+        return (f'<path d="M {_f(p.x - r)} {_f(p.y)} H {_f(p.x + r)} '
+                f'M {_f(p.x)} {_f(p.y - r)} V {_f(p.y + r)}" '
+                f'stroke="{p.color}" stroke-width="{p.width:g}"{op}/>')
+    if p.kind == "text":
+        rot = (f' transform="rotate({p.rotate:g} {_f(p.x)} {_f(p.y)})"'
+               if p.rotate else "")
+        return (f'<text x="{_f(p.x)}" y="{_f(p.y)}" font-size="{p.size:g}" '
+                f'fill="{p.color}" text-anchor="{p.anchor}"'
+                f'{rot}>{escape(p.text)}</text>')
+    raise RenderError(f"unknown primitive kind {p.kind!r}")
+
+
+def primitives_to_svg(prims: list[Primitive], width: int, height: int) -> str:
+    body = "\n".join(_prim_svg(p) for p in prims)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="Helvetica, Arial, sans-serif">\n{body}\n</svg>'
+    )
+
+
+def to_svg(spec: ChartSpec) -> str:
+    """Render a chart spec to a standalone SVG document."""
+    return primitives_to_svg(layout_chart(spec), spec.width, spec.height)

@@ -1,0 +1,37 @@
+"""Cluster descriptions: nodes, partitions, QOS, and system profiles.
+
+The paper analyzes two OLCF systems with very different characters:
+
+- **Frontier** — exascale, GPU-dense, 9,408 nodes; large parallel jobs,
+  hero runs, heavy ``srun`` task parallelism;
+- **Andes** — general-purpose, CPU-centric, 704 nodes; smaller,
+  shorter, higher-turnover jobs.
+
+:func:`get_system` returns a ready-made :class:`SystemProfile` for
+``"frontier"``, ``"andes"`` or ``"testsys"`` (a tiny profile for tests),
+and profiles can be built by hand for other sites — that is the
+portability knob Section 4.3 exercises.
+"""
+
+from repro.cluster.machine import (
+    Partition,
+    QOS,
+    SystemProfile,
+    get_system,
+    FRONTIER,
+    ANDES,
+    TESTSYS,
+)
+from repro.cluster.nodelist import compact_nodelist, expand_nodelist
+
+__all__ = [
+    "Partition",
+    "QOS",
+    "SystemProfile",
+    "get_system",
+    "FRONTIER",
+    "ANDES",
+    "TESTSYS",
+    "compact_nodelist",
+    "expand_nodelist",
+]

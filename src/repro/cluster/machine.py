@@ -1,0 +1,197 @@
+"""System profiles: the static description of a cluster.
+
+A :class:`SystemProfile` is everything the scheduler simulator and the
+workload generator need to know about a machine: node counts and shapes,
+partitions with their limits, QOS levels with their priority boosts, and
+an energy model.  Profiles for Frontier-like and Andes-like systems are
+provided; the figures in Section 4 are driven by these two.
+
+Numbers are the public ones (Frontier: 9,408 nodes, 64-core Trento +
+4 MI250X ≈ 8 GCDs, 512 GiB DDR; Andes: 704 nodes, 32-core Rome,
+256 GiB).  Where the paper doesn't pin a configuration detail the
+profile documents the assumption inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.errors import ConfigError
+
+__all__ = ["Partition", "QOS", "SystemProfile", "get_system",
+           "FRONTIER", "ANDES", "TESTSYS"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A Slurm partition with its scheduling limits."""
+
+    name: str
+    max_nodes: int                 # per-job node ceiling
+    max_time_s: int                # per-job wall-time ceiling
+    priority_tier: int = 0         # higher tier is scheduled first
+    preemptible: bool = False
+    #: nodes fenced exclusively for this partition (0 = shares the
+    #: system pool) — e.g. Andes' 9-node gpu partition
+    dedicated_nodes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 1:
+            raise ConfigError(f"partition {self.name}: max_nodes < 1")
+        if self.max_time_s < 60:
+            raise ConfigError(f"partition {self.name}: max_time_s < 60")
+        if self.dedicated_nodes < 0:
+            raise ConfigError(f"partition {self.name}: negative fence")
+        if self.dedicated_nodes and self.max_nodes > self.dedicated_nodes:
+            raise ConfigError(
+                f"partition {self.name}: max_nodes exceeds its fence")
+
+
+@dataclass(frozen=True)
+class QOS:
+    """A quality-of-service level (priority boost + optional wall cap)."""
+
+    name: str
+    priority_boost: int = 0
+    max_time_s: int | None = None
+    usage_factor: float = 1.0      # charge multiplier
+    #: jobs in this QOS may be preempted (requeued) by preemptors
+    preemptable: bool = False
+    #: jobs in this QOS may preempt preemptable jobs when blocked
+    can_preempt: bool = False
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Full static description of one HPC system."""
+
+    name: str
+    node_prefix: str
+    total_nodes: int
+    cpus_per_node: int
+    gpus_per_node: int
+    mem_per_node_kib: int
+    partitions: tuple[Partition, ...]
+    qos_levels: tuple[QOS, ...]
+    #: average node power draw when allocated, watts (energy accounting)
+    node_power_w: float = 500.0
+    #: epoch seconds when the system entered production (Frontier: Apr 2023)
+    production_start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_nodes < 1:
+            raise ConfigError(f"{self.name}: total_nodes < 1")
+        if not self.partitions:
+            raise ConfigError(f"{self.name}: needs at least one partition")
+        names = [p.name for p in self.partitions]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"{self.name}: duplicate partition names")
+        for p in self.partitions:
+            if p.max_nodes > self.total_nodes:
+                raise ConfigError(
+                    f"{self.name}/{p.name}: max_nodes exceeds system size")
+        fenced = sum(p.dedicated_nodes for p in self.partitions)
+        if fenced >= self.total_nodes:
+            raise ConfigError(
+                f"{self.name}: fenced nodes ({fenced}) leave no shared "
+                f"pool (total {self.total_nodes})")
+
+    def partition(self, name: str) -> Partition:
+        for p in self.partitions:
+            if p.name == name:
+                return p
+        raise ConfigError(f"{self.name}: no partition {name!r}")
+
+    def qos(self, name: str) -> QOS:
+        for q in self.qos_levels:
+            if q.name == name:
+                return q
+        raise ConfigError(f"{self.name}: no QOS {name!r}")
+
+    @property
+    def total_cpus(self) -> int:
+        return self.total_nodes * self.cpus_per_node
+
+
+_STANDARD_QOS = (
+    QOS("normal", priority_boost=0),
+    QOS("debug", priority_boost=50_000, max_time_s=2 * 3600),
+    # near-real-time QOS in the NERSC "realtime" mold — the emerging
+    # workloads Section 1 motivates.  It may preempt standby work when
+    # the simulator's preemption knob is on.
+    QOS("urgent", priority_boost=200_000, max_time_s=4 * 3600,
+        usage_factor=2.0, can_preempt=True),
+    # discounted opportunistic tier (TACC "flex"-style): soaks idle
+    # nodes, gets requeued when urgent work needs them
+    QOS("standby", priority_boost=-50_000, usage_factor=0.5,
+        preemptable=True),
+)
+
+#: Frontier-like exascale system.  Partition layout mirrors OLCF's
+#: published batch/extended split; the "batch" partition admits
+#: full-system jobs, "extended" takes long small jobs.
+FRONTIER = SystemProfile(
+    name="frontier",
+    node_prefix="frontier",
+    total_nodes=9408,
+    cpus_per_node=56,          # 64-core Trento, 8 cores reserved for OS
+    gpus_per_node=8,           # 4x MI250X = 8 GCDs
+    mem_per_node_kib=512 * 1024**2,
+    partitions=(
+        Partition("batch", max_nodes=9408, max_time_s=24 * 3600,
+                  priority_tier=1),
+        Partition("extended", max_nodes=64, max_time_s=72 * 3600),
+        Partition("debug", max_nodes=128, max_time_s=2 * 3600,
+                  priority_tier=2),
+    ),
+    qos_levels=_STANDARD_QOS,
+    node_power_w=560.0,        # ~21 MW / 9408 nodes at load, derated
+    production_start=1_680_307_200,   # 2023-04-01
+)
+
+#: Andes-like general-purpose CPU cluster.
+ANDES = SystemProfile(
+    name="andes",
+    node_prefix="andes",
+    total_nodes=704,
+    cpus_per_node=32,
+    gpus_per_node=0,
+    mem_per_node_kib=256 * 1024**2,
+    partitions=(
+        Partition("batch", max_nodes=384, max_time_s=48 * 3600,
+                  priority_tier=1),
+        Partition("gpu", max_nodes=9, max_time_s=48 * 3600,
+                  dedicated_nodes=9),   # OLCF fences the GPU nodes
+    ),
+    qos_levels=_STANDARD_QOS,
+    node_power_w=350.0,
+    production_start=1_577_836_800,   # long in production
+)
+
+#: Tiny profile for fast tests.
+TESTSYS = SystemProfile(
+    name="testsys",
+    node_prefix="test",
+    total_nodes=16,
+    cpus_per_node=8,
+    gpus_per_node=0,
+    mem_per_node_kib=64 * 1024**2,
+    partitions=(
+        Partition("batch", max_nodes=16, max_time_s=8 * 3600,
+                  priority_tier=1),
+        Partition("debug", max_nodes=4, max_time_s=3600, priority_tier=2),
+    ),
+    qos_levels=_STANDARD_QOS,
+    node_power_w=100.0,
+)
+
+_SYSTEMS = {p.name: p for p in (FRONTIER, ANDES, TESTSYS)}
+
+
+def get_system(name: str) -> SystemProfile:
+    """Look up a built-in system profile by name."""
+    try:
+        return _SYSTEMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown system {name!r}; have {sorted(_SYSTEMS)}") from None

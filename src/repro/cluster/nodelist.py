@@ -1,0 +1,81 @@
+"""Slurm compact hostlist notation.
+
+Slurm prints allocated nodes as e.g. ``frontier[00001-00003,00007]``.
+The emitter uses :func:`compact_nodelist`; :func:`expand_nodelist` is the
+inverse and is used by tests and by analytics that need per-node views.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro._util.errors import DataError
+
+__all__ = ["compact_nodelist", "expand_nodelist"]
+
+_WIDTH = 5  # zero-padding width of node indices (frontier00001)
+
+
+def compact_nodelist(prefix: str, ids: Sequence[int], width: int = _WIDTH) -> str:
+    """Compact sorted node ids into Slurm hostlist notation.
+
+    >>> compact_nodelist("frontier", [1, 2, 3, 7])
+    'frontier[00001-00003,00007]'
+    >>> compact_nodelist("andes", [12])
+    'andes00012'
+    """
+    if not ids:
+        return ""
+    ids = sorted(set(int(i) for i in ids))
+    if any(i < 0 for i in ids):
+        raise DataError(f"negative node id in {ids[:5]}")
+    if len(ids) == 1:
+        return f"{prefix}{ids[0]:0{width}d}"
+    runs: list[tuple[int, int]] = []
+    lo = hi = ids[0]
+    for i in ids[1:]:
+        if i == hi + 1:
+            hi = i
+        else:
+            runs.append((lo, hi))
+            lo = hi = i
+    runs.append((lo, hi))
+    parts = [f"{a:0{width}d}" if a == b else f"{a:0{width}d}-{b:0{width}d}"
+             for a, b in runs]
+    return f"{prefix}[{','.join(parts)}]"
+
+
+_SINGLE = re.compile(r"^([a-zA-Z_-]+)(\d+)$")
+_BRACKET = re.compile(r"^([a-zA-Z_-]+)\[([0-9,\-]+)\]$")
+
+
+def expand_nodelist(text: str) -> tuple[str, list[int]]:
+    """Expand hostlist notation back to ``(prefix, sorted ids)``.
+
+    >>> expand_nodelist("frontier[00001-00003,00007]")
+    ('frontier', [1, 2, 3, 7])
+    """
+    text = text.strip()
+    if not text:
+        return ("", [])
+    m = _SINGLE.match(text)
+    if m:
+        return m.group(1), [int(m.group(2))]
+    m = _BRACKET.match(text)
+    if not m:
+        raise DataError(f"bad nodelist: {text!r}")
+    prefix, body = m.group(1), m.group(2)
+    ids: list[int] = []
+    for part in body.split(","):
+        if not part:
+            raise DataError(f"bad nodelist segment in {text!r}")
+        if "-" in part:
+            lo_s, hi_s = part.split("-", 1)
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise DataError(f"reversed range {part!r} in {text!r}")
+            ids.extend(range(lo, hi + 1))
+        else:
+            ids.append(int(part))
+    return prefix, sorted(set(ids))

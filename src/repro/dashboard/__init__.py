@@ -1,0 +1,13 @@
+"""Interactive dashboard assembly (the Plotly-Dash substitute).
+
+"Dashboard consolidates all generated plots into an interactive
+dashboard ... enabling users to explore and filter results from a single
+unified interface."  :class:`DashboardBuilder` produces one
+self-contained HTML page: a tab per analysis section, each chart with
+pan/zoom, the AI insight panels beside their charts, and a summary strip
+of headline statistics.
+"""
+
+from repro.dashboard.build import DashboardBuilder, DashboardSection
+
+__all__ = ["DashboardBuilder", "DashboardSection"]

@@ -1,0 +1,156 @@
+"""Single-page dashboard generation."""
+
+from __future__ import annotations
+
+import html as html_mod
+import os
+from dataclasses import dataclass, field
+
+from repro._util.errors import RenderError
+from repro.charts.spec import ChartSpec
+from repro.charts.svg import to_svg
+
+__all__ = ["DashboardSection", "DashboardBuilder"]
+
+
+@dataclass
+class DashboardSection:
+    """One tab: a chart plus optional AI commentary, or plain text."""
+
+    title: str
+    spec: ChartSpec | None = None
+    insight: str = ""
+    text: str = ""
+
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font-family: Helvetica, Arial, sans-serif; margin: 0;
+         background: #f6f7f9; }}
+  header {{ background: #1b2a41; color: white; padding: 14px 24px; }}
+  header h1 {{ margin: 0; font-size: 20px; }}
+  .stats {{ display: flex; gap: 24px; padding: 10px 24px;
+           background: #22344f; color: #cfe0f5; font-size: 13px; }}
+  .stats b {{ color: white; }}
+  nav {{ display: flex; gap: 4px; padding: 10px 24px 0; flex-wrap: wrap; }}
+  nav button {{ border: 1px solid #ccc; border-bottom: none;
+               background: #e8eaee; padding: 8px 16px; cursor: pointer;
+               border-radius: 6px 6px 0 0; font-size: 13px; }}
+  nav button.active {{ background: white; font-weight: bold; }}
+  .tab {{ display: none; background: white; margin: 0 24px 24px;
+         padding: 16px; border: 1px solid #ccc; }}
+  .tab.active {{ display: flex; gap: 18px; align-items: flex-start;
+                flex-wrap: wrap; }}
+  .chartbox {{ border: 1px solid #e0e0e0; overflow: hidden; }}
+  .chartbox svg {{ transform-origin: 0 0; display: block; }}
+  .insight {{ max-width: 380px; font-size: 13px; line-height: 1.5;
+             background: #f4f8f4; border-left: 4px solid #2ca02c;
+             padding: 10px 14px; white-space: pre-wrap; }}
+  .insight h3 {{ margin-top: 0; font-size: 13px; color: #2d6a2d; }}
+</style>
+</head>
+<body>
+<header><h1>{title}</h1></header>
+<div class="stats">{stats}</div>
+<nav>{tabs}</nav>
+{sections}
+<script>
+function showTab(i) {{
+  document.querySelectorAll('.tab').forEach(function (el, j) {{
+    el.classList.toggle('active', i === j);
+  }});
+  document.querySelectorAll('nav button').forEach(function (el, j) {{
+    el.classList.toggle('active', i === j);
+  }});
+}}
+showTab(0);
+document.querySelectorAll('.chartbox').forEach(function (box) {{
+  var svg = box.querySelector('svg');
+  var scale = 1, tx = 0, ty = 0, drag = false, lx = 0, ly = 0;
+  function apply() {{
+    svg.style.transform = 'translate(' + tx + 'px,' + ty + 'px) scale(' +
+                          scale + ')';
+  }}
+  box.addEventListener('wheel', function (e) {{
+    e.preventDefault();
+    scale = Math.min(40, Math.max(0.5,
+            scale * (e.deltaY < 0 ? 1.15 : 1 / 1.15)));
+    apply();
+  }});
+  box.addEventListener('mousedown', function (e) {{
+    drag = true; lx = e.clientX; ly = e.clientY;
+  }});
+  window.addEventListener('mouseup', function () {{ drag = false; }});
+  window.addEventListener('mousemove', function (e) {{
+    if (!drag) return;
+    tx += e.clientX - lx; ty += e.clientY - ly;
+    lx = e.clientX; ly = e.clientY; apply();
+  }});
+  box.addEventListener('dblclick', function () {{
+    scale = 1; tx = 0; ty = 0; apply();
+  }});
+}});
+</script>
+</body>
+</html>
+"""
+
+
+class DashboardBuilder:
+    """Collect sections and stats, then write one HTML page."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.sections: list[DashboardSection] = []
+        self.stats: list[tuple[str, str]] = []
+
+    def add_section(self, title: str, spec: ChartSpec,
+                    insight: str = "") -> None:
+        self.sections.append(DashboardSection(title, spec, insight))
+
+    def add_text_section(self, title: str, text: str) -> None:
+        """A chart-less tab (e.g. the policy advisor's report)."""
+        self.sections.append(DashboardSection(title, None, "", text))
+
+    def add_stat(self, label: str, value: str) -> None:
+        self.stats.append((label, str(value)))
+
+    def render(self) -> str:
+        if not self.sections:
+            raise RenderError("dashboard has no sections")
+        tabs = "".join(
+            f'<button onclick="showTab({i})">'
+            f"{html_mod.escape(s.title)}</button>"
+            for i, s in enumerate(self.sections))
+        blocks = []
+        for s in self.sections:
+            if s.spec is None:
+                blocks.append(
+                    f'<div class="tab"><div class="insight" '
+                    f'style="max-width:900px">'
+                    f"{html_mod.escape(s.text)}</div></div>")
+                continue
+            insight_html = ""
+            if s.insight:
+                insight_html = (
+                    '<div class="insight"><h3>AI-generated insight</h3>'
+                    f"{html_mod.escape(s.insight)}</div>")
+            blocks.append(
+                f'<div class="tab"><div class="chartbox" '
+                f'style="width:{s.spec.width}px;height:{s.spec.height}px">'
+                f"{to_svg(s.spec)}</div>{insight_html}</div>")
+        stats = " ".join(
+            f"<span>{html_mod.escape(label)}: <b>{html_mod.escape(value)}"
+            f"</b></span>" for label, value in self.stats) or "&nbsp;"
+        return _PAGE.format(title=html_mod.escape(self.title), stats=stats,
+                            tabs=tabs, sections="".join(blocks))
+
+    def write(self, path: str) -> str:
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())
+        return path

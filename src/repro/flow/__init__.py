@@ -1,0 +1,28 @@
+"""A Swift/T-style dataflow engine.
+
+Section 3.3: the workflow is "an apparently linear list of the functional
+subcomponents with input and output file references; however, Swift/T
+automatically determines the data dependencies and produces/executes the
+dataflow diagram" — with ``-n N`` setting the physical concurrency.
+
+:class:`FlowEngine` reproduces that model in-process:
+
+- tasks declare input/output *file references*,
+- edges are inferred (producer of a path → consumer of that path),
+- the resulting DAG (networkx) is validated (acyclic, single writer per
+  path) and executed on a worker pool of size ``workers``,
+- an execution trace records start/end per task, from which the achieved
+  concurrency of Figure 2's diagram is measured.
+"""
+
+from repro.flow.engine import FlowEngine, Task, TaskResult, FlowReport
+from repro.flow.trace import ExecutionTrace, concurrency_profile
+
+__all__ = [
+    "FlowEngine",
+    "Task",
+    "TaskResult",
+    "FlowReport",
+    "ExecutionTrace",
+    "concurrency_profile",
+]

@@ -1,0 +1,241 @@
+"""The dataflow engine core."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import networkx as nx
+
+from repro._util.errors import WorkflowError
+from repro.flow.trace import ExecutionTrace, TraceEvent
+
+__all__ = ["Task", "TaskResult", "FlowReport", "FlowEngine"]
+
+
+@dataclass
+class Task:
+    """One unit of work with file-reference dataflow."""
+
+    name: str
+    fn: Callable[[], object]
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    #: explicit extra dependencies (task names), for control-only edges
+    after: tuple[str, ...] = ()
+    #: re-run attempts on failure (transient-fault tolerance)
+    retries: int = 0
+    #: skip execution when every output already exists and is newer than
+    #: every input (incremental re-runs, like the paper's data cache)
+    cache: bool = False
+
+    def is_fresh(self) -> bool:
+        """True when cached outputs make execution unnecessary."""
+        if not self.cache or not self.outputs:
+            return False
+        try:
+            out_times = [os.path.getmtime(p) for p in self.outputs]
+        except OSError:
+            return False
+        in_times = [os.path.getmtime(p) for p in self.inputs
+                    if os.path.exists(p)]
+        newest_in = max(in_times, default=float("-inf"))
+        return min(out_times) >= newest_in
+
+
+@dataclass
+class TaskResult:
+    name: str
+    status: str                   # "ok" | "failed" | "skipped"
+    duration_s: float = 0.0
+    value: object = None
+    error: str = ""
+
+
+@dataclass
+class FlowReport:
+    """Outcome of one engine run."""
+
+    results: dict[str, TaskResult] = field(default_factory=dict)
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status in ("ok", "cached")
+                   for r in self.results.values())
+
+    def cached(self) -> list[TaskResult]:
+        return [r for r in self.results.values() if r.status == "cached"]
+
+    def failed(self) -> list[TaskResult]:
+        return [r for r in self.results.values() if r.status == "failed"]
+
+
+def _norm(path: str) -> str:
+    return os.path.normpath(path)
+
+
+class FlowEngine:
+    """Build a task list, infer the DAG, execute concurrently.
+
+    Example::
+
+        eng = FlowEngine(workers=4)
+        eng.task("obtain", fetch, outputs=["cache/jan.txt"])
+        eng.task("curate", clean, inputs=["cache/jan.txt"],
+                 outputs=["data/jan.csv"])
+        report = eng.run()
+    """
+
+    def __init__(self, workers: int = 4, fail_fast: bool = False) -> None:
+        if workers < 1:
+            raise WorkflowError("workers must be >= 1")
+        self.workers = workers
+        self.fail_fast = fail_fast
+        self._tasks: dict[str, Task] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def task(self, name: str, fn: Callable[[], object], *,
+             inputs: Sequence[str] = (), outputs: Sequence[str] = (),
+             after: Sequence[str] = (), retries: int = 0,
+             cache: bool = False) -> Task:
+        """Register a task; returns it for reference."""
+        if name in self._tasks:
+            raise WorkflowError(f"duplicate task name {name!r}")
+        if retries < 0:
+            raise WorkflowError(f"task {name!r}: negative retries")
+        t = Task(name=name, fn=fn,
+                 inputs=tuple(_norm(p) for p in inputs),
+                 outputs=tuple(_norm(p) for p in outputs),
+                 after=tuple(after), retries=retries, cache=cache)
+        self._tasks[name] = t
+        return t
+
+    def graph(self) -> nx.DiGraph:
+        """The inferred dependency DAG (validated)."""
+        g = nx.DiGraph()
+        producer: dict[str, str] = {}
+        for t in self._tasks.values():
+            g.add_node(t.name)
+            for out in t.outputs:
+                other = producer.get(out)
+                if other is not None:
+                    raise WorkflowError(
+                        f"both {other!r} and {t.name!r} produce {out}")
+                producer[out] = t.name
+        for t in self._tasks.values():
+            for inp in t.inputs:
+                src = producer.get(inp)
+                if src is not None and src != t.name:
+                    g.add_edge(src, t.name)
+            for dep in t.after:
+                if dep not in self._tasks:
+                    raise WorkflowError(
+                        f"{t.name!r} depends on unknown task {dep!r}")
+                g.add_edge(dep, t.name)
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise WorkflowError(f"dependency cycle: {cycle}")
+        return g
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> FlowReport:
+        """Execute the DAG on the worker pool; returns the full report."""
+        g = self.graph()
+        report = FlowReport()
+        t_origin = time.perf_counter()
+        indegree = {n: g.in_degree(n) for n in g.nodes}
+        ready = [n for n, d in indegree.items() if d == 0]
+        # deterministic dispatch order: registration order among ready
+        order = {name: i for i, name in enumerate(self._tasks)}
+        ready.sort(key=order.__getitem__)
+        lock = threading.Lock()
+        running: dict[Future, str] = {}
+        cancelled: set[str] = set()
+        failed_any = False
+
+        def launch(pool: ThreadPoolExecutor, name: str) -> None:
+            task = self._tasks[name]
+
+            def call():
+                t0 = time.perf_counter()
+                if task.is_fresh():
+                    return ("cached", None, "", t0, time.perf_counter())
+                last_tb = ""
+                for _attempt in range(task.retries + 1):
+                    try:
+                        value = task.fn()
+                        return ("ok", value, "", t0, time.perf_counter())
+                    except Exception:
+                        last_tb = traceback.format_exc()
+                return ("failed", None, last_tb, t0, time.perf_counter())
+            running[pool.submit(call)] = name
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for name in ready:
+                launch(pool, name)
+            while running:
+                done, _ = wait(list(running), return_when=FIRST_COMPLETED)
+                newly_ready: list[str] = []
+                for fut in done:
+                    name = running.pop(fut)
+                    status, value, err, t0, t1 = fut.result()
+                    with lock:
+                        report.results[name] = TaskResult(
+                            name=name, status=status,
+                            duration_s=t1 - t0, value=value, error=err)
+                        report.trace.events.append(TraceEvent(
+                            task=name, start_s=t0 - t_origin,
+                            end_s=t1 - t_origin, ok=status == "ok"))
+                    if status == "failed":
+                        failed_any = True
+                        for desc in nx.descendants(g, name):
+                            cancelled.add(desc)
+                        if self.fail_fast:
+                            for f in running:
+                                f.cancel()
+                    for succ in g.successors(name):
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            newly_ready.append(succ)
+                if failed_any and self.fail_fast:
+                    break
+                newly_ready.sort(key=order.__getitem__)
+                for name in newly_ready:
+                    if name in cancelled:
+                        report.results[name] = TaskResult(
+                            name=name, status="skipped",
+                            error="upstream failure")
+                        # propagate skip transitively
+                        for succ in g.successors(name):
+                            indegree[succ] -= 1
+                            if indegree[succ] == 0:
+                                newly_ready.append(succ)
+                        continue
+                    launch(pool, name)
+
+        for name in self._tasks:
+            if name not in report.results:
+                report.results[name] = TaskResult(
+                    name=name, status="skipped",
+                    error="never became ready")
+        report.wall_s = time.perf_counter() - t_origin
+        return report
+
+    def run_or_raise(self) -> FlowReport:
+        """:meth:`run`, raising on any task failure with its traceback."""
+        report = self.run()
+        bad = report.failed()
+        if bad:
+            raise WorkflowError(
+                f"{len(bad)} task(s) failed; first: {bad[0].name}\n"
+                f"{bad[0].error}")
+        return report

@@ -1,0 +1,480 @@
+"""The Frame: an ordered set of equal-length numpy columns.
+
+Design notes
+------------
+- Numeric columns keep their numpy dtype; string columns are ``object``
+  arrays (no silent truncation, cheap row access).
+- All row-subsetting operations go through one code path
+  (:meth:`Frame.take`) so invariants hold everywhere.
+- ``group_by`` uses sort-then-segment (``np.argsort`` + boundary detection)
+  rather than per-group Python dict accumulation: one O(n log n) pass, and
+  each aggregate is a vectorized ``np.add.reduceat``-style reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro._util.errors import DataError
+
+__all__ = ["Frame", "GroupBy", "concat"]
+
+
+def _as_column(values: Any, length_hint: int | None = None) -> np.ndarray:
+    """Coerce arbitrary input into a 1-D column array."""
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        values = list(values) if not isinstance(values, (list, tuple)) else values
+        if values and isinstance(values[0], str):
+            arr = np.array(values, dtype=object)
+        else:
+            arr = np.asarray(values)
+            if arr.dtype.kind in ("U", "S"):
+                arr = arr.astype(object)
+    if arr.ndim != 1:
+        raise DataError(f"columns must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in ("U", "S"):
+        arr = arr.astype(object)
+    if length_hint is not None and len(arr) != length_hint:
+        raise DataError(f"column length {len(arr)} != frame length {length_hint}")
+    return arr
+
+
+class Frame:
+    """An immutable-by-convention columnar table.
+
+    Construct from a mapping of column name to sequence::
+
+        f = Frame({"user": ["u1", "u2"], "nnodes": [16, 4096]})
+
+    Columns are accessed with ``f["nnodes"]`` (the underlying numpy array —
+    treat as read-only) and rows with :meth:`row`.
+    """
+
+    def __init__(self, columns: Mapping[str, Any] | None = None) -> None:
+        self._cols: dict[str, np.ndarray] = {}
+        self._len = 0
+        if columns:
+            first = True
+            for name, values in columns.items():
+                arr = _as_column(values, None if first else self._len)
+                if first:
+                    self._len = len(arr)
+                    first = False
+                self._cols[str(name)] = arr
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names, in insertion order."""
+        return list(self._cols)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._cols[name]
+        except KeyError:
+            raise KeyError(f"no column {name!r}; have {self.columns}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        if self.columns != other.columns or len(self) != len(other):
+            return False
+        return all(
+            np.array_equal(self._cols[c], other._cols[c], equal_nan=False)
+            or _object_equal(self._cols[c], other._cols[c])
+            for c in self.columns
+        )
+
+    def __repr__(self) -> str:
+        return f"Frame({len(self)} rows x {len(self.columns)} cols: {self.columns})"
+
+    def row(self, i: int) -> dict[str, Any]:
+        """Return row ``i`` as a plain dict (scalars unwrapped)."""
+        if not -self._len <= i < self._len:
+            raise IndexError(f"row {i} out of range for frame of {self._len}")
+        return {name: col[i].item() if hasattr(col[i], "item") else col[i]
+                for name, col in self._cols.items()}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as dicts.  For tests/IO, not for hot loops."""
+        for i in range(self._len):
+            yield self.row(i)
+
+    def to_dict(self) -> dict[str, list]:
+        """Materialize as plain python lists (for serialization/tests)."""
+        return {name: col.tolist() for name, col in self._cols.items()}
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]],
+                     columns: Sequence[str] | None = None) -> "Frame":
+        """Build a frame from an iterable of row dicts.
+
+        If ``columns`` is omitted, the union of keys (first-seen order) is
+        used; missing values become ``None`` (object) or ``nan`` (float).
+        """
+        records = list(records)
+        if columns is None:
+            seen: dict[str, None] = {}
+            for rec in records:
+                for key in rec:
+                    seen.setdefault(key)
+            columns = list(seen)
+        data: dict[str, list] = {c: [] for c in columns}
+        for rec in records:
+            for c in columns:
+                data[c].append(rec.get(c))
+        out: dict[str, Any] = {}
+        for c, vals in data.items():
+            if any(v is None for v in vals):
+                if all(isinstance(v, (int, float, type(None))) for v in vals):
+                    out[c] = np.array(
+                        [np.nan if v is None else float(v) for v in vals])
+                else:
+                    out[c] = np.array(vals, dtype=object)
+            else:
+                out[c] = vals
+        return cls(out)
+
+    def copy(self) -> "Frame":
+        """Shallow-copy the frame (column arrays are copied)."""
+        return Frame({c: arr.copy() for c, arr in self._cols.items()})
+
+    # -- row subsetting (single code path) ------------------------------------
+
+    def take(self, index: np.ndarray) -> "Frame":
+        """Return a new frame with rows at ``index`` (ints or bool mask)."""
+        index = np.asarray(index)
+        if index.dtype == bool and len(index) != self._len:
+            raise DataError(
+                f"boolean mask length {len(index)} != frame length {self._len}")
+        out = Frame()
+        out._cols = {c: arr[index] for c, arr in self._cols.items()}
+        out._len = int(index.sum()) if index.dtype == bool else len(index)
+        return out
+
+    def filter(self, mask: np.ndarray) -> "Frame":
+        """Rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool:
+            raise DataError(f"filter wants a boolean mask, got dtype {mask.dtype}")
+        return self.take(mask)
+
+    def where(self, column: str, predicate: Callable[[np.ndarray], np.ndarray]) -> "Frame":
+        """Filter by a vectorized predicate over one column."""
+        return self.filter(np.asarray(predicate(self[column]), dtype=bool))
+
+    def head(self, n: int = 5) -> "Frame":
+        return self.take(np.arange(min(n, self._len)))
+
+    def sample(self, n: int, rng: np.random.Generator) -> "Frame":
+        """Uniform sample without replacement (all rows if n >= len)."""
+        if n >= self._len:
+            return self.copy()
+        return self.take(rng.choice(self._len, size=n, replace=False))
+
+    def sort(self, by: str | Sequence[str], ascending: bool = True) -> "Frame":
+        """Stable sort by one or more columns (last key is primary in
+        ``np.lexsort`` convention — we handle the reversal here)."""
+        keys = [by] if isinstance(by, str) else list(by)
+        if not keys:
+            raise DataError("sort needs at least one key")
+        arrays = []
+        for k in reversed(keys):
+            col = self[k]
+            arrays.append(_sortable(col))
+        order = np.lexsort(arrays)
+        if not ascending:
+            order = order[::-1]
+        return self.take(order)
+
+    # -- column operations ----------------------------------------------------
+
+    def select(self, columns: Sequence[str]) -> "Frame":
+        """New frame with only the named columns, in the given order."""
+        missing = [c for c in columns if c not in self._cols]
+        if missing:
+            raise KeyError(f"no columns {missing}; have {self.columns}")
+        out = Frame()
+        out._cols = {c: self._cols[c] for c in columns}
+        out._len = self._len
+        return out
+
+    def drop(self, columns: Sequence[str]) -> "Frame":
+        """New frame without the named columns."""
+        drop = set(columns)
+        return self.select([c for c in self.columns if c not in drop])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        out = Frame()
+        out._cols = {mapping.get(c, c): arr for c, arr in self._cols.items()}
+        out._len = self._len
+        if len(out._cols) != len(self._cols):
+            raise DataError(f"rename produced duplicate column names: {mapping}")
+        return out
+
+    def assign(self, **new_columns: Any) -> "Frame":
+        """New frame with added/replaced columns.
+
+        Values may be arrays/sequences or callables taking the frame.
+        """
+        out = Frame()
+        out._cols = dict(self._cols)
+        out._len = self._len
+        for name, value in new_columns.items():
+            if callable(value):
+                value = value(self)
+            out._cols[name] = _as_column(value, self._len if self._len or out._cols else None)
+            if out._len == 0 and len(out._cols) == 1:
+                out._len = len(out._cols[name])
+        return out
+
+    def describe(self) -> "Frame":
+        """Summary statistics per numeric column (count/mean/std/min/
+        median/max), one row per column."""
+        rows = []
+        for name in self.columns:
+            col = self._cols[name]
+            if col.dtype.kind not in ("i", "u", "f") or len(col) == 0:
+                continue
+            vals = col.astype(float)
+            vals = vals[~np.isnan(vals)]
+            if vals.size == 0:
+                continue
+            rows.append({
+                "column": name,
+                "count": int(vals.size),
+                "mean": float(vals.mean()),
+                "std": float(vals.std(ddof=1)) if vals.size > 1 else 0.0,
+                "min": float(vals.min()),
+                "median": float(np.median(vals)),
+                "max": float(vals.max()),
+            })
+        return Frame.from_records(rows, columns=[
+            "column", "count", "mean", "std", "min", "median", "max"])
+
+    def unique(self, column: str) -> np.ndarray:
+        """Sorted unique values of a column."""
+        return np.unique(_sortable_preserving(self[column]))
+
+    def value_counts(self, column: str) -> "Frame":
+        """Frame of (value, count), descending by count then value."""
+        col = self[column]
+        values, counts = np.unique(_sortable_preserving(col), return_counts=True)
+        order = np.lexsort((values, -counts))
+        return Frame({column: values[order], "count": counts[order]})
+
+    # -- grouping / joining -----------------------------------------------------
+
+    def group_by(self, by: str | Sequence[str]) -> "GroupBy":
+        """Group rows by one or more key columns."""
+        keys = [by] if isinstance(by, str) else list(by)
+        return GroupBy(self, keys)
+
+    def join(self, other: "Frame", on: str, how: str = "inner",
+             suffix: str = "_right") -> "Frame":
+        """Hash join on a single key column.
+
+        ``how`` is ``"inner"`` or ``"left"``.  When ``other`` has duplicate
+        keys each match produces a row (standard join semantics).  Columns
+        of ``other`` that collide get ``suffix`` appended.
+        """
+        if how not in ("inner", "left"):
+            raise DataError(f"unsupported join how={how!r}")
+        right_index: dict[Any, list[int]] = {}
+        for j, key in enumerate(other[on]):
+            right_index.setdefault(key, []).append(j)
+        left_rows: list[int] = []
+        right_rows: list[int] = []
+        unmatched: list[int] = []
+        for i, key in enumerate(self[on]):
+            matches = right_index.get(key)
+            if matches:
+                for j in matches:
+                    left_rows.append(i)
+                    right_rows.append(j)
+            elif how == "left":
+                unmatched.append(i)
+        left = self.take(np.array(left_rows + unmatched, dtype=np.intp))
+        right = other.take(np.array(right_rows, dtype=np.intp))
+        out_cols: dict[str, np.ndarray] = dict(left._cols)
+        n_match, n_un = len(right_rows), len(unmatched)
+        for c in other.columns:
+            if c == on:
+                continue
+            name = c if c not in out_cols else c + suffix
+            col = right._cols[c]
+            if n_un:
+                pad: np.ndarray
+                if col.dtype.kind == "f":
+                    pad = np.full(n_un, np.nan, dtype=col.dtype)
+                elif col.dtype.kind in ("i", "u"):
+                    col = col.astype(float)
+                    pad = np.full(n_un, np.nan)
+                else:
+                    pad = np.array([None] * n_un, dtype=object)
+                col = np.concatenate([col[:n_match], pad])
+            out_cols[name] = col
+        out = Frame()
+        out._cols = out_cols
+        out._len = n_match + n_un
+        return out
+
+
+def _object_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    if a.dtype != object or b.dtype != object:
+        return False
+    return len(a) == len(b) and all(x == y for x, y in zip(a, b))
+
+
+def _sortable(col: np.ndarray) -> np.ndarray:
+    """Return an array usable as a lexsort key."""
+    if col.dtype == object:
+        return np.array([str(v) for v in col])
+    return col
+
+
+def _sortable_preserving(col: np.ndarray) -> np.ndarray:
+    """Like _sortable but keeps values as objects (so np.unique can order
+    and return them unchanged)."""
+    if col.dtype == object:
+        return np.array([str(v) for v in col], dtype=object)
+    return col
+
+
+#: Aggregations available through :meth:`GroupBy.agg`.
+_AGG_FUNCS: dict[str, Callable[[np.ndarray], Any]] = {
+    "count": len,
+    "sum": np.sum,
+    "mean": np.mean,
+    "median": np.median,
+    "min": np.min,
+    "max": np.max,
+    "std": lambda a: float(np.std(a, ddof=1)) if len(a) > 1 else 0.0,
+    "nunique": lambda a: len(set(a.tolist())) if a.dtype == object else len(np.unique(a)),
+    "first": lambda a: a[0],
+    "last": lambda a: a[-1],
+}
+
+
+class GroupBy:
+    """Deferred grouping over a frame.
+
+    Built by :meth:`Frame.group_by`.  Aggregate with::
+
+        frame.group_by("user").agg(jobs=("jobid", "count"),
+                                   mean_wait=("wait_s", "mean"))
+    """
+
+    def __init__(self, frame: Frame, keys: Sequence[str]) -> None:
+        if not keys:
+            raise DataError("group_by needs at least one key")
+        self.frame = frame
+        self.keys = list(keys)
+        # Sort once; groups are contiguous runs in the sorted order.
+        arrays = [_sortable(frame[k]) for k in reversed(self.keys)]
+        self._order = np.lexsort(arrays) if len(frame) else np.array([], dtype=np.intp)
+        sorted_keys = [frame[k][self._order] for k in self.keys]
+        n = len(frame)
+        if n == 0:
+            self._starts = np.array([], dtype=np.intp)
+        else:
+            change = np.zeros(n, dtype=bool)
+            change[0] = True
+            for col in sorted_keys:
+                if col.dtype == object:
+                    prev = col[:-1]
+                    cur = col[1:]
+                    change[1:] |= np.fromiter(
+                        (x != y for x, y in zip(prev, cur)),
+                        dtype=bool, count=n - 1)
+                else:
+                    change[1:] |= col[1:] != col[:-1]
+            self._starts = np.flatnonzero(change)
+        self._sorted_keys = sorted_keys
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def groups(self) -> Iterator[tuple[tuple, Frame]]:
+        """Yield ``(key_tuple, subframe)`` per group (sorted key order)."""
+        n = len(self.frame)
+        bounds = np.append(self._starts, n)
+        for gi in range(len(self._starts)):
+            lo, hi = bounds[gi], bounds[gi + 1]
+            key = tuple(col[lo] for col in self._sorted_keys)
+            yield key, self.frame.take(self._order[lo:hi])
+
+    def size(self) -> Frame:
+        """Group sizes as a frame with key columns plus ``count``."""
+        return self.agg(count=(self.keys[0], "count"))
+
+    def agg(self, **specs: tuple[str, str] | tuple[str, Callable]) -> Frame:
+        """Aggregate each group.
+
+        Each keyword is an output column, its value ``(input_column, func)``
+        where ``func`` is a name from ``count/sum/mean/median/min/max/std/
+        nunique/first/last`` or any callable ``ndarray -> scalar``.
+        """
+        if not specs:
+            raise DataError("agg needs at least one aggregation spec")
+        n = len(self.frame)
+        bounds = np.append(self._starts, n)
+        ngroups = len(self._starts)
+        out: dict[str, list] = {k: [] for k in self.keys}
+        for name in specs:
+            out[name] = []
+        resolved: dict[str, tuple[np.ndarray, Callable]] = {}
+        for name, (col_name, func) in specs.items():
+            if isinstance(func, str):
+                if func not in _AGG_FUNCS:
+                    raise DataError(f"unknown aggregation {func!r}")
+                fn = _AGG_FUNCS[func]
+            else:
+                fn = func
+            resolved[name] = (self.frame[col_name][self._order], fn)
+        for gi in range(ngroups):
+            lo, hi = bounds[gi], bounds[gi + 1]
+            for k, col in zip(self.keys, self._sorted_keys):
+                out[k].append(col[lo])
+            for name, (sorted_col, fn) in resolved.items():
+                out[name].append(fn(sorted_col[lo:hi]))
+        return Frame.from_records(
+            ({k: out[k][i] for k in out} for i in range(ngroups)),
+            columns=list(out),
+        )
+
+
+def concat(frames: Sequence[Frame]) -> Frame:
+    """Vertically concatenate frames with identical column sets."""
+    frames = [f for f in frames if len(f.columns)]
+    if not frames:
+        return Frame()
+    cols = frames[0].columns
+    for f in frames[1:]:
+        if f.columns != cols:
+            raise DataError(
+                f"concat column mismatch: {cols} vs {f.columns}")
+    out = Frame()
+    for c in cols:
+        parts = [f[c] for f in frames]
+        if any(p.dtype == object for p in parts):
+            parts = [p.astype(object) for p in parts]
+        out._cols[c] = np.concatenate(parts)
+    out._len = sum(len(f) for f in frames)
+    return out

@@ -1,0 +1,147 @@
+"""Frame I/O: CSV and Slurm pipe-separated text.
+
+The paper's *Curate Data* stage "reformats the dataset from pipe-separated
+text to CSV for compatibility with Python-based analysis libraries"; both
+shapes are supported here.  Readers infer column dtypes by attempting an
+integer parse, then a float parse, then falling back to strings — matching
+what the analytics layer expects from sacct fields.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro._util.errors import DataError
+from repro.frame.frame import Frame
+
+__all__ = ["read_csv", "write_csv", "read_pipe", "write_pipe", "sniff_columns"]
+
+
+def _infer_column(values: list[str]) -> np.ndarray:
+    """Infer the tightest dtype for a list of raw strings.
+
+    Python's int()/float() accept underscore digit separators
+    ("400596_400604" parses!), which would silently mangle Slurm array
+    JobIDs — underscores force a string column.
+    """
+    if any("_" in v for v in values):
+        return np.array(values, dtype=object)
+    try:
+        return np.array([int(v) for v in values], dtype=np.int64)
+    except (ValueError, OverflowError):
+        pass
+    try:
+        return np.array([float(v) if v != "" else np.nan for v in values])
+    except ValueError:
+        pass
+    return np.array(values, dtype=object)
+
+
+def _build_frame(header: Sequence[str], rows: list[list[str]],
+                 infer: bool) -> Frame:
+    if not header:
+        raise DataError("no header row")
+    ncols = len(header)
+    rows = [row for row in rows if row]  # blank lines are skipped, as pandas does
+    for ln, row in enumerate(rows, start=2):
+        if len(row) != ncols:
+            raise DataError(
+                f"row at line {ln} has {len(row)} fields, header has {ncols}")
+    cols: dict[str, np.ndarray] = {}
+    for i, name in enumerate(header):
+        raw = [row[i] for row in rows]
+        cols[name] = _infer_column(raw) if infer else np.array(raw, dtype=object)
+    frame = Frame(cols)
+    return frame
+
+
+def read_csv(path: str | os.PathLike, infer: bool = True) -> Frame:
+    """Read a CSV file into a Frame.
+
+    ``infer=False`` keeps every column as strings (useful when downstream
+    code parses Slurm-formatted values itself).
+    """
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"empty CSV file: {path}") from None
+        rows = list(reader)
+    return _build_frame(header, rows, infer)
+
+
+def write_csv(frame: Frame, path: str | os.PathLike) -> None:
+    """Write a Frame to CSV (UTF-8, header row first)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(frame.columns)
+        cols = [frame[c] for c in frame.columns]
+        for i in range(len(frame)):
+            writer.writerow([_cell(c[i]) for c in cols])
+
+
+def _cell(value) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 2**53:
+        return str(int(value))
+    return "" if value is None else str(value)
+
+
+def read_pipe(path: str | os.PathLike, infer: bool = False,
+              strict: bool = True) -> Frame:
+    """Read sacct-style pipe-separated text.
+
+    sacct ``-P`` output is ``|``-separated with a header line.  With
+    ``strict=False`` malformed rows (wrong field count) are silently
+    dropped — the curation stage counts them itself before calling this.
+    """
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise DataError(f"empty pipe file: {path}")
+    header = lines[0].split("|")
+    rows = []
+    for ln, line in enumerate(lines[1:], start=2):
+        fields = line.split("|")
+        if len(fields) != len(header):
+            if strict:
+                raise DataError(
+                    f"{path}: line {ln} has {len(fields)} fields, "
+                    f"expected {len(header)}")
+            continue
+        rows.append(fields)
+    return _build_frame(header, rows, infer)
+
+
+def write_pipe(frame: Frame, path: str | os.PathLike) -> None:
+    """Write a Frame as sacct-style pipe-separated text."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    buf = io.StringIO()
+    buf.write("|".join(frame.columns) + "\n")
+    cols = [frame[c] for c in frame.columns]
+    for i in range(len(frame)):
+        cells = [_cell(c[i]) for c in cols]
+        for cell in cells:
+            if "|" in cell or "\n" in cell:
+                raise DataError(
+                    f"value {cell!r} cannot be represented in pipe format")
+        buf.write("|".join(cells) + "\n")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(buf.getvalue())
+
+
+def sniff_columns(path: str | os.PathLike) -> list[str]:
+    """Return the header columns of a CSV or pipe file without loading it."""
+    with open(path, encoding="utf-8") as fh:
+        first = fh.readline().rstrip("\n")
+    if not first:
+        raise DataError(f"empty file: {path}")
+    if "|" in first:
+        return first.split("|")
+    return next(csv.reader([first]))

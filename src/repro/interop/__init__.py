@@ -1,0 +1,26 @@
+"""Interoperability with external trace formats.
+
+The reproduction runs on synthetic traces, but the pipeline is
+format-agnostic past the curation stage.  :mod:`repro.interop.swf`
+bridges to the Standard Workload Format (SWF) of the Parallel Workloads
+Archive, so any public production trace (KIT FH2, ANL Intrepid, CEA
+Curie, ...) can be pulled through the same analytics, charts, LLM
+insights, and policy advisor — the practical answer to the paper's
+proprietary-data gate.
+"""
+
+from repro.interop.swf import (
+    SWF_COLUMNS,
+    read_swf,
+    write_swf,
+    swf_to_frame,
+    records_to_swf_rows,
+)
+
+__all__ = [
+    "SWF_COLUMNS",
+    "read_swf",
+    "write_swf",
+    "swf_to_frame",
+    "records_to_swf_rows",
+]

@@ -1,0 +1,42 @@
+"""The AI subworkflow: LLM client, providers, and the offline analyst.
+
+The paper sends chart PNGs to Google's Gemma 3 with two fixed prompts
+(single-chart *insight*, paired-chart *compare*).  This package keeps the
+integration surface identical — images + prompt in, natural-language
+analysis out, provider chosen from the Table-2 registry — while the
+default backend is :class:`~repro.llm.analyst.ChartAnalystBackend`, an
+offline "digital analyst" that decodes the PNG, measures the marks
+against the chart's calibration sidecar, and writes a grounded
+quantitative report.  A network-backed backend can be slotted in by
+registering it under a new name; nothing else changes.
+"""
+
+from repro.llm.providers import (
+    ProviderSpec,
+    PROVIDERS,
+    provider_table_rows,
+    choose_provider,
+)
+from repro.llm.prompts import INSIGHT_PROMPT, COMPARE_PROMPT
+from repro.llm.client import LLMClient, LLMResponse, register_backend
+from repro.llm.vision import read_chart_image, ChartReading
+from repro.llm.analyst import ChartAnalystBackend
+from repro.llm.judge import InsightJudge, JudgeReport, ClaimCheck
+
+__all__ = [
+    "ProviderSpec",
+    "PROVIDERS",
+    "provider_table_rows",
+    "choose_provider",
+    "INSIGHT_PROMPT",
+    "COMPARE_PROMPT",
+    "LLMClient",
+    "LLMResponse",
+    "register_backend",
+    "read_chart_image",
+    "ChartReading",
+    "ChartAnalystBackend",
+    "InsightJudge",
+    "JudgeReport",
+    "ClaimCheck",
+]

@@ -1,0 +1,139 @@
+"""The LLM client abstraction.
+
+One call shape for every backend: a text prompt plus zero or more
+``(png_bytes, calibration_dict)`` image attachments, returning text.
+Backends register by name; the default is the offline chart analyst.
+The client adds what production integrations need around the model:
+retry with backoff, latency accounting, token estimates, and a request
+log the workflow surfaces in its run report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro._util.errors import ConfigError, WorkflowError
+from repro.llm.prompts import COMPARE_PROMPT, INSIGHT_PROMPT
+
+__all__ = ["LLMResponse", "LLMBackend", "LLMClient", "register_backend"]
+
+Image = tuple[bytes, dict]
+
+
+class LLMBackend(Protocol):
+    """Anything that can answer a multimodal prompt."""
+
+    model_name: str
+
+    def complete(self, prompt: str, images: list[Image]) -> str:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class LLMResponse:
+    """One model answer plus its accounting."""
+
+    text: str
+    model: str
+    latency_s: float
+    prompt_tokens: int
+    completion_tokens: int
+    attempts: int = 1
+
+
+_BACKENDS: dict[str, Callable[[], LLMBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], LLMBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites)."""
+    _BACKENDS[name] = factory
+
+
+def _approx_tokens(text: str) -> int:
+    # the standard ~4 chars/token heuristic; good enough for accounting
+    return max(1, len(text) // 4)
+
+
+@dataclass
+class _LogEntry:
+    prompt_head: str
+    n_images: int
+    model: str
+    latency_s: float
+    ok: bool
+
+
+@dataclass
+class LLMClient:
+    """Backend-agnostic client with retries and a request log."""
+
+    backend: str = "chart-analyst"
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    log: list[_LogEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        factory = _BACKENDS.get(self.backend)
+        if factory is None:
+            raise ConfigError(
+                f"unknown LLM backend {self.backend!r}; "
+                f"registered: {sorted(_BACKENDS)}")
+        self._impl = factory()
+
+    # -- core call --------------------------------------------------------------
+
+    def complete(self, prompt: str, images: list[Image] | None = None
+                 ) -> LLMResponse:
+        images = images or []
+        last_err: Exception | None = None
+        for attempt in range(1, self.max_retries + 2):
+            t0 = time.perf_counter()
+            try:
+                text = self._impl.complete(prompt, images)
+            except Exception as exc:   # backend failure → retry
+                last_err = exc
+                time.sleep(self.backoff_s * attempt)
+                continue
+            latency = time.perf_counter() - t0
+            self.log.append(_LogEntry(prompt[:60], len(images),
+                                      self._impl.model_name, latency, True))
+            return LLMResponse(
+                text=text,
+                model=self._impl.model_name,
+                latency_s=latency,
+                prompt_tokens=_approx_tokens(prompt) + 256 * len(images),
+                completion_tokens=_approx_tokens(text),
+                attempts=attempt,
+            )
+        self.log.append(_LogEntry(prompt[:60], len(images),
+                                  self._impl.model_name, 0.0, False))
+        raise WorkflowError(
+            f"LLM backend failed after {self.max_retries + 1} attempts: "
+            f"{last_err}")
+
+    # -- the paper's two operations ------------------------------------------------
+
+    def insight(self, png_path: str) -> LLMResponse:
+        """LLM Insight: summarize a single chart image."""
+        return self.complete(INSIGHT_PROMPT, [_load_image(png_path)])
+
+    def compare(self, png_a: str, png_b: str) -> LLMResponse:
+        """LLM Compare: contrast two related chart images."""
+        return self.complete(COMPARE_PROMPT,
+                             [_load_image(png_a), _load_image(png_b)])
+
+
+def _load_image(png_path: str) -> Image:
+    """Load PNG bytes plus the calibration sidecar written at render time."""
+    with open(png_path, "rb") as fh:
+        data = fh.read()
+    sidecar = png_path + ".json"
+    calibration: dict = {}
+    if os.path.exists(sidecar):
+        with open(sidecar, encoding="utf-8") as fh:
+            calibration = json.load(fh)
+    return data, calibration

@@ -1,0 +1,23 @@
+"""The paper's two prompts, verbatim (Section 3.2)."""
+
+from __future__ import annotations
+
+__all__ = ["INSIGHT_PROMPT", "COMPARE_PROMPT"]
+
+#: LLM Insight — "the prompt is tailored to summarize a single chart"
+INSIGHT_PROMPT = (
+    "Act as a data scientist to summarize the chart and provide a "
+    "quantitative analysis of the key trends, relationships, and "
+    "statistics of the provided chart. Be specific and mention any "
+    "notable patterns or outliers. Calculate meaningful statistics "
+    "from the plot."
+)
+
+#: LLM Compare — "the model is provided with two related images"
+COMPARE_PROMPT = (
+    "Act as a data scientist to compare and contrast the two provided "
+    "charts. Provide a quantitative and qualitative analysis of the key "
+    "trends, relationships, and statistics, highlighting similarities "
+    "and differences. Be specific and mention any notable patterns or "
+    "outliers. Calculate meaningful statistics from the plots."
+)

@@ -1,0 +1,81 @@
+"""The LLM offering survey (Table 2) and the paper's selection logic.
+
+"Key factors included accessibility (API availability), support for
+image input, cost, and performance. ... We chose Google's Gemma 3 ...
+(1) Free API access with no usage restrictions; (2) Strong support for
+multimodal input; (3) Low latency and lightweight footprint."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.errors import ConfigError
+
+__all__ = ["ProviderSpec", "PROVIDERS", "provider_table_rows",
+           "choose_provider"]
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """One row of Table 2."""
+
+    vendor: str
+    version: str
+    has_api: bool
+    access: str                 # "Paid" | "Free" | "Unclear"
+    image_input: bool
+    remarks: str
+    #: no quotas / rate caps on the free tier
+    unrestricted: bool = False
+    #: relative latency class, lower is better (for the selection logic)
+    latency_class: int = 2
+
+
+#: Table 2, row for row.
+PROVIDERS: tuple[ProviderSpec, ...] = (
+    ProviderSpec("OpenAI", "All Models", True, "Paid", True,
+                 "o3, o4, best for vision", latency_class=2),
+    ProviderSpec("Google", "Gemini 2.5 Flash", True, "Free", True,
+                 "No limit on usage", unrestricted=True, latency_class=2),
+    ProviderSpec("Google", "Gemma 3", True, "Free", True,
+                 "AI for 'developers'", unrestricted=True, latency_class=1),
+    ProviderSpec("Anthropic", "All Models", True, "Paid", True,
+                 "Interoperable with other models", latency_class=2),
+    ProviderSpec("Apple", "All Models", False, "Free", False,
+                 "All LLMs must run locally on iOS devices"),
+    ProviderSpec("DeepSeek", "All Models", True, "Paid", False,
+                 "Geo-restricted"),
+    ProviderSpec("Mistral", "All Models", True, "Paid", False,
+                 "Restricted and limited free trial"),
+    ProviderSpec("Meta", "Llama", True, "Unclear", True,
+                 "Waitlist for API, cost unclear"),
+    ProviderSpec("Microsoft", "Copilot", True, "Paid", False,
+                 "Integrated into MS tools eg. Office suite"),
+    ProviderSpec("Github", "Copilot", False, "Free", False,
+                 "Built into IDE, limited req/month"),
+)
+
+
+def provider_table_rows() -> list[tuple[str, str, str, str, str]]:
+    """(vendor, version, API, access, remarks) rows, printable as Table 2."""
+    return [(p.vendor, p.version, "Yes" if p.has_api else "No", p.access,
+             p.remarks) for p in PROVIDERS]
+
+
+def choose_provider(require_api: bool = True, require_image: bool = True,
+                    require_free: bool = True,
+                    require_unrestricted: bool = True) -> ProviderSpec:
+    """Apply the paper's selection criteria over the registry.
+
+    With the defaults (the paper's criteria) the survivors are ranked by
+    latency class and the winner is Gemma 3.
+    """
+    candidates = [p for p in PROVIDERS
+                  if (not require_api or p.has_api)
+                  and (not require_image or p.image_input)
+                  and (not require_free or p.access == "Free")
+                  and (not require_unrestricted or p.unrestricted)]
+    if not candidates:
+        raise ConfigError("no provider satisfies the selection criteria")
+    return min(candidates, key=lambda p: p.latency_class)

@@ -1,0 +1,164 @@
+"""Chart reading: pixels + calibration → measurements.
+
+This is the grounding layer of the offline analyst.  Given a rendered
+PNG and its calibration sidecar (axis domains/scales and per-series
+colors come from the primitives the chart was drawn with), it measures
+the image itself:
+
+- verifies the chart frame is present (axis lines where the layout puts
+  them),
+- segments mark pixels by series color,
+- maps pixel centroids/extents back through the inverse axis scales to
+  data coordinates,
+- for comparable-axis charts, measures the mass above/below the y = x
+  diagonal (the walltime-overestimation signal).
+
+So the analyst's numbers are read off the picture, like a vision model's
+would be — not copied from the data that drew it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.errors import DataError
+from repro.charts.render import MARGIN
+from repro.raster.draw import hex_to_rgb
+from repro.raster.png import decode_png
+
+__all__ = ["ChartReading", "SeriesReading", "read_chart_image"]
+
+
+@dataclass
+class SeriesReading:
+    """Measurements for one color-segmented series."""
+
+    name: str
+    color: str
+    pixel_count: int
+    #: centroid and spread in *data* coordinates
+    x_center: float | None = None
+    y_center: float | None = None
+    y_spread: float | None = None         # robust (percentile) spread
+    #: fraction of mark pixels below the y = x diagonal (square charts)
+    frac_below_diagonal: float | None = None
+
+
+@dataclass
+class ChartReading:
+    """Everything measured from one chart image."""
+
+    width: int
+    height: int
+    title: str
+    x_label: str
+    y_label: str
+    frame_ok: bool
+    series: list[SeriesReading] = field(default_factory=list)
+    calibration: dict = field(default_factory=dict)
+
+    def series_named(self, name: str) -> SeriesReading:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise DataError(f"no series {name!r} in reading")
+
+    @property
+    def total_marks(self) -> int:
+        return sum(s.pixel_count for s in self.series)
+
+
+def _inverse(value_px: np.ndarray, lo_px: float, hi_px: float,
+             domain: list[float], scale: str) -> np.ndarray:
+    """Pixel coordinates → data coordinates for one axis."""
+    frac = (value_px - lo_px) / (hi_px - lo_px)
+    if scale == "log":
+        l0, l1 = math.log10(domain[0]), math.log10(domain[1])
+        return 10.0 ** (l0 + frac * (l1 - l0))
+    return domain[0] + frac * (domain[1] - domain[0])
+
+
+def read_chart_image(png_bytes: bytes, calibration: dict,
+                     series_colors: dict[str, str] | None = None,
+                     tolerance: int = 40) -> ChartReading:
+    """Measure a chart PNG.
+
+    ``series_colors`` maps series name to its hex color; when omitted it
+    is taken from :data:`repro.charts.colors.STATE_COLORS` plus the
+    categorical cycle, keyed by the calibration's series list.
+    """
+    image = decode_png(png_bytes)
+    h, w, _ = image.shape
+    ml, mt, mr, mb = MARGIN
+    px0, px1 = ml, w - mr
+    py0, py1 = h - mb, mt
+    if px1 - px0 < 10 or py0 - py1 < 10:
+        raise DataError("image too small to be one of our charts")
+
+    # frame check: the black-ish axis lines drawn at x=px0 and y=py0
+    col = image[py1:py0, px0, :].astype(int)
+    row = image[py0, px0:px1, :].astype(int)
+    frame_ok = bool((col.sum(axis=1) < 3 * 120).mean() > 0.5 and
+                    (row.sum(axis=1) < 3 * 120).mean() > 0.5)
+
+    if series_colors is None:
+        from repro.charts.colors import categorical_color
+        series_colors = {}
+        for i, meta in enumerate(calibration.get("series", [])):
+            if "color" in meta:
+                series_colors[meta["name"]] = meta["color"]
+            elif "colors" in meta:     # stacked bars: per-segment colors
+                series_colors.update(meta["colors"])
+            else:
+                series_colors[meta["name"]] = categorical_color(i)
+
+    plot = image[py1:py0, px0:px1, :].astype(np.int16)
+    x_dom = calibration.get("x_domain", [0.0, 1.0])
+    y_dom = calibration.get("y_domain", [0.0, 1.0])
+    x_scale = calibration.get("x_scale", "linear")
+    y_scale = calibration.get("y_scale", "linear")
+    comparable_axes = (calibration.get("x_label", "x") !=
+                       calibration.get("y_label", "y")) and \
+        x_dom == y_dom and x_scale == y_scale
+
+    readings: list[SeriesReading] = []
+    for name, color in series_colors.items():
+        # marks are alpha-blended against white: match against the whole
+        # blend locus t*color + (1-t)*white for t in [0.35, 1]
+        base = (hex_to_rgb(color) * 255).astype(np.float32)
+        white = np.full(3, 255.0, dtype=np.float32)
+        dist = None
+        for t in np.linspace(0.35, 1.0, 6):
+            cand = (t * base + (1 - t) * white).astype(np.int16)
+            d = np.abs(plot - cand).sum(axis=2)
+            dist = d if dist is None else np.minimum(dist, d)
+        ys_px, xs_px = np.nonzero(dist <= tolerance)
+        reading = SeriesReading(name=name, color=color,
+                                pixel_count=int(xs_px.size))
+        if xs_px.size:
+            abs_x = xs_px + px0
+            abs_y = ys_px + py1
+            data_x = _inverse(abs_x.astype(float), px0, px1, x_dom, x_scale)
+            # pixel y grows downward; data y grows upward
+            data_y = _inverse(abs_y.astype(float), py0, py1, y_dom, y_scale)
+            reading.x_center = float(np.median(data_x))
+            reading.y_center = float(np.median(data_y))
+            p10, p90 = np.percentile(data_y, [10, 90])
+            reading.y_spread = float(p90 - p10)
+            if comparable_axes:
+                reading.frac_below_diagonal = float(
+                    (data_y < data_x).mean())
+        readings.append(reading)
+
+    return ChartReading(
+        width=w, height=h,
+        title=calibration.get("title", ""),
+        x_label=calibration.get("x_label", "x"),
+        y_label=calibration.get("y_label", "y"),
+        frame_ok=frame_ok,
+        series=readings,
+        calibration=calibration,
+    )

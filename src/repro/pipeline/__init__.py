@@ -1,0 +1,26 @@
+"""The static data-analysis subworkflow's data stages.
+
+Section 3.1's first two blue boxes:
+
+- **Obtain data** (:mod:`repro.pipeline.obtain`): parameterized queries
+  against the accounting database, month or year granularity, an on-disk
+  cache that is reused when present, and concurrent fetching of many
+  windows (the paper uses GNU Parallel; here a worker pool).
+- **Curate data** (:mod:`repro.pipeline.curate`): drop malformed records
+  (counting them against the paper's <0.002% figure), normalize units
+  (K-suffixed counts, durations to seconds/minutes), and reformat from
+  pipe-separated text to typed CSV, split into job rows and step rows.
+"""
+
+from repro.pipeline.obtain import ObtainConfig, ObtainStage, ObtainReport
+from repro.pipeline.curate import CurateStage, CurateReport, JOB_CSV_COLUMNS, STEP_CSV_COLUMNS
+
+__all__ = [
+    "ObtainConfig",
+    "ObtainStage",
+    "ObtainReport",
+    "CurateStage",
+    "CurateReport",
+    "JOB_CSV_COLUMNS",
+    "STEP_CSV_COLUMNS",
+]

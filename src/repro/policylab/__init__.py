@@ -1,0 +1,23 @@
+"""The policy laboratory: what-if sweeps over scheduler configurations.
+
+The paper's goal is to "guide policy evolution"; this package is the
+instrument for doing it quantitatively.  A :class:`PolicySweep` replays
+one fixed submission stream under a set of scheduler configurations
+(backfill depth, priority weights, fairshare, preemption, predicted
+walltimes) and reports per-policy outcome metrics, so a proposed change
+is evaluated on the site's own workload before touching slurm.conf.
+"""
+
+from repro.policylab.sweep import (
+    PolicyOutcome,
+    PolicySweep,
+    PolicyVariant,
+    standard_variants,
+)
+
+__all__ = [
+    "PolicyOutcome",
+    "PolicySweep",
+    "PolicyVariant",
+    "standard_variants",
+]

@@ -1,0 +1,154 @@
+"""Replaying one workload under many scheduler policies."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.errors import ConfigError
+from repro._util.tables import TextTable
+from repro._util.timefmt import UNKNOWN_TIME
+from repro.cluster import SystemProfile
+from repro.sched.priority import PriorityModel
+from repro.sched.simulator import SimConfig, Simulator
+from repro.workload.jobs import JobRequest
+
+__all__ = ["PolicyVariant", "PolicyOutcome", "PolicySweep",
+           "standard_variants"]
+
+
+@dataclass(frozen=True)
+class PolicyVariant:
+    """One named scheduler configuration, with optional request rewrite.
+
+    ``transform`` lets a variant change the submissions themselves (the
+    predicted-walltime policy needs to tighten limits); it must be a
+    pure function ``JobRequest -> JobRequest``.
+    """
+
+    name: str
+    config: SimConfig
+    transform: object = None          # Callable[[JobRequest], JobRequest]
+    description: str = ""
+
+
+@dataclass
+class PolicyOutcome:
+    """Outcome metrics of one variant over the common stream."""
+
+    name: str
+    n_jobs: int
+    mean_wait_s: float
+    median_wait_s: float
+    p95_wait_s: float
+    #: mean wait of jobs requesting <= 4 nodes and <= 1 h (the
+    #: responsiveness the intro's near-real-time workloads need)
+    small_job_mean_wait_s: float
+    backfilled: int
+    preempted: int
+    timeouts: int
+    utilization: float
+    makespan_s: int
+
+    def row(self) -> list:
+        return [self.name, round(self.mean_wait_s), round(self.median_wait_s),
+                round(self.p95_wait_s), round(self.small_job_mean_wait_s),
+                self.backfilled, self.preempted, self.timeouts,
+                round(self.utilization, 3)]
+
+
+class PolicySweep:
+    """Evaluate policy variants over one fixed submission stream."""
+
+    def __init__(self, system: SystemProfile,
+                 requests: list[JobRequest]) -> None:
+        if not requests:
+            raise ConfigError("sweep needs a non-empty stream")
+        self.system = system
+        self.requests = requests
+
+    def evaluate(self, variant: PolicyVariant) -> PolicyOutcome:
+        stream = self.requests
+        if variant.transform is not None:
+            stream = [variant.transform(r) for r in stream]
+        result = Simulator(self.system, variant.config).run(stream)
+        waits = np.array([j.wait_s for j in result.jobs], dtype=float)
+        small = np.array([j.wait_s for j in result.jobs
+                          if j.nnodes <= 4 and j.timelimit_s <= 3600],
+                         dtype=float)
+        ran = [j for j in result.jobs
+               if j.start != UNKNOWN_TIME and j.elapsed > 0]
+        t0 = min(j.submit for j in result.jobs)
+        t1 = max(j.end for j in result.jobs)
+        node_s = sum(j.nnodes * j.elapsed for j in ran)
+        capacity = self.system.total_nodes * max(1, t1 - t0)
+        return PolicyOutcome(
+            name=variant.name,
+            n_jobs=len(result.jobs),
+            mean_wait_s=float(waits.mean()),
+            median_wait_s=float(np.median(waits)),
+            p95_wait_s=float(np.percentile(waits, 95)),
+            small_job_mean_wait_s=float(small.mean()) if small.size
+            else 0.0,
+            backfilled=result.n_backfilled,
+            preempted=result.n_preempted,
+            timeouts=sum(j.state == "TIMEOUT" for j in result.jobs),
+            utilization=node_s / capacity,
+            makespan_s=t1 - t0,
+        )
+
+    def run(self, variants: list[PolicyVariant]) -> list[PolicyOutcome]:
+        if not variants:
+            raise ConfigError("no variants to evaluate")
+        names = [v.name for v in variants]
+        if len(names) != len(set(names)):
+            raise ConfigError("duplicate variant names")
+        return [self.evaluate(v) for v in variants]
+
+    @staticmethod
+    def table(outcomes: list[PolicyOutcome]) -> TextTable:
+        t = TextTable(["policy", "mean wait", "median", "p95",
+                       "small-job wait", "backfilled", "preempted",
+                       "timeouts", "util"],
+                      title="Policy sweep — one workload, many policies")
+        for o in outcomes:
+            t.add_row(o.row())
+        return t
+
+
+def standard_variants(seed: int = 0, *,
+                      predictor=None) -> list[PolicyVariant]:
+    """The default policy menu the examples and benches sweep."""
+    variants = [
+        PolicyVariant(
+            "baseline", SimConfig(seed=seed),
+            description="EASY backfill, no fairshare, no preemption"),
+        PolicyVariant(
+            "no-backfill", SimConfig(seed=seed, backfill=False),
+            description="pure priority FIFO"),
+        PolicyVariant(
+            "deep-backfill", SimConfig(seed=seed, backfill_depth=1000),
+            description="exhaustive backfill scan"),
+        PolicyVariant(
+            "fairshare",
+            SimConfig(seed=seed, fairshare=True,
+                      priority=PriorityModel(fairshare_weight=300_000,
+                                             fairshare_norm=2e5)),
+            description="per-account equity factor"),
+        PolicyVariant(
+            "preemption", SimConfig(seed=seed, preemption=True),
+            description="urgent evicts standby"),
+    ]
+    if predictor is not None:
+        def tighten(req: JobRequest) -> JobRequest:
+            limit = predictor.predict(req.user, req.account, req.job_name,
+                                      req.timelimit_s)
+            return dataclasses.replace(req, timelimit_s=limit,
+                                       steps=list(req.steps))
+        variants.append(PolicyVariant(
+            "predicted-walltime", SimConfig(seed=seed),
+            transform=tighten,
+            description="history-based limits (repro.predict)"))
+    return variants

@@ -1,0 +1,24 @@
+"""Future-work extension: predicted walltimes and time reclamation.
+
+Section 6: "embedding AI-predicted walltime estimation into job
+submission workflows, enabling dynamic rescheduling and time
+reclamation."  Implemented as:
+
+- :mod:`repro.predict.walltime` — a per-user quantile predictor trained
+  on historical accounting records (hierarchical fallback user → account
+  → job class → global), with accuracy/coverage metrics;
+- :mod:`repro.predict.reclaim` — a what-if replay: the same submission
+  stream is re-scheduled with predicted limits substituted for user
+  requests, and queue waits / backfill rates / timeout risk are compared
+  against the baseline.
+"""
+
+from repro.predict.walltime import WalltimePredictor, PredictorMetrics
+from repro.predict.reclaim import ReclamationStudy, ReclamationReport
+
+__all__ = [
+    "WalltimePredictor",
+    "PredictorMetrics",
+    "ReclamationStudy",
+    "ReclamationReport",
+]

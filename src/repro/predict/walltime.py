@@ -1,0 +1,143 @@
+"""Per-user quantile walltime prediction.
+
+The predictor learns each user's runtime distribution from finished jobs
+and predicts a limit at a configurable quantile plus safety margin.
+Sparse users fall back up a hierarchy: user → account → job-name prefix
+→ global.  This is deliberately the simplest model that captures the
+paper's observation — users chronically over-request, so even a
+coarse history-based estimate reclaims large amounts of walltime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.errors import ConfigError, DataError
+from repro.slurm.records import JobRecord
+
+__all__ = ["WalltimePredictor", "PredictorMetrics"]
+
+#: states whose elapsed time reflects the job's true demand
+_TRAIN_STATES = ("COMPLETED", "TIMEOUT")
+
+
+@dataclass
+class PredictorMetrics:
+    """Holdout evaluation of a predictor."""
+
+    n_jobs: int
+    #: fraction of jobs whose actual runtime fit inside the prediction
+    coverage: float
+    #: median of predicted / actual (request inflation under the model)
+    median_inflation: float
+    #: median of user-requested / actual, for comparison
+    median_request_inflation: float
+    #: node-hours saved vs user requests (positive = reclaimed)
+    reclaimed_node_hours: float
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("coverage", self.coverage),
+            ("median_inflation_predicted", self.median_inflation),
+            ("median_inflation_requested", self.median_request_inflation),
+            ("reclaimed_node_hours", self.reclaimed_node_hours),
+        ]
+
+
+class WalltimePredictor:
+    """Quantile predictor with hierarchical fallback."""
+
+    def __init__(self, quantile: float = 0.9, safety: float = 1.25,
+                 min_samples: int = 5, floor_s: int = 600) -> None:
+        if not 0.5 <= quantile < 1.0:
+            raise ConfigError("quantile must be in [0.5, 1)")
+        if safety < 1.0:
+            raise ConfigError("safety margin must be >= 1")
+        self.quantile = quantile
+        self.safety = safety
+        self.min_samples = min_samples
+        self.floor_s = floor_s
+        self._by_user: dict[str, list[int]] = {}
+        self._by_account: dict[str, list[int]] = {}
+        self._by_name: dict[str, list[int]] = {}
+        self._global: list[int] = []
+        self.trained = False
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, records: list[JobRecord]) -> "WalltimePredictor":
+        """Learn from finished jobs (COMPLETED and TIMEOUT)."""
+        n = 0
+        for job in records:
+            if job.state not in _TRAIN_STATES or job.elapsed <= 0:
+                continue
+            el = job.elapsed
+            self._by_user.setdefault(job.user, []).append(el)
+            self._by_account.setdefault(job.account, []).append(el)
+            self._by_name.setdefault(self._name_key(job.job_name),
+                                     []).append(el)
+            self._global.append(el)
+            n += 1
+        if n == 0:
+            raise DataError("no trainable records (COMPLETED/TIMEOUT)")
+        self.trained = True
+        return self
+
+    @staticmethod
+    def _name_key(job_name: str) -> str:
+        return job_name.split("_", 1)[0]
+
+    # -- inference ----------------------------------------------------------------
+
+    def predict(self, user: str, account: str = "", job_name: str = "",
+                requested_s: int | None = None) -> int:
+        """Predicted walltime limit in seconds.
+
+        Never exceeds the user's own request when one is given (the
+        hybrid deployment: predictions only ever tighten limits).
+        """
+        if not self.trained:
+            raise DataError("predictor not fitted")
+        for pool in (self._by_user.get(user),
+                     self._by_account.get(account),
+                     self._by_name.get(self._name_key(job_name)),
+                     self._global):
+            if pool and len(pool) >= self.min_samples:
+                base = float(np.quantile(pool, self.quantile))
+                break
+        else:
+            base = float(np.quantile(self._global, self.quantile))
+        pred = max(self.floor_s, int(base * self.safety))
+        pred = 60 * int(np.ceil(pred / 60.0))
+        if requested_s is not None:
+            pred = min(pred, requested_s)
+        return pred
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, records: list[JobRecord]) -> PredictorMetrics:
+        """Holdout metrics over finished jobs."""
+        preds, actuals, requests, nodes = [], [], [], []
+        for job in records:
+            if job.state not in _TRAIN_STATES or job.elapsed <= 0:
+                continue
+            preds.append(self.predict(job.user, job.account, job.job_name,
+                                      job.timelimit_s))
+            actuals.append(job.elapsed)
+            requests.append(job.timelimit_s)
+            nodes.append(job.nnodes)
+        if not preds:
+            raise DataError("no evaluable records")
+        p = np.array(preds, dtype=float)
+        a = np.array(actuals, dtype=float)
+        r = np.array(requests, dtype=float)
+        nn = np.array(nodes, dtype=float)
+        return PredictorMetrics(
+            n_jobs=len(p),
+            coverage=float((p >= a).mean()),
+            median_inflation=float(np.median(p / a)),
+            median_request_inflation=float(np.median(r / a)),
+            reclaimed_node_hours=float(((r - p) * nn).sum() / 3600.0),
+        )

@@ -1,0 +1,34 @@
+"""Rasterization: charts → PNG images (the HTML2PNG stage).
+
+The paper converts HTML plots to PNG with a headless browser so the
+images can be fed to a multimodal LLM.  This package is that stage's
+in-repo substitute:
+
+- :mod:`repro.raster.png` — a pure-Python PNG encoder/decoder (8-bit
+  RGB, zlib), so the pipeline produces and consumes real PNG bytes;
+- :mod:`repro.raster.font` — a 5x7 bitmap font for labels;
+- :mod:`repro.raster.draw` — the software rasterizer over chart
+  primitives (rects, lines, circles, plus marks, text) with alpha
+  blending;
+- :mod:`repro.raster.rasterize` — chart-spec → pixel array → PNG file,
+  plus :func:`html_to_png`, which converts a previously written
+  interactive HTML chart (via its primitives sidecar) into a PNG —
+  the exact file-to-file shape of the paper's HTML2PNG task.
+"""
+
+from repro.raster.png import encode_png, decode_png
+from repro.raster.rasterize import (
+    rasterize_chart,
+    render_png,
+    html_to_png,
+    save_primitives,
+)
+
+__all__ = [
+    "encode_png",
+    "decode_png",
+    "rasterize_chart",
+    "render_png",
+    "html_to_png",
+    "save_primitives",
+]

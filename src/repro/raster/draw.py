@@ -1,0 +1,166 @@
+"""Software rasterizer over chart primitives.
+
+Operates on an ``(H, W, 3)`` float32 canvas in [0, 1]; every mark is
+alpha-blended.  Geometry is vectorized per primitive (bounding-box
+coordinate grids), which is plenty fast for chart-sized images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.errors import RenderError
+from repro.charts.render import Primitive
+from repro.raster.font import GLYPH_H, GLYPH_W, glyph
+
+__all__ = ["Canvas", "hex_to_rgb"]
+
+
+def hex_to_rgb(color: str) -> np.ndarray:
+    """``#rrggbb`` → float RGB in [0, 1]."""
+    c = color.lstrip("#")
+    if len(c) != 6:
+        raise RenderError(f"bad color {color!r}")
+    return np.array([int(c[i:i + 2], 16) / 255.0 for i in (0, 2, 4)],
+                    dtype=np.float32)
+
+
+class Canvas:
+    """A float RGB canvas with alpha-blended drawing ops."""
+
+    def __init__(self, width: int, height: int,
+                 background: str = "#ffffff") -> None:
+        if width < 1 or height < 1:
+            raise RenderError("empty canvas")
+        self.width = width
+        self.height = height
+        self.pixels = np.ones((height, width, 3), dtype=np.float32)
+        self.pixels *= hex_to_rgb(background)
+
+    def to_uint8(self) -> np.ndarray:
+        return (np.clip(self.pixels, 0, 1) * 255 + 0.5).astype(np.uint8)
+
+    # -- blending ------------------------------------------------------------
+
+    def _blend_mask(self, y0: int, x0: int, mask: np.ndarray,
+                    rgb: np.ndarray, alpha: float) -> None:
+        """Blend ``mask`` (float coverage in [0,1]) at offset (y0, x0)."""
+        h, w = mask.shape
+        ya, xa = max(0, y0), max(0, x0)
+        yb, xb = min(self.height, y0 + h), min(self.width, x0 + w)
+        if ya >= yb or xa >= xb:
+            return
+        sub = mask[ya - y0:yb - y0, xa - x0:xb - x0]
+        cov = (sub * alpha)[..., None]
+        region = self.pixels[ya:yb, xa:xb]
+        region *= (1.0 - cov)
+        region += cov * rgb
+
+    # -- primitives ------------------------------------------------------------
+
+    def rect(self, x: float, y: float, w: float, h: float, color: str,
+             alpha: float = 1.0) -> None:
+        x0, y0 = int(round(x)), int(round(y))
+        x1, y1 = int(round(x + w)), int(round(y + h))
+        if x1 <= x0:
+            x1 = x0 + 1
+        if y1 <= y0:
+            y1 = y0 + 1
+        mask = np.ones((y1 - y0, x1 - x0), dtype=np.float32)
+        self._blend_mask(y0, x0, mask, hex_to_rgb(color), alpha)
+
+    def circle(self, cx: float, cy: float, r: float, color: str,
+               alpha: float = 1.0) -> None:
+        rr = max(0.6, r)
+        x0, y0 = int(np.floor(cx - rr - 1)), int(np.floor(cy - rr - 1))
+        size = int(np.ceil(2 * rr + 3))
+        ys, xs = np.mgrid[0:size, 0:size]
+        dist = np.sqrt((xs + x0 - cx) ** 2 + (ys + y0 - cy) ** 2)
+        mask = np.clip(rr + 0.5 - dist, 0.0, 1.0).astype(np.float32)
+        self._blend_mask(y0, x0, mask, hex_to_rgb(color), alpha)
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, color: str,
+             width: float = 1.0, alpha: float = 1.0) -> None:
+        x0b = int(np.floor(min(x1, x2) - width - 1))
+        y0b = int(np.floor(min(y1, y2) - width - 1))
+        x1b = int(np.ceil(max(x1, x2) + width + 1))
+        y1b = int(np.ceil(max(y1, y2) + width + 1))
+        h, w = y1b - y0b, x1b - x0b
+        if h <= 0 or w <= 0 or h * w > 16_000_000:
+            raise RenderError("degenerate or oversized line")
+        ys, xs = np.mgrid[0:h, 0:w]
+        px = xs + x0b
+        py = ys + y0b
+        dx, dy = x2 - x1, y2 - y1
+        norm2 = dx * dx + dy * dy
+        if norm2 == 0:
+            self.circle(x1, y1, width / 2, color, alpha)
+            return
+        t = np.clip(((px - x1) * dx + (py - y1) * dy) / norm2, 0.0, 1.0)
+        dist = np.sqrt((px - (x1 + t * dx)) ** 2 + (py - (y1 + t * dy)) ** 2)
+        half = max(0.5, width / 2)
+        mask = np.clip(half + 0.5 - dist, 0.0, 1.0).astype(np.float32)
+        self._blend_mask(y0b, x0b, mask, hex_to_rgb(color), alpha)
+
+    def plus(self, cx: float, cy: float, r: float, color: str,
+             width: float = 1.0, alpha: float = 1.0) -> None:
+        self.line(cx - r, cy, cx + r, cy, color, width, alpha)
+        self.line(cx, cy - r, cx, cy + r, color, width, alpha)
+
+    def text(self, x: float, y: float, text: str, color: str,
+             size: float = 12.0, anchor: str = "start",
+             rotate: float = 0.0, alpha: float = 1.0) -> None:
+        """Bitmap text.  ``(x, y)`` is the baseline point, SVG-style."""
+        scale = max(1, int(round(size / 8.0)))
+        gw, gh = GLYPH_W * scale, GLYPH_H * scale
+        sp = scale
+        total_w = len(text) * (gw + sp) - sp if text else 0
+        rgb = hex_to_rgb(color)
+        if abs(rotate) < 1e-6:
+            if anchor == "middle":
+                x -= total_w / 2
+            elif anchor == "end":
+                x -= total_w
+            cx = int(round(x))
+            cy = int(round(y)) - gh          # baseline → top
+            for ch in text:
+                bitmap = np.repeat(np.repeat(glyph(ch), scale, 0), scale, 1)
+                self._blend_mask(cy, cx, bitmap.astype(np.float32), rgb,
+                                 alpha)
+                cx += gw + sp
+            return
+        # rotated text: render into a buffer, rotate by -90/90 only
+        # (the chart layout uses -90 for the y-axis label)
+        buf = np.zeros((gh, max(1, total_w)), dtype=np.float32)
+        cx = 0
+        for ch in text:
+            bitmap = np.repeat(np.repeat(glyph(ch), scale, 0), scale, 1)
+            buf[:, cx:cx + gw] = np.maximum(buf[:, cx:cx + gw],
+                                            bitmap.astype(np.float32))
+            cx += gw + sp
+        turns = int(round(rotate / 90.0)) % 4
+        buf = np.rot90(buf, k=-turns) if turns else buf
+        # rotated text is placed with the anchor point at the buffer
+        # center — exactly what axis and category labels need
+        self._blend_mask(int(round(y)) - buf.shape[0] // 2,
+                         int(round(x)) - buf.shape[1] // 2, buf, rgb, alpha)
+
+    # -- driver -----------------------------------------------------------------
+
+    def draw(self, prim: Primitive) -> None:
+        if prim.kind == "rect":
+            self.rect(prim.x, prim.y, prim.w, prim.h, prim.color,
+                      prim.opacity)
+        elif prim.kind == "line":
+            self.line(prim.x, prim.y, prim.x2, prim.y2, prim.color,
+                      prim.width, prim.opacity)
+        elif prim.kind == "circle":
+            self.circle(prim.x, prim.y, prim.r, prim.color, prim.opacity)
+        elif prim.kind == "plus":
+            self.plus(prim.x, prim.y, prim.r, prim.color, prim.width,
+                      prim.opacity)
+        elif prim.kind == "text":
+            self.text(prim.x, prim.y, prim.text, prim.color, prim.size,
+                      prim.anchor, prim.rotate, prim.opacity)
+        else:
+            raise RenderError(f"unknown primitive kind {prim.kind!r}")

@@ -1,0 +1,143 @@
+"""Pure-Python PNG encode/decode for 8-bit RGB images.
+
+Implements the minimal-but-real subset of the PNG spec the pipeline
+needs: IHDR/IDAT/IEND chunks, zlib-compressed scanlines, and all five
+filter types on decode (encode uses filter 0 with a per-row heuristic
+upgrade to filter 2 when it compresses better).  No interlacing, no
+palettes, no alpha channel.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro._util.errors import RenderError
+
+__all__ = ["encode_png", "decode_png"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (struct.pack(">I", len(payload)) + tag + payload +
+            struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF))
+
+
+def encode_png(image: np.ndarray) -> bytes:
+    """Encode an ``(H, W, 3)`` uint8 array as PNG bytes."""
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise RenderError(f"expected (H, W, 3) image, got {image.shape}")
+    if image.dtype != np.uint8:
+        raise RenderError(f"expected uint8 image, got {image.dtype}")
+    h, w, _ = image.shape
+    if h < 1 or w < 1:
+        raise RenderError("empty image")
+
+    # Per-row filter choice between None(0) and Up(2): Up usually wins on
+    # charts (large constant areas), and costs one vectorized subtraction.
+    rows = image.reshape(h, w * 3)
+    up = np.empty_like(rows)
+    up[0] = rows[0]
+    np.subtract(rows[1:], rows[:-1], out=up[1:])
+    raw = bytearray()
+    for y in range(h):
+        none_cost = int(np.abs(rows[y].astype(np.int16) - 128).sum())
+        up_cost = int(np.abs(up[y].view(np.int8).astype(np.int16)).sum())
+        if y > 0 and up_cost < none_cost:
+            raw.append(2)
+            raw.extend(up[y].tobytes())
+        else:
+            raw.append(0)
+            raw.extend(rows[y].tobytes())
+
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, 2, 0, 0, 0)
+    return (_SIGNATURE +
+            _chunk(b"IHDR", ihdr) +
+            _chunk(b"IDAT", zlib.compress(bytes(raw), 6)) +
+            _chunk(b"IEND", b""))
+
+
+def _paeth(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    p = a.astype(np.int16) + b.astype(np.int16) - c.astype(np.int16)
+    pa = np.abs(p - a)
+    pb = np.abs(p - b)
+    pc = np.abs(p - c)
+    out = np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c))
+    return out.astype(np.uint8)
+
+
+def decode_png(data: bytes) -> np.ndarray:
+    """Decode PNG bytes (8-bit RGB, non-interlaced) to ``(H, W, 3)``."""
+    if not data.startswith(_SIGNATURE):
+        raise RenderError("not a PNG: bad signature")
+    pos = len(_SIGNATURE)
+    width = height = None
+    idat = bytearray()
+    while pos < len(data):
+        if pos + 8 > len(data):
+            raise RenderError("truncated PNG chunk header")
+        (length,) = struct.unpack(">I", data[pos:pos + 4])
+        tag = data[pos + 4:pos + 8]
+        payload = data[pos + 8:pos + 8 + length]
+        if len(payload) != length or pos + 12 + length > len(data):
+            raise RenderError("truncated PNG chunk payload")
+        crc_expect = struct.unpack(
+            ">I", data[pos + 8 + length:pos + 12 + length])[0]
+        if zlib.crc32(tag + payload) & 0xFFFFFFFF != crc_expect:
+            raise RenderError(f"bad CRC in {tag!r} chunk")
+        pos += 12 + length
+        if tag == b"IHDR":
+            width, height, depth, color, comp, filt, interlace = \
+                struct.unpack(">IIBBBBB", payload)
+            if depth != 8 or color != 2:
+                raise RenderError(
+                    f"unsupported PNG: depth={depth} color={color}")
+            if interlace:
+                raise RenderError("interlaced PNG not supported")
+        elif tag == b"IDAT":
+            idat.extend(payload)
+        elif tag == b"IEND":
+            break
+    if width is None:
+        raise RenderError("PNG missing IHDR")
+    raw = zlib.decompress(bytes(idat))
+    stride = width * 3
+    if len(raw) != height * (stride + 1):
+        raise RenderError("PNG data length mismatch")
+    out = np.zeros((height, stride), dtype=np.uint8)
+    prev = np.zeros(stride, dtype=np.uint8)
+    for y in range(height):
+        off = y * (stride + 1)
+        ftype = raw[off]
+        line = np.frombuffer(raw, dtype=np.uint8, count=stride,
+                             offset=off + 1).copy()
+        if ftype == 0:
+            cur = line
+        elif ftype == 1:   # Sub
+            cur = line
+            for i in range(3, stride):
+                cur[i] = (int(cur[i]) + int(cur[i - 3])) & 0xFF
+        elif ftype == 2:   # Up
+            cur = (line + prev).astype(np.uint8)
+        elif ftype == 3:   # Average
+            cur = line
+            for i in range(stride):
+                left = cur[i - 3] if i >= 3 else 0
+                cur[i] = (int(cur[i]) +
+                          ((int(left) + int(prev[i])) >> 1)) & 0xFF
+        elif ftype == 4:   # Paeth
+            cur = line
+            for i in range(stride):
+                a = cur[i - 3] if i >= 3 else np.uint8(0)
+                c = prev[i - 3] if i >= 3 else np.uint8(0)
+                pr = _paeth(np.asarray(a), np.asarray(prev[i]),
+                            np.asarray(c))
+                cur[i] = (int(cur[i]) + int(pr)) & 0xFF
+        else:
+            raise RenderError(f"unknown PNG filter {ftype}")
+        out[y] = cur
+        prev = cur
+    return out.reshape(height, width, 3)

@@ -1,0 +1,38 @@
+"""Discrete-event Slurm scheduler simulator.
+
+This is the substrate that turns synthetic submission streams
+(:mod:`repro.workload`) into the sacct-shaped accounting records the
+paper's pipeline analyzes.  It models the scheduling mechanics the
+figures depend on:
+
+- **multifactor priority** (age + QOS boost + size + partition tier),
+- **EASY backfill**: a reservation is computed for the highest-priority
+  blocked job, and lower-priority jobs may start out of order only if
+  they cannot delay that reservation — such starts are flagged, feeding
+  the ``Backfill`` indicator in Figure 6/9,
+- **job lifecycle**: pending (priority/dependency holds), running,
+  and the terminal states of Figures 4/5/8 — COMPLETED, FAILED,
+  CANCELLED (pending or running), TIMEOUT (request < true runtime),
+  OUT_OF_MEMORY, NODE_FAIL,
+- **node-id allocation**, so records carry real ``NodeList`` strings,
+- **accounting**: per-job usage, per-step records, and an energy model.
+
+Entry point: :class:`Simulator` (or :func:`simulate_month` /
+:func:`simulate_range` in :mod:`repro.sched.run`).
+"""
+
+from repro.sched.nodes import NodePool
+from repro.sched.priority import PriorityModel
+from repro.sched.simulator import Simulator, SimConfig, SimResult
+from repro.sched.run import simulate_month, simulate_range, build_database
+
+__all__ = [
+    "NodePool",
+    "PriorityModel",
+    "Simulator",
+    "SimConfig",
+    "SimResult",
+    "simulate_month",
+    "simulate_range",
+    "build_database",
+]

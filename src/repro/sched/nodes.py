@@ -1,0 +1,106 @@
+"""Node-id allocation.
+
+The pool hands out concrete node ids (so accounting records carry real
+``NodeList`` strings) using first-fit over a sorted free-interval list —
+O(intervals) per call, and intervals stay few because deallocation
+merges neighbours.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import ConfigError, DataError
+
+__all__ = ["NodePool"]
+
+
+class NodePool:
+    """Allocator over node ids ``first_id..first_id+total-1``.
+
+    Slurm numbers nodes from 1; fenced partition pools use a
+    ``first_id`` offset so ids stay globally unique across pools.
+    """
+
+    def __init__(self, total: int, first_id: int = 1) -> None:
+        if total < 1:
+            raise ConfigError("pool needs at least one node")
+        if first_id < 1:
+            raise ConfigError("first_id must be >= 1")
+        self.total = total
+        self.first_id = first_id
+        #: sorted, disjoint, non-adjacent free intervals [lo, hi] inclusive
+        self._free: list[list[int]] = [[first_id, first_id + total - 1]]
+        self.free_count = total
+
+    def allocate(self, n: int) -> list[int]:
+        """Allocate ``n`` node ids (first-fit across intervals).
+
+        Raises :class:`DataError` when fewer than ``n`` nodes are free —
+        callers must check :attr:`free_count` first; the scheduler never
+        over-commits.
+        """
+        if n < 1:
+            raise DataError(f"cannot allocate {n} nodes")
+        if n > self.free_count:
+            raise DataError(
+                f"allocation of {n} exceeds {self.free_count} free nodes")
+        out: list[int] = []
+        need = n
+        i = 0
+        while need and i < len(self._free):
+            lo, hi = self._free[i]
+            size = hi - lo + 1
+            take = min(size, need)
+            out.extend(range(lo, lo + take))
+            if take == size:
+                self._free.pop(i)
+            else:
+                self._free[i][0] = lo + take
+                i += 1
+            need -= take
+        self.free_count -= n
+        return out
+
+    def release(self, ids: list[int]) -> None:
+        """Return node ids to the pool (merging adjacent intervals)."""
+        if not ids:
+            return
+        ids = sorted(ids)
+        # build intervals from the returned ids
+        runs: list[list[int]] = []
+        lo = hi = ids[0]
+        for x in ids[1:]:
+            if x == hi:
+                raise DataError(f"double release of node {x}")
+            if x == hi + 1:
+                hi = x
+            else:
+                runs.append([lo, hi])
+                lo = hi = x
+        runs.append([lo, hi])
+        if ids[0] < self.first_id or \
+                ids[-1] > self.first_id + self.total - 1:
+            raise DataError("release outside pool range")
+        merged: list[list[int]] = []
+        old = self._free
+        i = j = 0
+        while i < len(old) or j < len(runs):
+            if j >= len(runs) or (i < len(old) and old[i][0] < runs[j][0]):
+                cur = old[i]
+                i += 1
+            else:
+                cur = runs[j]
+                j += 1
+            if merged and cur[0] <= merged[-1][1]:
+                raise DataError(
+                    f"release overlaps free interval near node {cur[0]}")
+            if merged and cur[0] == merged[-1][1] + 1:
+                merged[-1][1] = cur[1]
+            else:
+                merged.append(list(cur))
+        self._free = merged
+        self.free_count += len(ids)
+        if self.free_count > self.total:
+            raise DataError("pool free count exceeded total")
+
+    def intervals(self) -> list[tuple[int, int]]:
+        return [tuple(iv) for iv in self._free]

@@ -1,0 +1,523 @@
+"""The discrete-event scheduler core.
+
+Event kinds: job submission, job end, pending-cancel expiry.  After every
+event batch at one timestamp the scheduler pass runs: it starts jobs at
+the head of the priority queue while they fit, then (EASY backfill)
+computes the blocked head's reservation and lets lower-priority jobs slip
+in only if they cannot delay it.
+
+Queue order: multifactor priority with the age term growing identically
+for all pending jobs, so relative order is fixed at enqueue time
+(see :mod:`repro.sched.priority`); the queue is therefore a list kept
+sorted by ``(-static_priority, eligible, jobid)``.
+
+Backfill correctness invariant (tested property): **a backfilled job
+never delays the reservation of the blocked head job** — either it ends
+by the shadow time, or it fits inside the nodes left over at the
+reservation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from dataclasses import dataclass, field
+
+from repro._util.errors import ConfigError, WorkflowError
+from repro._util.rng import RngStreams
+from repro._util.timefmt import UNKNOWN_TIME
+from repro.cluster import SystemProfile
+from repro.sched.accounting import finalize_job
+from repro.sched.nodes import NodePool
+from repro.sched.priority import PriorityModel, UsageTracker
+from repro.slurm.records import JobRecord
+from repro.workload.jobs import JobRequest
+
+__all__ = ["Simulator", "SimConfig", "SimResult"]
+
+_SUBMIT, _END, _CANCEL, _TICK = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Scheduler configuration (the ablation knobs)."""
+
+    backfill: bool = True
+    backfill_depth: int = 200
+    priority: PriorityModel = field(default_factory=PriorityModel)
+    first_jobid: int = 400_000
+    seed: int = 0
+    #: enable the fairshare priority factor (per-account decayed usage)
+    fairshare: bool = False
+    fairshare_half_life_s: int = 7 * 86400
+    #: requeue jobs killed by hardware failure once (Slurm's
+    #: JobRequeue/node-fail behaviour); the record shows Restarts=1
+    requeue_node_fail: bool = False
+    #: allow blocked can_preempt-QOS queue heads to requeue preemptable
+    #: running jobs (NERSC realtime / TACC flex style)
+    preemption: bool = False
+    #: checkpoint/resubmit jobs that hit their walltime limit: the job
+    #: requeues and continues from where it stopped (Section 6's
+    #: "dynamic rescheduling"), up to this many resubmissions (0 = off)
+    resubmit_timeouts: int = 0
+    #: full-system maintenance windows as (start, end) epochs: no job
+    #: may run into a window, producing the pre-maintenance drain and
+    #: post-maintenance wait spike of Figure 4
+    maintenance: tuple[tuple[int, int], ...] = ()
+
+    def maintenance_blocks(self, t: int, limit_s: int) -> bool:
+        """Would a job starting at ``t`` with ``limit_s`` hit a window?"""
+        for a, b in self.maintenance:
+            if t < b and t + limit_s > a:
+                return True
+        return False
+
+    def __post_init__(self) -> None:
+        if self.backfill_depth < 1:
+            raise ConfigError("backfill_depth must be >= 1")
+
+
+@dataclass
+class SimResult:
+    """Everything the simulation produced."""
+
+    jobs: list[JobRecord]
+    #: jobs started by the backfill pass
+    n_backfilled: int
+    #: scheduler passes executed (concurrency/efficiency metric)
+    n_sched_passes: int
+    #: peak length of the pending queue
+    max_queue_depth: int
+    #: preemption events (victim requeues)
+    n_preempted: int = 0
+
+    @property
+    def n_steps(self) -> int:
+        return sum(len(j.steps) for j in self.jobs)
+
+
+class _SimJob:
+    """Mutable per-job simulation state."""
+
+    __slots__ = ("req", "idx", "jobid", "eligible", "start", "end", "state",
+                 "backfilled", "node_ids", "reason", "static_prio",
+                 "was_head", "done", "finalized", "restarts",
+                 "node_failed_once", "completed_work")
+
+    def __init__(self, req: JobRequest, idx: int, jobid: int,
+                 static_prio: int) -> None:
+        self.req = req
+        self.idx = idx
+        self.jobid = jobid
+        self.eligible = req.submit
+        self.start = UNKNOWN_TIME
+        self.end = UNKNOWN_TIME
+        self.state = ""
+        self.backfilled = False
+        self.node_ids: list[int] = []
+        self.reason = "None"
+        self.static_prio = static_prio
+        self.was_head = False
+        self.done = False          # reached a terminal state
+        self.finalized = False     # accounting record produced
+        self.restarts = 0          # requeues so far (node fail, preempt)
+        self.node_failed_once = False
+        self.completed_work = 0    # checkpointed seconds (resubmits)
+
+    def sort_key(self) -> tuple:
+        return (-self.static_prio, self.eligible, self.jobid)
+
+    def est_end(self, now: int) -> int:
+        """Walltime-limit based completion estimate (what Slurm knows)."""
+        return now + self.req.timelimit_s
+
+
+class Simulator:
+    """Run a submission stream through the scheduler on one system."""
+
+    def __init__(self, system: SystemProfile, config: SimConfig | None = None
+                 ) -> None:
+        self.system = system
+        self.config = config or SimConfig()
+        self._rng = RngStreams(self.config.seed).child(
+            f"sim:{system.name}").fresh("usage")
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self, requests: list[JobRequest]) -> SimResult:
+        """Simulate the full stream; every job reaches a terminal state."""
+        for i, req in enumerate(requests):
+            if req.dependency_idx is not None and req.dependency_idx >= i:
+                raise WorkflowError(
+                    f"request {i} depends on a later request "
+                    f"{req.dependency_idx}")
+
+        cfg = self.config
+        prio = cfg.priority
+        # node pools: fenced partitions own exclusive id ranges, the
+        # remainder forms the shared pool (key None)
+        pools: dict[str | None, NodePool] = {}
+        next_id = 1
+        fenced_total = 0
+        for part in self.system.partitions:
+            if part.dedicated_nodes:
+                pools[part.name] = NodePool(part.dedicated_nodes,
+                                            first_id=next_id)
+                next_id += part.dedicated_nodes
+                fenced_total += part.dedicated_nodes
+        pools[None] = NodePool(self.system.total_nodes - fenced_total,
+                               first_id=next_id)
+
+        def pkey(req: JobRequest) -> str | None:
+            return req.partition if req.partition in pools else None
+
+        def pool_for(req: JobRequest) -> NodePool:
+            return pools[pkey(req)]
+
+        usage = UsageTracker(cfg.fairshare_half_life_s) \
+            if cfg.fairshare else None
+        events: list[tuple[int, int, int, int]] = []   # (t, kind, seq, idx)
+        seq = 0
+        jobs: list[_SimJob] = []
+        for i, req in enumerate(requests):
+            jobs.append(_SimJob(req, i, cfg.first_jobid + i, 0))
+            heapq.heappush(events, (req.submit, _SUBMIT, seq, i))
+            seq += 1
+        for _, window_end in cfg.maintenance:
+            # wake the scheduler the moment a window closes
+            heapq.heappush(events, (window_end, _TICK, seq, -1))
+            seq += 1
+
+        pending: list[_SimJob] = []       # sorted by sort_key
+        pending_set: set[int] = set()     # idx of queued jobs
+        running: dict[int, _SimJob] = {}  # idx -> job
+        #: per-pool sorted (walltime-based end estimate, idx, nnodes) of
+        #: running jobs, maintained incrementally — the backfill pass
+        #: reads it directly instead of re-sorting every event
+        run_ests: dict[str | None, list[tuple[int, int, int]]] = {
+            key: [] for key in pools}
+        held: dict[int, list[_SimJob]] = {}   # parent idx -> children
+        finished: list[_SimJob] = []
+        n_backfilled = 0
+        n_passes = 0
+        max_depth = 0
+        n_preempted_box = [0]
+
+        def enqueue(job: _SimJob, t: int) -> None:
+            job.eligible = max(job.eligible, t)
+            # priority factors snapshot at enqueue (see priority module)
+            job.static_prio = prio.static_priority(
+                self.system, job.req, usage, t)
+            insort(pending, job, key=lambda j: j.sort_key())
+            pending_set.add(job.idx)
+            if job.req.outcome == "CANCELLED" and job.req.cancel_while_pending:
+                nonlocal seq
+                heapq.heappush(events, (
+                    job.eligible + job.req.pending_patience_s,
+                    _CANCEL, seq, job.idx))
+                seq += 1
+
+        def drop_run_est(job: _SimJob) -> None:
+            from bisect import bisect_left
+            ests = run_ests[pkey(job.req)]
+            key = (job.est_end(job.start), job.idx, job.req.nnodes)
+            i = bisect_left(ests, key)
+            if i >= len(ests) or ests[i] != key:
+                raise WorkflowError(
+                    f"run estimate for job {job.jobid} lost")
+            ests.pop(i)
+
+        def terminal(job: _SimJob, t: int, state: str) -> None:
+            """Record a job that ends without running."""
+            job.state = state
+            job.end = t
+            job.done = True
+            finished.append(job)
+            release_dependents(job, t)
+
+        def release_dependents(parent: _SimJob, t: int) -> None:
+            for child in held.pop(parent.idx, []):
+                if parent.state == "COMPLETED":
+                    child.reason = "Dependency"
+                    enqueue(child, t)
+                else:
+                    # afterok unsatisfiable: Slurm cancels the dependent
+                    child.reason = "DependencyNeverSatisfied"
+                    terminal(child, t, "CANCELLED")
+
+        def start_job(job: _SimJob, t: int, backfilled: bool) -> None:
+            req = job.req
+            job.node_ids = pool_for(req).allocate(req.nnodes)
+            job.start = t
+            job.backfilled = backfilled
+            job.state, elapsed = self._execution(
+                req, job.node_failed_once, job.completed_work)
+            job.end = t + elapsed
+            if usage is not None:
+                # charge fairshare usage as the allocation begins (the
+                # realized node-seconds are known to the simulator here;
+                # Slurm accrues the same total continuously)
+                usage.charge(req.account, req.nnodes * elapsed, t)
+            if job.reason not in ("Dependency", "Preempted", "NodeFail",
+                                  "Resubmit") and t > job.eligible:
+                job.reason = "Resources" if job.was_head else "Priority"
+            running[job.idx] = job
+            insort(run_ests[pkey(req)],
+                   (job.est_end(t), job.idx, req.nnodes))
+            nonlocal seq
+            heapq.heappush(events, (job.end, _END, seq, job.idx))
+            seq += 1
+
+        def try_preempt(t: int) -> bool:
+            """Requeue preemptable running jobs to admit a blocked
+            can_preempt head.  Victims come from the head's own pool.
+            Returns True when anything changed."""
+            head = pending[0]
+            if not self.system.qos(head.req.qos).can_preempt:
+                return False
+            head_key = pkey(head.req)
+            need = head.req.nnodes - pools[head_key].free_count
+            victims: list[_SimJob] = []
+            # youngest victims first: least completed work is discarded
+            for job in sorted(running.values(), key=lambda j: -j.start):
+                if pkey(job.req) == head_key and \
+                        self.system.qos(job.req.qos).preemptable:
+                    victims.append(job)
+                    need -= job.req.nnodes
+                    if need <= 0:
+                        break
+            if need > 0:
+                return False
+            for victim in victims:
+                del running[victim.idx]
+                drop_run_est(victim)
+                pool_for(victim.req).release(victim.node_ids)
+                victim.node_ids = []
+                victim.restarts += 1
+                victim.state = ""
+                victim.backfilled = False
+                victim.reason = "Preempted"
+                enqueue(victim, t)
+                n_preempted_box[0] += 1
+            return True
+
+        def sched_pass(t: int) -> None:
+            nonlocal n_backfilled, n_passes, max_depth
+            n_passes += 1
+            max_depth = max(max_depth, len(pending))
+            # 1) start head jobs while they fit (and clear maintenance)
+            def head_clear() -> bool:
+                head = pending[0]
+                return head.req.nnodes <= \
+                    pool_for(head.req).free_count and \
+                    not cfg.maintenance_blocks(t, head.req.timelimit_s)
+
+            while pending and head_clear():
+                job = pending.pop(0)
+                pending_set.discard(job.idx)
+                start_job(job, t, backfilled=False)
+            # 1b) preemption: a blocked urgent head may evict standby work
+            if cfg.preemption and pending \
+                    and not cfg.maintenance_blocks(
+                        t, pending[0].req.timelimit_s) \
+                    and try_preempt(t):
+                while pending and head_clear():
+                    job = pending.pop(0)
+                    pending_set.discard(job.idx)
+                    start_job(job, t, backfilled=False)
+            if not pending or not cfg.backfill:
+                return
+            # 2) EASY backfill around the blocked head (the head's pool
+            # gets a reservation; other pools run their own FIFO heads)
+            head = pending[0]
+            head.was_head = True
+            head_key = pkey(head.req)
+            need = head.req.nnodes
+            # shadow time: when enough running jobs of the head's pool
+            # will have ended (by their walltime limits) to fit the head
+            free = pools[head_key].free_count
+            shadow = None
+            extra = 0
+            for est_end, _, nn in run_ests[head_key]:
+                free += nn
+                if free >= need:
+                    shadow = est_end
+                    extra = free - need
+                    break
+            if shadow is None:
+                # head can never fit (larger than its pool) — guarded
+                # at generation time, but stay safe
+                return
+            i = 1
+            scanned = 0
+            blocked_pools: set[str | None] = {head_key}
+            while i < len(pending) and scanned < cfg.backfill_depth:
+                job = pending[i]
+                scanned += 1
+                nn = job.req.nnodes
+                key = pkey(job.req)
+                blocked_by_maint = cfg.maintenance_blocks(
+                    t, job.req.timelimit_s)
+                if key != head_key:
+                    # another pool: strict FIFO within this pass — its
+                    # first blocked job fences the rest of that pool
+                    if key not in blocked_pools and not blocked_by_maint \
+                            and nn <= pools[key].free_count:
+                        pending.pop(i)
+                        pending_set.discard(job.idx)
+                        start_job(job, t, backfilled=False)
+                        continue
+                    if blocked_by_maint or nn > pools[key].free_count:
+                        blocked_pools.add(key)
+                    i += 1
+                    continue
+                if nn <= pools[key].free_count and not blocked_by_maint:
+                    fits_before_shadow = t + job.req.timelimit_s <= shadow
+                    if fits_before_shadow or nn <= extra:
+                        if not fits_before_shadow:
+                            extra -= nn
+                        pending.pop(i)
+                        pending_set.discard(job.idx)
+                        start_job(job, t, backfilled=True)
+                        n_backfilled += 1
+                        continue
+                i += 1
+
+        # -- main loop --------------------------------------------------------
+        while events:
+            t = events[0][0]
+            dirty = False
+            while events and events[0][0] == t:
+                _, kind, _, idx = heapq.heappop(events)
+                if kind == _TICK:
+                    dirty = True
+                    continue
+                job = jobs[idx]
+                if kind == _SUBMIT:
+                    dep = job.req.dependency_idx
+                    if dep is not None:
+                        parent = jobs[dep]
+                        if parent.done:
+                            if parent.state == "COMPLETED":
+                                job.reason = "Dependency"
+                                enqueue(job, t)
+                            else:
+                                job.reason = "DependencyNeverSatisfied"
+                                terminal(job, t, "CANCELLED")
+                        else:
+                            job.reason = "Dependency"
+                            held.setdefault(dep, []).append(job)
+                    else:
+                        enqueue(job, t)
+                    dirty = True
+                elif kind == _END:
+                    if job.idx in running and job.end == t:
+                        del running[job.idx]
+                        drop_run_est(job)
+                        pool_for(job.req).release(job.node_ids)
+                        if job.state == "NODE_FAIL" \
+                                and cfg.requeue_node_fail \
+                                and not job.node_failed_once:
+                            # hardware loss: requeue once; the record
+                            # keeps the final run with Restarts bumped
+                            job.restarts += 1
+                            job.node_failed_once = True
+                            job.state = ""
+                            job.node_ids = []
+                            job.backfilled = False
+                            job.reason = "NodeFail"
+                            enqueue(job, t)
+                        elif job.state == "TIMEOUT" \
+                                and job.req.outcome == "COMPLETED" \
+                                and job.restarts < cfg.resubmit_timeouts:
+                            # checkpoint/resubmit: continue from where
+                            # the limit cut the job off
+                            job.completed_work += t - job.start
+                            job.restarts += 1
+                            job.state = ""
+                            job.node_ids = []
+                            job.backfilled = False
+                            job.reason = "Resubmit"
+                            enqueue(job, t)
+                        else:
+                            job.done = True
+                            finished.append(job)
+                            release_dependents(job, t)
+                        dirty = True
+                elif kind == _CANCEL:
+                    if job.idx in pending_set:
+                        pending_set.discard(job.idx)
+                        pending.remove(job)
+                        terminal(job, t, "CANCELLED")
+                        dirty = True
+            if dirty:
+                sched_pass(t)
+
+        if pending or running or held:
+            raise WorkflowError(
+                f"simulation ended with live jobs: {len(pending)} pending, "
+                f"{len(running)} running, {len(held)} held")
+
+        # -- finalize accounting records ---------------------------------------
+        records = self._finalize(jobs, finished)
+        return SimResult(jobs=records, n_backfilled=n_backfilled,
+                         n_sched_passes=n_passes, max_queue_depth=max_depth,
+                         n_preempted=n_preempted_box[0])
+
+    # -- internals ------------------------------------------------------------
+
+    def _execution(self, req: JobRequest, restarted: bool = False,
+                   completed_work: int = 0) -> tuple[str, int]:
+        """Decide terminal state and elapsed once a job starts.
+
+        A restarted job (post NODE_FAIL requeue) runs its full workload:
+        the hardware fault does not recur.  ``completed_work`` is the
+        checkpointed progress of a resubmitted TIMEOUT job.
+        """
+        rng = self._rng
+        limit = req.timelimit_s
+        true_rt = req.true_runtime_s
+        outcome = "COMPLETED" if restarted else req.outcome
+        if outcome == "COMPLETED":
+            remaining = max(1, true_rt - completed_work)
+            if remaining > limit:
+                return "TIMEOUT", limit
+            return "COMPLETED", remaining
+        if outcome == "FAILED":
+            return "FAILED", max(1, min(limit, int(true_rt * rng.uniform(0.05, 0.95))))
+        if outcome == "OUT_OF_MEMORY":
+            return "OUT_OF_MEMORY", max(1, min(limit, int(true_rt * rng.uniform(0.02, 0.5))))
+        if outcome == "NODE_FAIL":
+            return "NODE_FAIL", max(1, min(limit, int(true_rt * rng.uniform(0.01, 0.9))))
+        if outcome == "CANCELLED":
+            return "CANCELLED", max(1, min(limit, int(true_rt * rng.uniform(0.05, 0.9))))
+        raise WorkflowError(f"unknown outcome {outcome!r}")
+
+    def _finalize(self, jobs: list[_SimJob],
+                  finished: list[_SimJob]) -> list[JobRecord]:
+        if len(finished) != len(jobs):
+            raise WorkflowError(
+                f"{len(jobs) - len(finished)} jobs never finished")
+        prio = self.config.priority
+        records: list[JobRecord] = []
+        for job in sorted(finished, key=lambda j: j.idx):
+            req = job.req
+            array_parent = (job.jobid if req.array_size else None)
+            if req.array_member_of is not None:
+                array_parent = jobs[req.array_member_of].jobid
+            dep_text = ""
+            if req.dependency_idx is not None:
+                dep_text = f"afterok:{jobs[req.dependency_idx].jobid}"
+            final_prio = prio.priority(
+                self.system, req,
+                now=job.start if job.start != UNKNOWN_TIME else job.end,
+                eligible=job.eligible)
+            records.append(finalize_job(
+                req, job.jobid, self.system, self._rng,
+                start=job.start, end=job.end, state=job.state,
+                backfilled=job.backfilled, eligible=job.eligible,
+                reason=job.reason, node_ids=job.node_ids,
+                priority=final_prio, array_job_id=array_parent,
+                dependency_text=dep_text, restarts=job.restarts))
+            job.finalized = True
+        return records

@@ -1,0 +1,48 @@
+"""Slurm accounting substrate.
+
+This package models the parts of Slurm's accounting stack the paper's
+workflow touches:
+
+- :mod:`repro.slurm.fields` — the accounting field catalog (118 fields)
+  and the curated Table-1 subset the workflow selects;
+- :mod:`repro.slurm.records` — in-memory job and job-step records as the
+  simulator produces them;
+- :mod:`repro.slurm.emit` — ``sacct -P``-style pipe-separated text
+  emission, including the unit quirks the curation stage must handle;
+- :mod:`repro.slurm.parse` — the reverse direction: text → typed values;
+- :mod:`repro.slurm.db` — an accounting "database" queryable by date
+  range, standing in for slurmdbd;
+- :mod:`repro.slurm.cli` — a small ``sacct``-flavoured CLI over the db.
+"""
+
+from repro.slurm.fields import (
+    FieldSpec,
+    ALL_FIELDS,
+    FIELDS_BY_NAME,
+    SELECTED_FIELDS,
+    OBTAIN_FIELDS,
+    CATEGORIES,
+    selected_by_category,
+)
+from repro.slurm.records import JobRecord, StepRecord, JOB_STATES, STEP_STATES
+from repro.slurm.emit import SacctEmitter
+from repro.slurm.parse import parse_sacct_value, record_from_row
+from repro.slurm.db import AccountingDB
+
+__all__ = [
+    "FieldSpec",
+    "ALL_FIELDS",
+    "FIELDS_BY_NAME",
+    "SELECTED_FIELDS",
+    "OBTAIN_FIELDS",
+    "CATEGORIES",
+    "selected_by_category",
+    "JobRecord",
+    "StepRecord",
+    "JOB_STATES",
+    "STEP_STATES",
+    "SacctEmitter",
+    "parse_sacct_value",
+    "record_from_row",
+    "AccountingDB",
+]

@@ -1,0 +1,285 @@
+"""The Slurm accounting field catalog.
+
+The paper: "From the 118 fields available in the Slurm accounting
+database, a subset of 50+ fields was selected based on their relevance
+and utility ... Redundant, sensitive, or less informative fields, such as
+those offering duplicative time representations (e.g., Elapsed vs.
+ElapsedRaw), were excluded."
+
+:data:`ALL_FIELDS` enumerates the full catalog (118 fields, matching
+contemporary ``sacct --helpformat``); each :class:`FieldSpec` carries its
+Table-1 category when selected, a value kind used by the emitter/parser,
+and an exclusion reason when not selected.  :data:`SELECTED_FIELDS` is
+exactly the curated set; :data:`OBTAIN_FIELDS` is the slightly larger set
+(60 fields) the *Obtain data* stage queries, per Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.errors import ConfigError
+
+__all__ = [
+    "FieldSpec",
+    "ALL_FIELDS",
+    "FIELDS_BY_NAME",
+    "SELECTED_FIELDS",
+    "OBTAIN_FIELDS",
+    "CATEGORIES",
+    "selected_by_category",
+]
+
+#: Table-1 category names, in the paper's order.
+CATEGORIES = (
+    "Job Identification",
+    "Timing Information",
+    "Resource Requests",
+    "Resource Usage",
+    "IO Related",
+    "Job State",
+    "Scheduling Metadata",
+    "Special Indicators",
+    "Misc",
+)
+
+#: Value kinds understood by the emitter and parser.
+KINDS = (
+    "str",        # raw text
+    "int",        # plain integer
+    "count",      # integer, K-suffixed at >=1000 (NNodes, NCPUs)
+    "duration",   # [DD-]HH:MM:SS
+    "timestamp",  # YYYY-MM-DDTHH:MM:SS | Unknown
+    "mem",        # ReqMem-style 4Gc / 512000Mn
+    "bytes",      # disk IO totals, plain integer bytes
+    "exitcode",   # code:signal
+    "tres",       # comma-separated name=value list
+    "float",
+)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One accounting field.
+
+    ``selected`` fields form the curated Table-1 dataset; the rest carry an
+    ``exclusion`` explaining why curation drops them (redundant, sensitive,
+    or low-information — the paper's three reasons).
+    """
+
+    name: str
+    kind: str
+    category: str | None = None          # Table-1 category when selected
+    selected: bool = False
+    obtain: bool = False                 # part of the 60-field Obtain query
+    description: str = ""
+    exclusion: str | None = None
+    aliases: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"field {self.name}: unknown kind {self.kind!r}")
+        if self.selected and self.category not in CATEGORIES:
+            raise ConfigError(
+                f"selected field {self.name} needs a Table-1 category")
+        if self.selected and not self.obtain:
+            raise ConfigError(
+                f"selected field {self.name} must be part of the Obtain query")
+
+
+def _sel(name: str, kind: str, category: str, desc: str,
+         aliases: tuple[str, ...] = ()) -> FieldSpec:
+    return FieldSpec(name, kind, category, selected=True, obtain=True,
+                     description=desc, aliases=aliases)
+
+
+def _obt(name: str, kind: str, desc: str) -> FieldSpec:
+    """Queried by Obtain (part of the 60) but not in the Table-1 listing."""
+    return FieldSpec(name, kind, obtain=True, description=desc)
+
+
+def _exc(name: str, kind: str, reason: str, desc: str = "") -> FieldSpec:
+    return FieldSpec(name, kind, description=desc, exclusion=reason)
+
+
+_REDUNDANT = "redundant: duplicative representation of a selected field"
+_SENSITIVE = "sensitive: identifies people/projects beyond analysis needs"
+_LOWINFO = "low information for scheduling analytics"
+
+ALL_FIELDS: tuple[FieldSpec, ...] = (
+    # --- Job Identification ---------------------------------------------------
+    _sel("JobID", "str", "Job Identification",
+         "Job (or job-step, as <jobid>.<step>) identifier"),
+    _sel("Partition", "str", "Job Identification", "Partition the job ran in"),
+    _sel("Reservation", "str", "Job Identification", "Reservation name, if any"),
+    _sel("ReservationID", "str", "Job Identification", "Reservation numeric id",
+         aliases=("ReservationId",)),
+    # --- Timing Information -----------------------------------------------------
+    _sel("SubmitTime", "timestamp", "Timing Information",
+         "Time the job entered the queue", aliases=("Submit",)),
+    _sel("StartTime", "timestamp", "Timing Information",
+         "Time the job began execution", aliases=("Start",)),
+    _sel("EndTime", "timestamp", "Timing Information",
+         "Time the job terminated", aliases=("End",)),
+    _sel("Elapsed", "duration", "Timing Information", "Wall-clock runtime"),
+    _sel("Timelimit", "duration", "Timing Information",
+         "Requested wall-time limit"),
+    # --- Resource Requests ------------------------------------------------------
+    _sel("NNodes", "count", "Resource Requests", "Number of allocated nodes"),
+    _sel("NCPUs", "count", "Resource Requests", "Number of allocated CPUs",
+         aliases=("NCPUS",)),
+    _sel("NTasks", "count", "Resource Requests", "Number of tasks (steps)"),
+    _sel("ReqMem", "mem", "Resource Requests", "Requested memory (per node/CPU)"),
+    _sel("ReqGRES", "tres", "Resource Requests",
+         "Requested generic resources (GPUs)"),
+    _sel("Layout", "str", "Resource Requests", "Task layout of a step"),
+    # --- Resource Usage -----------------------------------------------------------
+    _sel("VMSize", "bytes", "Resource Usage", "Virtual memory high-water mark",
+         aliases=("MaxVMSize",)),
+    _sel("AveCPU", "duration", "Resource Usage", "Average CPU time per task"),
+    _sel("MaxRSS", "bytes", "Resource Usage", "Peak resident set size"),
+    _sel("TotalCPU", "duration", "Resource Usage",
+         "Total CPU time (user+system)"),
+    _sel("NodeList", "str", "Resource Usage", "Compact allocated-node list"),
+    _sel("ConsumedEnergy", "int", "Resource Usage", "Energy consumed (joules)"),
+    # --- IO Related -----------------------------------------------------------------
+    _sel("WorkDir", "str", "IO Related", "Working directory at submission"),
+    _sel("AveDiskRead", "bytes", "IO Related", "Average bytes read per task"),
+    _sel("AveDiskWrite", "bytes", "IO Related", "Average bytes written per task"),
+    _sel("MaxDiskRead", "bytes", "IO Related", "Max bytes read by a task"),
+    _sel("MaxDiskWrite", "bytes", "IO Related", "Max bytes written by a task"),
+    # --- Job State ---------------------------------------------------------------------
+    _sel("State", "str", "Job State", "Final job state"),
+    _sel("ExitCode", "exitcode", "Job State", "exit:signal of the job script"),
+    _sel("Reason", "str", "Job State", "Last scheduler wait reason"),
+    _sel("Suspended", "duration", "Job State", "Time spent suspended"),
+    _sel("Restarts", "int", "Job State", "Number of requeue/restarts"),
+    _sel("Constraints", "str", "Job State", "Feature constraints requested"),
+    # --- Scheduling Metadata ----------------------------------------------------------
+    _sel("Priority", "int", "Scheduling Metadata", "Final multifactor priority"),
+    _sel("Eligible", "timestamp", "Scheduling Metadata",
+         "Time the job became eligible to run"),
+    _sel("QOS", "str", "Scheduling Metadata", "Quality-of-service level"),
+    _sel("QOSReq", "str", "Scheduling Metadata", "QOS requested at submission",
+         aliases=("QOSREQ",)),
+    _sel("Flags", "str", "Scheduling Metadata",
+         "Scheduling flags (contains BackFill when backfilled)"),
+    _sel("TRESUsageInAve", "tres", "Scheduling Metadata",
+         "Average trackable-resource usage"),
+    _sel("TRESReq", "tres", "Scheduling Metadata",
+         "Requested trackable resources"),
+    # --- Special Indicators ----------------------------------------------------------
+    _sel("Backfill", "int", "Special Indicators",
+         "1 when started by the backfill scheduler (derived from Flags)"),
+    _sel("Dependency", "str", "Special Indicators",
+         "Job dependency specification"),
+    _sel("ArrayJobID", "str", "Special Indicators",
+         "Parent id for array members"),
+    # --- Misc ------------------------------------------------------------------------------
+    _sel("Comment", "str", "Misc", "User comment"),
+    _sel("SystemComment", "str", "Misc", "System-generated comment"),
+    _sel("AdminComment", "str", "Misc", "Administrator comment"),
+    # --- Obtain-only (queried, useful for analytics joins; 60-field set) ---------------
+    _obt("User", "str", "Submitting user name"),
+    _obt("UID", "int", "Submitting user id"),
+    _obt("Account", "str", "Charge account"),
+    _obt("Cluster", "str", "Cluster name"),
+    _obt("JobName", "str", "Job script name"),
+    _obt("Group", "str", "Unix group"),
+    _obt("GID", "int", "Unix group id"),
+    _obt("AllocNodes", "count", "Nodes allocated (accounting view)"),
+    _obt("AllocCPUS", "count", "CPUs allocated (accounting view)"),
+    _obt("ReqNodes", "count", "Nodes requested at submission"),
+    _obt("ReqCPUS", "count", "CPUs requested at submission"),
+    _obt("SystemCPU", "duration", "System CPU time"),
+    _obt("UserCPU", "duration", "User CPU time"),
+    _obt("AveRSS", "bytes", "Average resident set size"),
+    _obt("ExitSignal", "int", "Terminating signal, if any"),
+    # --- Excluded: redundant time/format representations -----------------------------
+    _exc("ElapsedRaw", "int", _REDUNDANT, "Elapsed in raw seconds"),
+    _exc("CPUTime", "duration", _REDUNDANT, "Elapsed * NCPUs"),
+    _exc("CPUTimeRAW", "int", _REDUNDANT, "CPUTime in raw seconds"),
+    _exc("TimelimitRaw", "int", _REDUNDANT, "Timelimit in raw minutes"),
+    _exc("QOSRAW", "int", _REDUNDANT, "Numeric id of QOS"),
+    _exc("JobIDRaw", "str", _REDUNDANT, "Raw numeric job id"),
+    _exc("ConsumedEnergyRaw", "int", _REDUNDANT, "Energy in raw joules"),
+    _exc("PlannedCPURAW", "int", _REDUNDANT, "Planned CPU time, raw"),
+    _exc("Planned", "duration", _REDUNDANT,
+         "Queue wait (derivable from Submit/Start)"),
+    _exc("PlannedCPU", "duration", _REDUNDANT, "Planned CPU time"),
+    _exc("AllocTRES", "tres", _REDUNDANT, "Allocated TRES (TRESReq covers)"),
+    # --- Excluded: sensitive -----------------------------------------------------------
+    _exc("SubmitLine", "str", _SENSITIVE, "Full submission command line"),
+    _exc("WCKey", "str", _SENSITIVE, "Workload characterization key"),
+    _exc("WCKeyID", "int", _SENSITIVE, "Workload characterization key id"),
+    _exc("McsLabel", "str", _SENSITIVE, "Multi-category security label"),
+    _exc("Extra", "str", _SENSITIVE, "Arbitrary admin-attached data"),
+    _exc("Licenses", "str", _SENSITIVE, "Licenses requested"),
+    # --- Excluded: low information ------------------------------------------------------
+    _exc("AssocID", "int", _LOWINFO, "Association database id"),
+    _exc("DBIndex", "int", _LOWINFO, "Row index in slurmdbd"),
+    _exc("BlockID", "str", _LOWINFO, "BlueGene block id (obsolete)"),
+    _exc("Container", "str", _LOWINFO, "OCI container bundle"),
+    _exc("DerivedExitCode", "exitcode", _LOWINFO, "Highest step exit code"),
+    _exc("FailedNode", "str", _LOWINFO, "Node that caused failure"),
+    _exc("AveCPUFreq", "int", _LOWINFO, "Average weighted CPU frequency"),
+    _exc("ReqCPUFreq", "int", _LOWINFO, "Requested CPU frequency"),
+    _exc("ReqCPUFreqMin", "int", _LOWINFO, "Requested min CPU frequency"),
+    _exc("ReqCPUFreqMax", "int", _LOWINFO, "Requested max CPU frequency"),
+    _exc("ReqCPUFreqGov", "str", _LOWINFO, "Requested CPU governor"),
+    _exc("AvePages", "int", _LOWINFO, "Average page faults"),
+    _exc("MaxPages", "int", _LOWINFO, "Max page faults"),
+    _exc("MaxPagesNode", "str", _LOWINFO, "Node with max page faults"),
+    _exc("MaxPagesTask", "int", _LOWINFO, "Task with max page faults"),
+    _exc("MaxRSSNode", "str", _LOWINFO, "Node with peak RSS"),
+    _exc("MaxRSSTask", "int", _LOWINFO, "Task with peak RSS"),
+    _exc("MaxVMSizeNode", "str", _LOWINFO, "Node with peak VM size"),
+    _exc("MaxVMSizeTask", "int", _LOWINFO, "Task with peak VM size"),
+    _exc("MaxDiskReadNode", "str", _LOWINFO, "Node with max read"),
+    _exc("MaxDiskReadTask", "int", _LOWINFO, "Task with max read"),
+    _exc("MaxDiskWriteNode", "str", _LOWINFO, "Node with max write"),
+    _exc("MaxDiskWriteTask", "int", _LOWINFO, "Task with max write"),
+    _exc("MinCPU", "duration", _LOWINFO, "Minimum CPU time of a task"),
+    _exc("MinCPUNode", "str", _LOWINFO, "Node with min CPU time"),
+    _exc("MinCPUTask", "int", _LOWINFO, "Task with min CPU time"),
+    _exc("TRESUsageInMax", "tres", _LOWINFO, "Max TRES input usage"),
+    _exc("TRESUsageInMaxNode", "str", _LOWINFO, "Node of max TRES usage"),
+    _exc("TRESUsageInMaxTask", "int", _LOWINFO, "Task of max TRES usage"),
+    _exc("TRESUsageInMin", "tres", _LOWINFO, "Min TRES input usage"),
+    _exc("TRESUsageInMinNode", "str", _LOWINFO, "Node of min TRES usage"),
+    _exc("TRESUsageInMinTask", "int", _LOWINFO, "Task of min TRES usage"),
+    _exc("TRESUsageInTot", "tres", _LOWINFO, "Total TRES input usage"),
+    _exc("TRESUsageOutAve", "tres", _LOWINFO, "Average TRES output usage"),
+    _exc("TRESUsageOutMax", "tres", _LOWINFO, "Max TRES output usage"),
+    _exc("TRESUsageOutMaxNode", "str", _LOWINFO, "Node of max TRES output"),
+    _exc("TRESUsageOutMaxTask", "int", _LOWINFO, "Task of max TRES output"),
+    _exc("TRESUsageOutMin", "tres", _LOWINFO, "Min TRES output usage"),
+    _exc("TRESUsageOutMinNode", "str", _LOWINFO, "Node of min TRES output"),
+    _exc("TRESUsageOutMinTask", "int", _LOWINFO, "Task of min TRES output"),
+    _exc("TRESUsageOutTot", "tres", _LOWINFO, "Total TRES output usage"),
+)
+
+FIELDS_BY_NAME: dict[str, FieldSpec] = {}
+for _f in ALL_FIELDS:
+    if _f.name in FIELDS_BY_NAME:
+        raise ConfigError(f"duplicate field {_f.name}")
+    FIELDS_BY_NAME[_f.name] = _f
+    for _a in _f.aliases:
+        FIELDS_BY_NAME.setdefault(_a, _f)
+
+#: The curated Table-1 set (order: catalog order, i.e. grouped by category).
+SELECTED_FIELDS: tuple[FieldSpec, ...] = tuple(
+    f for f in ALL_FIELDS if f.selected)
+
+#: The 60-field set the Obtain stage queries from the database.
+OBTAIN_FIELDS: tuple[FieldSpec, ...] = tuple(
+    f for f in ALL_FIELDS if f.obtain)
+
+
+def selected_by_category() -> dict[str, list[FieldSpec]]:
+    """Selected fields grouped by Table-1 category, category order preserved."""
+    out: dict[str, list[FieldSpec]] = {c: [] for c in CATEGORIES}
+    for f in SELECTED_FIELDS:
+        assert f.category is not None
+        out[f.category].append(f)
+    return out

@@ -1,0 +1,109 @@
+"""Parsing sacct text back into typed values.
+
+The curation stage (:mod:`repro.pipeline.curate`) uses these converters
+to normalize raw sacct output: K-suffixed counts become integers,
+durations become seconds, timestamps become epoch seconds, and so on —
+exactly the "light preprocessing step ... to normalize and clean the
+extracted data" from Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro._util.errors import DataError
+from repro._util.sizefmt import parse_count_k, parse_mem
+from repro._util.timefmt import parse_slurm_duration, parse_timestamp
+from repro.slurm.fields import FIELDS_BY_NAME
+
+__all__ = ["parse_sacct_value", "record_from_row", "is_step_jobid"]
+
+
+def _parse_exitcode(text: str) -> int:
+    """Return the exit status portion of ``code:signal``."""
+    if not text:
+        return 0
+    head = text.split(":", 1)[0]
+    try:
+        return int(head)
+    except ValueError as exc:
+        raise DataError(f"bad exit code: {text!r}") from exc
+
+
+def _parse_bytes(text: str) -> int:
+    """Byte counts: plain ints, or suffixed KiB values like ``12345K``."""
+    text = text.strip()
+    if not text:
+        return 0
+    if text[-1] in ("K", "M", "G", "T"):
+        kib, _ = parse_mem(text)
+        return kib * 1024
+    try:
+        return int(float(text))
+    except ValueError as exc:
+        raise DataError(f"bad byte count: {text!r}") from exc
+
+
+_PARSERS: dict[str, Callable[[str], Any]] = {
+    "str": lambda t: t,
+    "int": lambda t: int(t) if t.strip() else 0,
+    "float": lambda t: float(t) if t.strip() else 0.0,
+    "count": lambda t: parse_count_k(t) if t.strip() else 0,
+    "duration": lambda t: parse_slurm_duration(t) if t.strip() else 0,
+    "timestamp": parse_timestamp,
+    "mem": lambda t: parse_mem(t)[0] if t.strip() else 0,
+    "bytes": _parse_bytes,
+    "exitcode": _parse_exitcode,
+    "tres": lambda t: t,
+}
+
+
+def parse_sacct_value(field_name: str, text: str) -> Any:
+    """Parse one sacct cell according to its field's kind.
+
+    >>> parse_sacct_value("NNodes", "9.408K")
+    9408
+    >>> parse_sacct_value("Elapsed", "1-00:00:00")
+    86400
+    """
+    spec = FIELDS_BY_NAME.get(field_name)
+    if spec is None:
+        raise DataError(f"unknown sacct field {field_name!r}")
+    return _PARSERS[spec.kind](text)
+
+
+def is_step_jobid(jobid_text: str) -> bool:
+    """True when a JobID cell denotes a job step (``123.0``, ``123.batch``)."""
+    return "." in jobid_text
+
+
+def record_from_row(names: Sequence[str], cells: Sequence[str]) -> dict[str, Any]:
+    """Parse one sacct row into a dict of typed values.
+
+    Raises :class:`DataError` on arity mismatch or unparseable cells —
+    the curation stage catches this to count/drop malformed records.
+    """
+    if len(names) != len(cells):
+        raise DataError(
+            f"row has {len(cells)} cells for {len(names)} fields")
+    out: dict[str, Any] = {}
+    for name, cell in zip(names, cells):
+        out[name] = parse_sacct_value(name, cell)
+    return out
+
+
+def curate_row(row: Mapping[str, Any]) -> dict[str, Any]:
+    """Apply Table-1 style normalizations to an already-typed row.
+
+    Converts raw seconds to minutes for the readability-oriented derived
+    columns the paper mentions, and derives ``Backfill`` from ``Flags``
+    when the explicit column is absent.
+    """
+    out = dict(row)
+    if "Elapsed" in out:
+        out["ElapsedMin"] = round(out["Elapsed"] / 60.0, 2)
+    if "Timelimit" in out:
+        out["TimelimitMin"] = round(out["Timelimit"] / 60.0, 2)
+    if "Backfill" not in out and "Flags" in out:
+        out["Backfill"] = int("SchedBackfill" in str(out["Flags"]))
+    return out

@@ -1,0 +1,202 @@
+"""In-memory job and job-step accounting records.
+
+These are the objects the scheduler simulator (:mod:`repro.sched`)
+produces and the emitter (:mod:`repro.slurm.emit`) serializes.  Field
+names follow the curated catalog (:mod:`repro.slurm.fields`); values are
+typed (ints/epoch seconds) rather than Slurm text — formatting quirks live
+entirely in the emitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro._util.errors import DataError
+from repro._util.timefmt import UNKNOWN_TIME
+
+__all__ = ["JobRecord", "StepRecord", "JOB_STATES", "STEP_STATES",
+           "TERMINAL_STATES", "check_job_invariants"]
+
+#: Final job states the paper's figures color by, plus NODE_FAIL which
+#: appears as the malformed/hardware-error tail in the dataset section.
+JOB_STATES = (
+    "COMPLETED",
+    "FAILED",
+    "CANCELLED",
+    "TIMEOUT",
+    "OUT_OF_MEMORY",
+    "NODE_FAIL",
+)
+
+STEP_STATES = ("COMPLETED", "FAILED", "CANCELLED", "OUT_OF_MEMORY")
+
+TERMINAL_STATES = frozenset(JOB_STATES)
+
+
+@dataclass
+class StepRecord:
+    """One job step (an ``srun`` launch inside a job)."""
+
+    jobid: int
+    stepid: int                  # 0-based within the job
+    name: str = "step"
+    start: int = UNKNOWN_TIME    # epoch seconds
+    end: int = UNKNOWN_TIME
+    state: str = "COMPLETED"
+    exit_code: int = 0
+    ntasks: int = 1
+    nnodes: int = 1
+    layout: str = "Block"
+    ave_cpu_s: int = 0           # average per-task CPU seconds
+    max_rss_kib: int = 0
+    ave_disk_read_b: int = 0
+    ave_disk_write_b: int = 0
+    max_disk_read_b: int = 0
+    max_disk_write_b: int = 0
+
+    @property
+    def step_jobid(self) -> str:
+        """The sacct-style ``<jobid>.<step>`` identifier."""
+        return f"{self.jobid}.{self.stepid}"
+
+    @property
+    def elapsed(self) -> int:
+        if self.start == UNKNOWN_TIME or self.end == UNKNOWN_TIME:
+            return 0
+        return max(0, self.end - self.start)
+
+
+@dataclass
+class JobRecord:
+    """One batch job, with the accounting fields the workflow curates."""
+
+    jobid: int
+    user: str
+    account: str
+    partition: str
+    qos: str = "normal"
+    cluster: str = "cluster"
+    job_name: str = "job"
+
+    # Timing (epoch seconds; UNKNOWN_TIME when not applicable)
+    submit: int = 0
+    eligible: int = 0
+    start: int = UNKNOWN_TIME
+    end: int = UNKNOWN_TIME
+    timelimit_s: int = 3600           # requested wall time
+    suspended_s: int = 0
+
+    # Resources
+    nnodes: int = 1
+    ncpus: int = 1
+    ntasks: int = 1
+    req_mem_kib: int = 0
+    req_mem_per: str = "n"
+    req_gres: str = ""                # e.g. "gpu:8"
+    node_list: str = ""
+    consumed_energy_j: int = 0
+
+    # Outcome
+    state: str = "COMPLETED"
+    exit_code: int = 0
+    exit_signal: int = 0
+    reason: str = "None"
+    restarts: int = 0
+    constraints: str = ""
+
+    # Scheduling metadata
+    priority: int = 0
+    backfilled: bool = False
+    dependency: str = ""
+    array_job_id: int | None = None
+    reservation: str = ""
+    reservation_id: str = ""
+
+    # Usage
+    total_cpu_s: int = 0
+    user_cpu_s: int = 0
+    system_cpu_s: int = 0
+    max_rss_kib: int = 0
+    ave_rss_kib: int = 0
+    max_vmsize_kib: int = 0
+    ave_cpu_s: int = 0
+    work_dir: str = "/lustre/orion"
+    ave_disk_read_b: int = 0
+    ave_disk_write_b: int = 0
+    max_disk_read_b: int = 0
+    max_disk_write_b: int = 0
+
+    comment: str = ""
+    system_comment: str = ""
+    admin_comment: str = ""
+
+    steps: list[StepRecord] = dc_field(default_factory=list)
+
+    # -- derived quantities the analytics layer uses --------------------------
+
+    @property
+    def elapsed(self) -> int:
+        """Wall-clock runtime in seconds (0 if never started)."""
+        if self.start == UNKNOWN_TIME or self.end == UNKNOWN_TIME:
+            return 0
+        return max(0, self.end - self.start)
+
+    @property
+    def wait_s(self) -> int:
+        """Queue wait: eligible (or submit) → start.
+
+        Jobs cancelled before starting wait from submit to end.
+        """
+        anchor = self.eligible if self.eligible != UNKNOWN_TIME else self.submit
+        if self.start == UNKNOWN_TIME:
+            return max(0, (self.end if self.end != UNKNOWN_TIME else anchor) - anchor)
+        return max(0, self.start - anchor)
+
+    @property
+    def flags(self) -> str:
+        """Slurm ``Flags`` text; contains ``BackFill`` when backfilled."""
+        parts = []
+        if self.backfilled:
+            parts.append("SchedBackfill")
+        else:
+            parts.append("SchedMain")
+        if self.array_job_id is not None:
+            parts.append("ArrayJob")
+        return ",".join(parts)
+
+
+def check_job_invariants(job: JobRecord) -> None:
+    """Raise :class:`DataError` when a record violates accounting laws.
+
+    Used by tests and by the simulator's sanity sink:
+    submit <= eligible <= start <= end, legal state, step nesting.
+    """
+    if job.state not in TERMINAL_STATES:
+        raise DataError(f"job {job.jobid}: illegal state {job.state!r}")
+    if job.eligible != UNKNOWN_TIME and job.eligible < job.submit:
+        raise DataError(f"job {job.jobid}: eligible before submit")
+    if job.start != UNKNOWN_TIME:
+        anchor = job.eligible if job.eligible != UNKNOWN_TIME else job.submit
+        if job.start < anchor:
+            raise DataError(f"job {job.jobid}: started before eligible")
+        if job.end != UNKNOWN_TIME and job.end < job.start:
+            raise DataError(f"job {job.jobid}: ended before start")
+    if job.state == "CANCELLED" and job.start == UNKNOWN_TIME:
+        pass  # cancelled while pending: no start is legal
+    elif job.start == UNKNOWN_TIME:
+        raise DataError(
+            f"job {job.jobid}: state {job.state} requires a start time")
+    if job.nnodes < 1 or job.ncpus < 1:
+        raise DataError(f"job {job.jobid}: non-positive allocation")
+    for step in job.steps:
+        if step.jobid != job.jobid:
+            raise DataError(f"step {step.step_jobid} not owned by {job.jobid}")
+        if job.start != UNKNOWN_TIME and step.start != UNKNOWN_TIME:
+            if step.start < job.start:
+                raise DataError(f"step {step.step_jobid} starts before job")
+            if job.end != UNKNOWN_TIME and step.end != UNKNOWN_TIME \
+                    and step.end > job.end:
+                raise DataError(f"step {step.step_jobid} ends after job")
+        if step.nnodes > job.nnodes:
+            raise DataError(
+                f"step {step.step_jobid} uses more nodes than the job")

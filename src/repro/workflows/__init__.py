@@ -1,0 +1,29 @@
+"""The composed end-to-end workflow (the ``workflow.swift`` analogue).
+
+:class:`SchedulingAnalysisWorkflow` wires the paper's Figure 2 as a
+:class:`~repro.flow.FlowEngine` task list: per month, *Obtain* →
+*Curate* → four field-specific plot stages (concurrent) → *HTML2PNG* →
+*LLM Insight*, with cross-month *LLM Compare* pairs and a final
+*Dashboard* consolidation.  The task list is written linearly; the
+engine extracts the concurrency.
+"""
+
+from repro.workflows.main import (
+    SchedulingAnalysisWorkflow,
+    WorkflowConfig,
+    WorkflowResult,
+)
+from repro.workflows.portability import (
+    PortabilityConfig,
+    PortabilityResult,
+    PortabilityStudy,
+)
+
+__all__ = [
+    "SchedulingAnalysisWorkflow",
+    "WorkflowConfig",
+    "WorkflowResult",
+    "PortabilityConfig",
+    "PortabilityResult",
+    "PortabilityStudy",
+]

@@ -1,0 +1,386 @@
+"""The end-to-end scheduling-analysis workflow."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro._util.errors import ConfigError
+from repro._util.timefmt import iter_months
+from repro.advisor import PolicyAdvisor
+from repro.analytics import (
+    load_jobs,
+    load_steps,
+    nodes_vs_elapsed,
+    occupancy_timeline,
+    states_per_user,
+    utilization,
+    volume_by_year,
+    wait_times,
+    walltime_accuracy,
+)
+from repro.cluster import get_system
+from repro.charts import write_html
+from repro.charts.figures import (
+    fig1_volume_chart,
+    fig3_nodes_vs_elapsed_chart,
+    fig4_wait_times_chart,
+    fig5_states_per_user_chart,
+    fig6_walltime_chart,
+    occupancy_chart,
+)
+from repro.charts.spec import ChartSpec
+from repro.dashboard import DashboardBuilder
+from repro.flow import FlowEngine, FlowReport
+from repro.llm import LLMClient
+from repro.pipeline import CurateStage, ObtainConfig, ObtainStage
+from repro.raster import html_to_png, save_primitives
+from repro.sched import SimConfig, simulate_month
+from repro.slurm.db import AccountingDB
+from repro.slurm.emit import DEFAULT_MALFORMED_RATE
+
+__all__ = ["WorkflowConfig", "WorkflowResult", "SchedulingAnalysisWorkflow"]
+
+#: the four field-specific plot stages of Section 3.1
+_PLOT_KINDS = ("waits", "states", "backfill", "scale")
+
+
+@dataclass(frozen=True)
+class WorkflowConfig:
+    """Everything the workflow invocation parameterizes.
+
+    Mirrors the paper's CLI: ``-n N`` (workers), ``--date_spec/--dates``
+    (months), ``--cache`` and ``--data`` locations, plus the simulator
+    inputs that stand in for the real Slurm database.
+    """
+
+    system: str = "frontier"
+    months: tuple[str, ...] = ("2024-03", "2024-06")
+    workdir: str = "workflow-out"
+    workers: int = 4
+    seed: int = 0
+    rate_scale: float = 0.05
+    use_cache: bool = True
+    enable_ai: bool = True            # the orange user-defined stages
+    llm_backend: str = "chart-analyst"
+    malformed_rate: float = DEFAULT_MALFORMED_RATE
+    db: AccountingDB | None = None    # supply an existing database
+
+    def __post_init__(self) -> None:
+        if not self.months:
+            raise ConfigError("workflow needs at least one month")
+        months = list(self.months)
+        if months != sorted(months):
+            raise ConfigError("months must be sorted")
+
+
+@dataclass
+class WorkflowResult:
+    """Everything a run produced."""
+
+    config: WorkflowConfig
+    dashboard_path: str = ""
+    chart_html: dict[str, str] = field(default_factory=dict)
+    chart_png: dict[str, str] = field(default_factory=dict)
+    insights: dict[str, str] = field(default_factory=dict)
+    compares: dict[str, str] = field(default_factory=dict)
+    advisor_report: str = ""
+    curate_malformed: int = 0
+    curate_rows: int = 0
+    n_jobs: int = 0
+    n_steps: int = 0
+    flow_report: FlowReport | None = None
+
+
+class SchedulingAnalysisWorkflow:
+    """Build and run the full Figure-2 pipeline."""
+
+    def __init__(self, config: WorkflowConfig) -> None:
+        self.config = config
+        self.result = WorkflowResult(config=config)
+        self._specs: dict[str, ChartSpec] = {}
+        self._db = config.db
+        self._lock = __import__("threading").Lock()
+
+    # -- paths -----------------------------------------------------------------
+
+    def _path(self, *parts: str) -> str:
+        return os.path.join(self.config.workdir, *parts)
+
+    def _cache_dir(self) -> str:
+        return self._path("cache")
+
+    # -- stage bodies -------------------------------------------------------------
+
+    def _ensure_db(self) -> AccountingDB:
+        """The Slurm database (synthesized when not supplied).
+
+        Guarded by a lock: concurrent Obtain tasks must not both
+        synthesize it.
+        """
+        with self._lock:
+            return self._ensure_db_locked()
+
+    def _ensure_db_locked(self) -> AccountingDB:
+        if self._db is None:
+            db = AccountingDB(self.config.system)
+            for i, month in enumerate(self.config.months):
+                res = simulate_month(
+                    self.config.system, month, seed=self.config.seed + i,
+                    rate_scale=self.config.rate_scale,
+                    config=SimConfig(seed=self.config.seed + i,
+                                     first_jobid=400_000 + 1_000_000 * i))
+                db.extend(res.jobs)
+            self._db = db
+        return self._db
+
+    def _obtain(self, month: str) -> None:
+        cfg = ObtainConfig(month, month, cache_dir=self._cache_dir(),
+                           use_cache=self.config.use_cache,
+                           malformed_rate=self.config.malformed_rate,
+                           seed=self.config.seed, workers=1)
+        ObtainStage(self._ensure_db(), cfg).run()
+
+    def _curate(self, month: str) -> None:
+        stage = CurateStage(self._path("data"))
+        pipe = os.path.join(self._cache_dir(),
+                            f"{self.config.system}-{month}.txt")
+        _, _, report = stage.run(pipe, tag=month)
+        with self._lock:
+            self.result.curate_malformed += report.malformed
+            self.result.curate_rows += report.input_rows
+
+    def _jobs_csv(self, month: str) -> str:
+        return self._path("data", f"{month}-jobs.csv")
+
+    def _steps_csv(self, month: str) -> str:
+        return self._path("data", f"{month}-steps.csv")
+
+    def _plot(self, month: str, kind: str) -> None:
+        jobs = load_jobs(self._jobs_csv(month))
+        system = self.config.system
+        if kind == "waits":
+            spec = fig4_wait_times_chart(wait_times(jobs), system)
+        elif kind == "states":
+            spec = fig5_states_per_user_chart(states_per_user(jobs), system)
+        elif kind == "backfill":
+            spec = fig6_walltime_chart(walltime_accuracy(jobs), system)
+        elif kind == "scale":
+            spec = fig3_nodes_vs_elapsed_chart(nodes_vs_elapsed(jobs),
+                                               system)
+        else:
+            raise ConfigError(f"unknown plot kind {kind!r}")
+        spec.title += f" — {month}"
+        spec.chart_id = f"{kind}-{month}"
+        html_path = self._path("charts", f"{month}-{kind}.html")
+        write_html(spec, html_path)
+        save_primitives(spec, html_path)
+        self._specs[f"{month}-{kind}"] = spec
+        self.result.chart_html[f"{month}-{kind}"] = html_path
+
+    def _plot_volume(self) -> None:
+        jobs = load_jobs([self._jobs_csv(m) for m in self.config.months])
+        steps = load_steps([self._steps_csv(m) for m in self.config.months])
+        self.result.n_jobs = len(jobs)
+        self.result.n_steps = len(steps)
+        spec = fig1_volume_chart(volume_by_year(jobs, steps),
+                                 self.config.system)
+        html_path = self._path("charts", "volume.html")
+        write_html(spec, html_path)
+        save_primitives(spec, html_path)
+        self._specs["volume"] = spec
+        self.result.chart_html["volume"] = html_path
+
+    def _total_nodes(self, jobs) -> int:
+        try:
+            return get_system(self.config.system).total_nodes
+        except Exception:
+            return int(jobs["NNodes"].max()) if len(jobs) else 1
+
+    def _plot_occupancy(self) -> None:
+        jobs = load_jobs([self._jobs_csv(m) for m in self.config.months])
+        occ = occupancy_timeline(jobs, self._total_nodes(jobs))
+        spec = occupancy_chart(occ, self.config.system)
+        html_path = self._path("charts", "occupancy.html")
+        write_html(spec, html_path)
+        save_primitives(spec, html_path)
+        self._specs["occupancy"] = spec
+        self.result.chart_html["occupancy"] = html_path
+
+    def _html2png(self, key: str) -> None:
+        html_path = self.result.chart_html[key]
+        png = html_to_png(html_path,
+                          self._path("png", f"{key}.png"))
+        self.result.chart_png[key] = png
+
+    def _insight(self, key: str) -> None:
+        client = LLMClient(backend=self.config.llm_backend)
+        resp = client.insight(self.result.chart_png[key])
+        self.result.insights[key] = resp.text
+        out = self._path("llm", f"insight-{key}.md")
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(f"# LLM insight — {key}\n\n{resp.text}\n")
+
+    def _compare(self, key_a: str, key_b: str) -> None:
+        client = LLMClient(backend=self.config.llm_backend)
+        resp = client.compare(self.result.chart_png[key_a],
+                              self.result.chart_png[key_b])
+        name = f"{key_a}-vs-{key_b}"
+        self.result.compares[name] = resp.text
+        out = self._path("llm", f"compare-{name}.md")
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(f"# LLM compare — {name}\n\n{resp.text}\n")
+
+    def _aggregate_llm_reports(self) -> None:
+        """Write the two aggregate markdown files the paper publishes:
+        single-file (insight) and double-file (compare) analyses."""
+        single = self._path("llm", "llm_single_file_analysis.md")
+        os.makedirs(os.path.dirname(single), exist_ok=True)
+        with open(single, "w", encoding="utf-8") as fh:
+            fh.write("# Single-file LLM analyses\n\n")
+            fh.write(f"Model: offline chart analyst "
+                     f"(Gemma 3 stand-in), {len(self.result.insights)} "
+                     f"charts.\n\n")
+            for key in sorted(self.result.insights):
+                fh.write(f"## {key}\n\n{self.result.insights[key]}\n\n")
+        double = self._path("llm", "llm_double_file_analysis.md")
+        with open(double, "w", encoding="utf-8") as fh:
+            fh.write("# Double-file LLM analyses\n\n")
+            for name in sorted(self.result.compares):
+                fh.write(f"## {name}\n\n{self.result.compares[name]}\n\n")
+
+    def _advise(self) -> None:
+        """The policy-advisor stage (future-work extension)."""
+        jobs = load_jobs([self._jobs_csv(m) for m in self.config.months])
+        try:
+            total_nodes = get_system(self.config.system).total_nodes
+        except Exception:
+            total_nodes = int(jobs["NNodes"].max()) if len(jobs) else 1
+        advisor = PolicyAdvisor(
+            waits=wait_times(jobs),
+            states=states_per_user(jobs, min_jobs=5),
+            backfill=walltime_accuracy(jobs),
+            scale=nodes_vs_elapsed(jobs),
+            util=utilization(jobs, total_nodes=total_nodes),
+        )
+        self.result.advisor_report = advisor.report()
+        out = self._path("llm", "policy-advisor.md")
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write("# Policy advisor report\n\n"
+                     + self.result.advisor_report + "\n")
+
+    def _dashboard(self) -> None:
+        builder = DashboardBuilder(
+            f"HPC scheduling analysis — {self.config.system} "
+            f"({self.config.months[0]} .. {self.config.months[-1]})")
+        builder.add_stat("jobs", f"{self.result.n_jobs:,}")
+        builder.add_stat("job-steps", f"{self.result.n_steps:,}")
+        builder.add_stat("malformed dropped",
+                         str(self.result.curate_malformed))
+        builder.add_section("Volume", self._specs["volume"],
+                            self.result.insights.get("volume", ""))
+        builder.add_section("Occupancy", self._specs["occupancy"],
+                            self.result.insights.get("occupancy", ""))
+        for month in self.config.months:
+            for kind in _PLOT_KINDS:
+                key = f"{month}-{kind}"
+                builder.add_section(f"{kind} {month}", self._specs[key],
+                                    self.result.insights.get(key, ""))
+        if self.result.advisor_report:
+            builder.add_text_section("Policy advisor",
+                                     self.result.advisor_report)
+        self.result.dashboard_path = builder.write(
+            self._path("dashboard", "index.html"))
+
+    # -- composition (the linear task list of Section 3.3) -------------------------
+
+    def build_engine(self) -> FlowEngine:
+        cfg = self.config
+        eng = FlowEngine(workers=cfg.workers)
+        cache = self._cache_dir()
+        for month in cfg.months:
+            pipe = os.path.join(cache, f"{cfg.system}-{month}.txt")
+            jobs_csv = self._jobs_csv(month)
+            steps_csv = self._steps_csv(month)
+            eng.task(f"obtain-{month}",
+                     lambda m=month: self._obtain(m),
+                     outputs=[pipe])
+            # curate is skipped on re-runs when its CSVs are newer than
+            # the cached sacct pull (incremental monthly updates)
+            eng.task(f"curate-{month}",
+                     lambda m=month: self._curate(m),
+                     inputs=[pipe], outputs=[jobs_csv, steps_csv],
+                     cache=cfg.use_cache)
+            for kind in _PLOT_KINDS:
+                html = self._path("charts", f"{month}-{kind}.html")
+                eng.task(f"plot-{kind}-{month}",
+                         lambda m=month, k=kind: self._plot(m, k),
+                         inputs=[jobs_csv], outputs=[html])
+        all_jobs = [self._jobs_csv(m) for m in cfg.months]
+        all_steps = [self._steps_csv(m) for m in cfg.months]
+        vol_html = self._path("charts", "volume.html")
+        eng.task("plot-volume", self._plot_volume,
+                 inputs=all_jobs + all_steps, outputs=[vol_html])
+        occ_html = self._path("charts", "occupancy.html")
+        eng.task("plot-occupancy", self._plot_occupancy,
+                 inputs=all_jobs, outputs=[occ_html])
+
+        keys = ["volume", "occupancy"] + \
+            [f"{m}-{k}" for m in cfg.months for k in _PLOT_KINDS]
+        overall_html = {"volume": vol_html, "occupancy": occ_html}
+        dash_inputs: list[str] = []
+        if cfg.enable_ai:
+            for key in keys:
+                html = overall_html.get(
+                    key, self._path("charts", f"{key}.html"))
+                png = self._path("png", f"{key}.png")
+                md = self._path("llm", f"insight-{key}.md")
+                eng.task(f"html2png-{key}",
+                         lambda k=key: self._html2png(k),
+                         inputs=[html], outputs=[png])
+                eng.task(f"insight-{key}",
+                         lambda k=key: self._insight(k),
+                         inputs=[png], outputs=[md])
+                dash_inputs.append(md)
+            # cross-month compares on the wait-time charts (the paper's
+            # March-vs-June example)
+            months = list(cfg.months)
+            compare_outs = []
+            for a, b in zip(months, months[1:]):
+                ka, kb = f"{a}-waits", f"{b}-waits"
+                out = self._path("llm", f"compare-{ka}-vs-{kb}.md")
+                compare_outs.append(out)
+                eng.task(f"compare-{a}-{b}",
+                         lambda x=ka, y=kb: self._compare(x, y),
+                         inputs=[self._path("png", f"{ka}.png"),
+                                 self._path("png", f"{kb}.png")],
+                         outputs=[out])
+            # the paper's published aggregate markdown artifacts
+            eng.task("llm-reports", self._aggregate_llm_reports,
+                     inputs=dash_inputs + compare_outs,
+                     outputs=[
+                         self._path("llm", "llm_single_file_analysis.md"),
+                         self._path("llm", "llm_double_file_analysis.md"),
+                     ])
+        else:
+            dash_inputs = [
+                overall_html.get(key, self._path("charts", f"{key}.html"))
+                for key in keys]
+        advisor_md = self._path("llm", "policy-advisor.md")
+        eng.task("advisor", self._advise, inputs=all_jobs,
+                 outputs=[advisor_md])
+        eng.task("dashboard", self._dashboard,
+                 inputs=dash_inputs + [advisor_md],
+                 after=["plot-volume", "plot-occupancy"] +
+                       [f"plot-{k}-{m}" for m in cfg.months
+                        for k in _PLOT_KINDS])
+        return eng
+
+    def run(self) -> WorkflowResult:
+        """Execute the workflow; raises on any stage failure."""
+        engine = self.build_engine()
+        self.result.flow_report = engine.run_or_raise()
+        return self.result

@@ -1,0 +1,42 @@
+"""Synthetic workload models.
+
+The paper analyzes proprietary OLCF traces; this package is the
+substitution: statistical workload models that, pushed through the
+scheduler simulator (:mod:`repro.sched`), produce sacct datasets with the
+phenomena every figure in Section 4 depends on — heavy walltime
+overestimation, per-user failure skew, multi-step jobs, diurnal queue
+dynamics, and the Frontier/Andes scale contrast.
+
+The pieces:
+
+- :mod:`repro.workload.users` — heavy-tailed user populations with
+  per-user behaviour (activity, failure proneness, request accuracy);
+- :mod:`repro.workload.arrivals` — non-homogeneous Poisson arrivals with
+  diurnal/weekly cycles and campaign bursts;
+- :mod:`repro.workload.jobs` — the :class:`JobRequest` submission spec;
+- :mod:`repro.workload.profiles` — per-system mix parameters
+  (:func:`workload_for` returns the Frontier/Andes/testsys models);
+- :mod:`repro.workload.generate` — ties it together into a submission
+  stream for a date range.
+"""
+
+from repro.workload.users import User, UserPopulation
+from repro.workload.arrivals import ArrivalModel
+from repro.workload.jobs import JobRequest, JOB_CLASSES
+from repro.workload.profiles import ClassParams, WorkloadProfile, workload_for
+from repro.workload.generate import WorkloadGenerator
+from repro.workload.calibrate import CalibrationReport, calibrate_profile
+
+__all__ = [
+    "ClassParams",
+    "CalibrationReport",
+    "calibrate_profile",
+    "User",
+    "UserPopulation",
+    "ArrivalModel",
+    "JobRequest",
+    "JOB_CLASSES",
+    "WorkloadProfile",
+    "workload_for",
+    "WorkloadGenerator",
+]

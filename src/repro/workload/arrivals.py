@@ -1,0 +1,129 @@
+"""Job arrival processes.
+
+Submissions on production HPC systems are strongly non-stationary: a
+work-hours diurnal cycle, a weekday/weekend cycle, and occasional bursts
+when a project starts a campaign (the wait-time spikes Figure 4 shows).
+:class:`ArrivalModel` is a non-homogeneous Poisson process sampled by
+thinning, with multiplicative diurnal/weekly modulation and a
+Poisson-seeded burst overlay.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util.errors import ConfigError
+
+__all__ = ["ArrivalModel"]
+
+_DAY = 86400.0
+_WEEK = 7 * 86400.0
+
+
+class ArrivalModel:
+    """Non-homogeneous Poisson arrivals via thinning.
+
+    Parameters
+    ----------
+    base_rate:
+        Long-run mean arrivals per hour.
+    diurnal_amp:
+        Amplitude in [0, 1) of the day cycle (0 = flat).  Peak is at
+        14:00 UTC (working hours at a US site).
+    weekend_factor:
+        Multiplier applied on Saturday/Sunday (< 1 damps weekends).
+    burst_rate_per_week:
+        Expected number of campaign bursts per week.
+    burst_mult, burst_duration_s:
+        Rate multiplier and length of a burst.
+    """
+
+    def __init__(self, base_rate: float, diurnal_amp: float = 0.45,
+                 weekend_factor: float = 0.55,
+                 burst_rate_per_week: float = 1.5,
+                 burst_mult: float = 4.0,
+                 burst_duration_s: float = 4 * 3600.0) -> None:
+        if base_rate <= 0:
+            raise ConfigError("base_rate must be positive")
+        if not 0 <= diurnal_amp < 1:
+            raise ConfigError("diurnal_amp must be in [0, 1)")
+        if weekend_factor <= 0 or burst_mult < 1:
+            raise ConfigError("bad modulation factors")
+        self.base_rate = base_rate
+        self.diurnal_amp = diurnal_amp
+        self.weekend_factor = weekend_factor
+        self.burst_rate_per_week = burst_rate_per_week
+        self.burst_mult = burst_mult
+        self.burst_duration_s = burst_duration_s
+
+    # -- intensity ----------------------------------------------------------------
+
+    def _bursts(self, start: int, end: int,
+                rng: np.random.Generator) -> list[tuple[float, float]]:
+        """Sample burst windows overlapping [start, end)."""
+        span_weeks = (end - start) / _WEEK
+        n = rng.poisson(self.burst_rate_per_week * span_weeks)
+        starts = rng.uniform(start, end, size=n)
+        return [(s, s + self.burst_duration_s) for s in sorted(starts)]
+
+    def intensity(self, t: float, bursts: list[tuple[float, float]] | None = None
+                  ) -> float:
+        """Arrivals per hour at epoch-second ``t``."""
+        return float(self.intensity_vec(np.array([t]), bursts)[0])
+
+    def intensity_vec(self, ts: np.ndarray,
+                      bursts: list[tuple[float, float]] | None = None
+                      ) -> np.ndarray:
+        """Vectorized :meth:`intensity` over an array of epoch seconds."""
+        ts = np.asarray(ts, dtype=float)
+        tod = (ts % _DAY) / _DAY
+        # Peak 14:00 UTC.
+        diurnal = 1.0 + self.diurnal_amp * np.cos(
+            2 * np.pi * (tod - 14.0 / 24.0))
+        dow = ((ts // _DAY).astype(np.int64) + 4) % 7  # epoch day 0: Thursday
+        weekly = np.where((dow == 5) | (dow == 6), self.weekend_factor, 1.0)
+        rate = self.base_rate * diurnal * weekly
+        if bursts:
+            in_burst = np.zeros(ts.shape, dtype=bool)
+            for b0, b1 in bursts:
+                in_burst |= (ts >= b0) & (ts < b1)
+            rate = np.where(in_burst, rate * self.burst_mult, rate)
+        return rate
+
+    def _max_rate(self) -> float:
+        return self.base_rate * (1 + self.diurnal_amp) * self.burst_mult
+
+    # -- sampling -----------------------------------------------------------------
+
+    def sample(self, start: int, end: int,
+               rng: np.random.Generator) -> np.ndarray:
+        """Sample sorted arrival epochs (ints) in [start, end) by thinning."""
+        if end <= start:
+            raise ConfigError(f"empty interval [{start}, {end})")
+        bursts = self._bursts(start, end, rng)
+        lam_max = self._max_rate() / 3600.0  # per second
+        parts: list[np.ndarray] = []
+        t = float(start)
+        # Fully vectorized thinning: draw candidate gaps in blocks, keep
+        # each candidate with probability intensity(t)/lam_max.
+        expected = (end - start) * lam_max
+        block = int(min(max(4096, expected * 1.25), 2_000_000))
+        while t < end:
+            gaps = rng.exponential(1.0 / lam_max, size=block)
+            times = t + np.cumsum(gaps)
+            t = float(times[-1])
+            times = times[times < end]
+            if times.size:
+                keep = rng.random(times.size) * lam_max <= \
+                    self.intensity_vec(times, bursts) / 3600.0
+                parts.append(times[keep])
+        if not parts:
+            return np.array([], dtype=np.int64)
+        return np.concatenate(parts).astype(np.int64)
+
+    def expected_count(self, start: int, end: int, step_s: int = 900) -> float:
+        """Riemann estimate of the expected arrivals in [start, end)."""
+        ts = np.arange(start, end, step_s, dtype=float)
+        return float(self.intensity_vec(ts).sum() / 3600.0 * step_s)

@@ -1,0 +1,207 @@
+"""Workload calibration: fit a profile from a curated trace.
+
+The portability loop closes here: import any site's trace (curated CSV
+or SWF via :mod:`repro.interop`), *fit* a :class:`WorkloadProfile` to
+it, and the simulator can then generate a statistically similar
+"digital twin" — which is what the policy lab needs to evaluate policy
+changes for that site beyond the recorded history.
+
+The fit is deliberately moment-based and transparent:
+
+- arrival rate from the submission count over the span; diurnal
+  amplitude from the first circular harmonic of hour-of-day counts;
+  weekend factor from weekend/weekday rate ratio;
+- three node-size classes (small/medium/large) split at the empirical
+  tercile boundaries in log node-count space, each with lognormal
+  runtime parameters fitted in log space;
+- per-user walltime overrequest (median and log-sigma of
+  limit/elapsed over completed jobs) and the fraction requesting the
+  partition maximum;
+- failure/cancel behaviour by per-user moment matching to the Beta
+  distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.errors import DataError
+from repro.cluster import SystemProfile
+from repro.frame import Frame
+from repro.workload.profiles import ClassParams, WorkloadProfile
+
+__all__ = ["CalibrationReport", "calibrate_profile"]
+
+
+@dataclass
+class CalibrationReport:
+    """What the fit measured (for inspection and EXPERIMENTS tables)."""
+
+    n_jobs: int
+    span_hours: float
+    arrival_rate: float
+    diurnal_amp: float
+    weekend_factor: float
+    overrequest_median: float
+    overrequest_spread: float
+    prob_request_max: float
+    failure_rate: float
+    cancel_rate: float
+    failure_alpha: float
+    failure_beta: float
+    class_bounds: tuple[int, int]       # small/medium and medium/large
+    class_weights: tuple[float, float, float]
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("arrival_rate_per_h", self.arrival_rate),
+            ("diurnal_amp", self.diurnal_amp),
+            ("weekend_factor", self.weekend_factor),
+            ("overrequest_median", self.overrequest_median),
+            ("prob_request_max", self.prob_request_max),
+            ("failure_rate", self.failure_rate),
+            ("cancel_rate", self.cancel_rate),
+        ]
+
+
+def _diurnal_amplitude(hours: np.ndarray) -> float:
+    """First circular harmonic amplitude of hour-of-day counts."""
+    if hours.size == 0:
+        return 0.0
+    angles = 2 * np.pi * hours / 24.0
+    resultant = np.hypot(np.cos(angles).sum(), np.sin(angles).sum())
+    return float(min(0.9, 2.0 * resultant / hours.size))
+
+
+def _beta_moments(rates: np.ndarray) -> tuple[float, float]:
+    """Moment-match per-user rates to Beta(alpha, beta)."""
+    if rates.size < 3:
+        return 1.0, 9.0
+    m = float(np.clip(rates.mean(), 1e-3, 0.95))
+    v = float(rates.var())
+    if v <= 1e-6 or v >= m * (1 - m):
+        return max(0.2, 10 * m), max(1.0, 10 * (1 - m))
+    common = m * (1 - m) / v - 1.0
+    return max(0.05, m * common), max(0.5, (1 - m) * common)
+
+
+def calibrate_profile(jobs: Frame, system: SystemProfile,
+                      n_users: int | None = None
+                      ) -> tuple[WorkloadProfile, CalibrationReport]:
+    """Fit a workload profile to a curated job frame for ``system``."""
+    if len(jobs) < 50:
+        raise DataError(f"calibration needs >= 50 jobs, got {len(jobs)}")
+    submit = np.asarray(jobs["SubmitTime"], dtype=np.int64)
+    elapsed = np.asarray(jobs["Elapsed"], dtype=np.int64)
+    limit = np.asarray(jobs["Timelimit"], dtype=np.int64)
+    nnodes = np.asarray(jobs["NNodes"], dtype=np.int64)
+    states = np.array([str(s) for s in jobs["State"]], dtype=object)
+    users = np.array([str(u) for u in jobs["User"]], dtype=object)
+
+    # ---- arrivals -----------------------------------------------------------
+    span_s = max(3600, int(submit.max() - submit.min()))
+    rate = len(jobs) / (span_s / 3600.0)
+    hours = ((submit % 86400) // 3600).astype(float)
+    amp = _diurnal_amplitude(hours)
+    dow = ((submit // 86400) + 4) % 7
+    weekend = np.isin(dow, (5, 6))
+    wk_rate = (~weekend).sum() / 5.0
+    we_rate = weekend.sum() / 2.0
+    weekend_factor = float(np.clip(we_rate / max(1.0, wk_rate), 0.05, 1.5))
+
+    # ---- walltime requests -----------------------------------------------------
+    ran = (elapsed > 0) & (limit > 0)
+    completed = ran & (states == "COMPLETED")
+    base = completed if completed.sum() >= 30 else ran
+    ratios = limit[base] / np.maximum(1, elapsed[base])
+    over_median = float(np.clip(np.median(ratios), 1.0, 50.0))
+    over_spread = float(np.clip(np.std(np.log(np.maximum(1.0, ratios))),
+                                0.1, 1.5))
+    part = max(system.partitions, key=lambda p: p.max_nodes)
+    prob_max = float((np.abs(limit - part.max_time_s) < 60).mean())
+
+    # ---- outcomes ----------------------------------------------------------------
+    bad = np.isin(states, ("FAILED", "OUT_OF_MEMORY", "NODE_FAIL"))
+    cancel = np.array([s.startswith("CANCELLED") for s in states])
+    per_user_fail = []
+    for u in set(users.tolist()):
+        mask = users == u
+        if mask.sum() >= 5:
+            per_user_fail.append(bad[mask].mean())
+    alpha, beta = _beta_moments(np.array(per_user_fail))
+    cancel_rate = float(cancel.mean())
+
+    # ---- node-size classes ----------------------------------------------------------
+    logs = np.log(np.maximum(1, nnodes))
+    b1, b2 = np.quantile(logs, [1 / 3, 2 / 3])
+    small = logs <= b1
+    large = logs > b2
+    medium = ~small & ~large
+    bounds = (int(round(math.exp(b1))), int(round(math.exp(b2))))
+
+    def class_for(mask: np.ndarray, name_hint: str) -> ClassParams | None:
+        if mask.sum() < 10:
+            return None
+        el = elapsed[mask & (elapsed > 0)]
+        if el.size < 5:
+            el = np.maximum(60, elapsed[mask])
+        log_el = np.log(np.maximum(30, el))
+        lo = int(max(1, nnodes[mask].min()))
+        hi = int(min(part.max_nodes, max(lo, nnodes[mask].max())))
+        return ClassParams(
+            weight=float(mask.mean()),
+            node_lo=lo, node_hi=hi,
+            runtime_median_s=float(max(30.0, math.exp(np.median(log_el)))),
+            runtime_sigma=float(np.clip(log_el.std(), 0.2, 1.6)),
+            steps_mean=2.0,
+            partition=part.name,
+            prob_request_max=float(np.clip(prob_max, 0.0, 0.6)),
+        )
+
+    classes = {}
+    for name, mask in (("small", small), ("medium", medium),
+                       ("large", large)):
+        params = class_for(mask, name)
+        if params is not None:
+            classes[f"simulation" if name == "small" else
+                    ("mtask" if name == "medium" else "hero")] = params
+    if not classes:
+        raise DataError("could not fit any job-size class")
+
+    profile = WorkloadProfile(
+        system=system,
+        classes=classes,
+        arrival_rate=float(rate),
+        diurnal_amp=amp,
+        weekend_factor=min(1.0, weekend_factor),
+        burst_rate_per_week=1.0,
+        n_users=n_users or max(3, len(set(users.tolist()))),
+        failure_alpha=alpha,
+        failure_beta=beta,
+        cancel_scale=max(0.005, cancel_rate),
+        overrequest_median=over_median,
+        overrequest_spread=over_spread,
+        array_frac=0.0,
+        dep_frac=0.0,
+    )
+    report = CalibrationReport(
+        n_jobs=len(jobs),
+        span_hours=span_s / 3600.0,
+        arrival_rate=float(rate),
+        diurnal_amp=amp,
+        weekend_factor=weekend_factor,
+        overrequest_median=over_median,
+        overrequest_spread=over_spread,
+        prob_request_max=prob_max,
+        failure_rate=float(bad.mean()),
+        cancel_rate=cancel_rate,
+        failure_alpha=alpha,
+        failure_beta=beta,
+        class_bounds=bounds,
+        class_weights=(float(small.mean()), float(medium.mean()),
+                       float(large.mean())),
+    )
+    return profile, report

@@ -1,0 +1,43 @@
+"""Shared fixtures: small end-to-end curated datasets per system.
+
+Session-scoped so the simulator runs once per system for the whole test
+suite.  The scale factors keep runtimes in seconds while preserving the
+qualitative phenomena the analytics tests assert.
+"""
+
+import pytest
+
+from repro.datasets import synthesize_curated
+
+
+@pytest.fixture(scope="session")
+def frontier_data(tmp_path_factory):
+    """Two Frontier-profile months, curated (jobs frame, steps frame, db)."""
+    ds = synthesize_curated(
+        "frontier", ["2024-03", "2024-06"], rate_scale=0.06,
+        workdir=str(tmp_path_factory.mktemp("data-frontier")))
+    return ds.jobs, ds.steps, ds.db
+
+
+@pytest.fixture(scope="session")
+def andes_data(tmp_path_factory):
+    """One Andes-profile month, curated."""
+    ds = synthesize_curated(
+        "andes", ["2024-03"], rate_scale=0.08,
+        workdir=str(tmp_path_factory.mktemp("data-andes")))
+    return ds.jobs, ds.steps, ds.db
+
+
+@pytest.fixture(scope="session")
+def frontier_jobs(frontier_data):
+    return frontier_data[0]
+
+
+@pytest.fixture(scope="session")
+def frontier_steps(frontier_data):
+    return frontier_data[1]
+
+
+@pytest.fixture(scope="session")
+def andes_jobs(andes_data):
+    return andes_data[0]

@@ -1,0 +1,139 @@
+"""Tests for the policy advisor."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DataError
+from repro.advisor import PolicyAdvisor, Recommendation
+from repro.analytics import (
+    nodes_vs_elapsed,
+    states_per_user,
+    utilization,
+    wait_times,
+    walltime_accuracy,
+)
+from repro.analytics.backfill import BackfillSummary
+from repro.analytics.utilization import UtilizationSummary
+from repro.analytics.waits import WaitSummary
+
+
+def make_backfill(ratio=0.3, under_half=0.7, n=1000, nbf=300, timeout=0.05):
+    return BackfillSummary(
+        requested_s=np.array([]), actual_s=np.array([]),
+        backfilled=np.array([], dtype=bool), n_jobs=n, n_backfilled=nbf,
+        median_ratio_all=ratio, median_ratio_backfilled=ratio,
+        median_ratio_regular=ratio, frac_under_half=under_half,
+        reclaimable_node_hours=1e5, frac_timeout=timeout)
+
+
+def make_waits(spikes=(), cancelled=(200, 100.0, 20000.0), total=1000):
+    by_state = {"COMPLETED": (total - cancelled[0], 10.0, 500.0),
+                "CANCELLED": cancelled}
+    return WaitSummary(
+        submit=np.array([0]), wait_s=np.array([100.0]),
+        state=np.array(["COMPLETED"], dtype=object),
+        by_state=by_state, monthly_median={"2024-01": 100.0},
+        spike_months=list(spikes))
+
+
+class TestRules:
+    def test_walltime_prediction_fires_on_overestimation(self):
+        adv = PolicyAdvisor(backfill=make_backfill(ratio=0.25))
+        ids = [r.rule_id for r in adv.recommendations()]
+        assert "walltime-prediction" in ids
+
+    def test_walltime_prediction_silent_when_accurate(self):
+        adv = PolicyAdvisor(backfill=make_backfill(ratio=0.8))
+        ids = [r.rule_id for r in adv.recommendations()]
+        assert "walltime-prediction" not in ids
+
+    def test_backfill_tuning_fires_when_rare(self):
+        adv = PolicyAdvisor(backfill=make_backfill(ratio=0.25, nbf=10))
+        ids = [r.rule_id for r in adv.recommendations()]
+        assert "backfill-tuning" in ids
+
+    def test_wait_spikes(self):
+        adv = PolicyAdvisor(waits=make_waits(spikes=("2024-02",)))
+        recs = {r.rule_id: r for r in adv.recommendations()}
+        assert "wait-spikes" in recs
+        assert "2024-02" in recs["wait-spikes"].evidence
+
+    def test_pending_cancellations(self):
+        adv = PolicyAdvisor(waits=make_waits())
+        ids = [r.rule_id for r in adv.recommendations()]
+        assert "pending-cancellations" in ids
+
+    def test_timeout_guidance(self):
+        adv = PolicyAdvisor(backfill=make_backfill(timeout=0.06))
+        ids = [r.rule_id for r in adv.recommendations()]
+        assert "timeout-guidance" in ids
+
+    def test_idle_capacity_rule(self):
+        util = UtilizationSummary(window_s=1, total_node_s=100,
+                                  used_node_s=20, utilization=0.2,
+                                  energy_mwh=1.0, jobs_ran=10,
+                                  cpu_time_core_s=1)
+        waits = make_waits()
+        waits.wait_s = np.array([5000.0] * 10)
+        adv = PolicyAdvisor(util=util, waits=waits)
+        ids = [r.rule_id for r in adv.recommendations()]
+        assert "idle-capacity-with-queues" in ids
+
+    def test_severity_ordering(self):
+        adv = PolicyAdvisor(backfill=make_backfill(ratio=0.25, nbf=10,
+                                                   timeout=0.06))
+        sev = [r.severity for r in adv.recommendations()]
+        assert sev == sorted(sev, key=["action", "advisory",
+                                       "info"].index)
+
+    def test_no_summaries_no_recs(self):
+        adv = PolicyAdvisor()
+        assert adv.recommendations() == []
+        assert "No policy recommendations" in adv.report()
+
+    def test_render_contains_sections(self):
+        rec = Recommendation("x", "Title", "action", "ev", "prop",
+                             "basis", topics=("t",))
+        text = rec.render()
+        for part in ("ACTION", "evidence", "proposal", "basis"):
+            assert part in text
+
+
+class TestAsk:
+    @pytest.fixture
+    def advisor(self):
+        return PolicyAdvisor(backfill=make_backfill(ratio=0.25),
+                             waits=make_waits(spikes=("2024-02",)))
+
+    def test_ask_routes_by_topic(self, advisor):
+        answer = advisor.ask("why do users overestimate walltime?")
+        assert "walltime prediction" in answer.lower() or \
+            "walltime" in answer
+
+    def test_ask_about_spikes(self, advisor):
+        answer = advisor.ask("what caused the queue spikes?")
+        assert "2024-02" in answer
+
+    def test_ask_unknown_topic_lists_options(self, advisor):
+        answer = advisor.ask("should we buy more GPUs?")
+        assert "I can discuss" in answer
+
+    def test_empty_question_rejected(self, advisor):
+        with pytest.raises(DataError):
+            advisor.ask("  ")
+
+
+class TestOnSimulatedData:
+    def test_frontier_profile_triggers_core_rules(self, frontier_jobs):
+        adv = PolicyAdvisor(
+            waits=wait_times(frontier_jobs),
+            states=states_per_user(frontier_jobs, min_jobs=5),
+            backfill=walltime_accuracy(frontier_jobs),
+            scale=nodes_vs_elapsed(frontier_jobs),
+            util=utilization(frontier_jobs, total_nodes=9408),
+        )
+        ids = {r.rule_id for r in adv.recommendations()}
+        # chronic overestimation is baked into the workload model
+        assert "walltime-prediction" in ids
+        report = adv.report()
+        assert "node-hours" in report

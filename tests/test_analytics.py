@@ -1,0 +1,210 @@
+"""Tests for the per-figure analytics modules."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DataError
+from repro.analytics import (
+    compare_systems,
+    nodes_vs_elapsed,
+    states_per_user,
+    utilization,
+    volume_by_month,
+    volume_by_year,
+    wait_times,
+    walltime_accuracy,
+)
+from repro.analytics.common import epoch_to_month, epoch_to_year, iqr_bounds
+from repro.frame import Frame
+
+
+class TestCommon:
+    def test_epoch_to_month(self):
+        # 2024-03-15T12:00:00Z
+        assert epoch_to_month(np.array([1710504000]))[0] == "2024-03"
+
+    def test_epoch_to_year(self):
+        assert epoch_to_year(np.array([1710504000]))[0] == "2024"
+
+    def test_iqr_bounds(self):
+        lo, hi = iqr_bounds(np.array([1, 2, 3, 4, 100.0]))
+        assert hi < 100
+
+    def test_iqr_empty(self):
+        assert iqr_bounds(np.array([])) == (0.0, 0.0)
+
+
+class TestVolume:
+    def test_yearly_counts(self, frontier_jobs, frontier_steps):
+        vol = volume_by_year(frontier_jobs, frontier_steps)
+        assert vol.periods == ["2024"]
+        assert vol.total_jobs == len(frontier_jobs)
+        assert vol.total_steps == len(frontier_steps)
+
+    def test_steps_dominate_jobs(self, frontier_jobs, frontier_steps):
+        """Figure 1's headline: job-steps vastly outnumber jobs."""
+        vol = volume_by_year(frontier_jobs, frontier_steps)
+        assert vol.steps_per_job > 5
+
+    def test_monthly_split(self, frontier_jobs, frontier_steps):
+        vol = volume_by_month(frontier_jobs, frontier_steps)
+        assert set(vol.periods) >= {"2024-03", "2024-06"}
+        assert sum(vol.jobs) == len(frontier_jobs)
+
+    def test_rows_shape(self, frontier_jobs, frontier_steps):
+        rows = volume_by_year(frontier_jobs, frontier_steps).rows()
+        assert len(rows[0]) == 4
+
+
+class TestScale:
+    def test_scatter_sizes(self, frontier_jobs):
+        s = nodes_vs_elapsed(frontier_jobs)
+        assert len(s.nnodes) == len(s.elapsed_s)
+        assert len(s.nnodes) <= len(frontier_jobs)
+
+    def test_quadrants_sum_to_one(self, frontier_jobs):
+        s = nodes_vs_elapsed(frontier_jobs)
+        total = (s.frac_small_short + s.frac_small_long +
+                 s.frac_large_short + s.frac_large_long)
+        assert total == pytest.approx(1.0)
+
+    def test_frontier_reaches_large_scale(self, frontier_jobs):
+        s = nodes_vs_elapsed(frontier_jobs)
+        assert s.max_nodes > 1000
+
+    def test_andes_concentrated_small_short(self, andes_jobs):
+        """Figure 7: Andes denser in small, short jobs."""
+        s = nodes_vs_elapsed(andes_jobs)
+        assert s.frac_small_short > 0.7
+        assert s.max_nodes <= 384
+
+
+class TestWaits:
+    def test_states_canonicalized(self, frontier_jobs):
+        w = wait_times(frontier_jobs)
+        assert all(not s.startswith("CANCELLED by") for s in w.by_state)
+
+    def test_by_state_counts_total(self, frontier_jobs):
+        w = wait_times(frontier_jobs, clip_outliers=False)
+        assert sum(c for c, _, _ in w.by_state.values()) == len(frontier_jobs)
+
+    def test_outlier_clipping_reduces(self, frontier_jobs):
+        w_all = wait_times(frontier_jobs, clip_outliers=False)
+        w_clip = wait_times(frontier_jobs, clip_outliers=True)
+        assert len(w_clip.wait_s) + w_clip.n_outliers_clipped == \
+            len(w_all.wait_s)
+
+    def test_monthly_medians_exist(self, frontier_jobs):
+        w = wait_times(frontier_jobs)
+        assert "2024-03" in w.monthly_median
+        assert "2024-06" in w.monthly_median
+
+    def test_waits_nonnegative(self, frontier_jobs):
+        w = wait_times(frontier_jobs, clip_outliers=False)
+        assert (w.wait_s >= 0).all()
+
+
+class TestStates:
+    def test_counts_cover_all_jobs(self, frontier_jobs):
+        s = states_per_user(frontier_jobs)
+        total = sum(sum(d.values()) for d in s.counts.values())
+        assert total == len(frontier_jobs)
+
+    def test_users_ordered_by_volume(self, frontier_jobs):
+        s = states_per_user(frontier_jobs)
+        totals = [sum(s.counts[u].values()) for u in s.users]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_frontier_failures_concentrated(self, frontier_jobs):
+        """Figure 5: some users dominate failure counts."""
+        s = states_per_user(frontier_jobs)
+        assert s.top5_failure_share > 0.2
+
+    def test_andes_failure_rates_lower_and_tighter(self, frontier_jobs,
+                                                   andes_jobs):
+        """Figure 8 vs Figure 5: lower rate, lower cross-user variance."""
+        f = states_per_user(frontier_jobs, min_jobs=5)
+        a = states_per_user(andes_jobs, min_jobs=5)
+        assert a.overall_failure_rate < f.overall_failure_rate
+        assert a.failure_rate_std < f.failure_rate_std
+
+    def test_stack_rows_top_n(self, frontier_jobs):
+        s = states_per_user(frontier_jobs)
+        assert len(s.stack_rows(top_n=10)) == 10
+
+
+class TestBackfill:
+    def test_overestimation_pervasive(self, frontier_jobs):
+        """Figure 6: most jobs use far less time than requested."""
+        b = walltime_accuracy(frontier_jobs)
+        assert b.median_ratio_all < 0.6
+        assert b.frac_under_half > 0.4
+
+    def test_backfilled_present_and_short(self, frontier_jobs):
+        b = walltime_accuracy(frontier_jobs)
+        assert b.n_backfilled > 0
+        assert b.median_ratio_backfilled <= b.median_ratio_all + 0.15
+
+    def test_reclaimable_positive(self, frontier_jobs):
+        b = walltime_accuracy(frontier_jobs)
+        assert b.reclaimable_node_hours > 0
+
+    def test_andes_tighter_overestimation(self, frontier_jobs, andes_jobs):
+        """Figure 9: Andes requests closer to actual than Frontier."""
+        f = walltime_accuracy(frontier_jobs)
+        a = walltime_accuracy(andes_jobs)
+        assert a.median_ratio_all > f.median_ratio_all
+
+    def test_ratio_rows(self, frontier_jobs):
+        rows = walltime_accuracy(frontier_jobs).ratio_rows()
+        assert [r[0] for r in rows] == ["all", "backfilled", "regular"]
+
+
+class TestUtilization:
+    def test_bounded(self, frontier_jobs):
+        u = utilization(frontier_jobs, total_nodes=9408)
+        assert 0 <= u.utilization <= 1
+        assert u.energy_mwh > 0
+        assert u.jobs_ran > 0
+
+    def test_explicit_window(self, frontier_jobs):
+        u1 = utilization(frontier_jobs, total_nodes=9408,
+                         window_s=30 * 86400)
+        u2 = utilization(frontier_jobs, total_nodes=9408,
+                         window_s=60 * 86400)
+        assert u1.utilization == pytest.approx(2 * u2.utilization)
+
+    def test_empty_frame(self):
+        empty = Frame({c: [] for c in
+                       ["SubmitTime", "EndTime", "Elapsed", "NNodes",
+                        "ConsumedEnergy", "TotalCPU"]})
+        u = utilization(empty, total_nodes=10, window_s=100)
+        assert u.utilization == 0.0
+
+
+class TestFederate:
+    def test_compare_two_systems(self, frontier_jobs, andes_jobs):
+        comp = compare_systems({"frontier": frontier_jobs,
+                                "andes": andes_jobs})
+        assert {v.name for v in comp.systems} == {"frontier", "andes"}
+        f = comp.view("frontier")
+        a = comp.view("andes")
+        assert f.scale.median_nodes > a.scale.median_nodes
+
+    def test_delta_rows_cover_metrics(self, frontier_jobs, andes_jobs):
+        comp = compare_systems({"frontier": frontier_jobs,
+                                "andes": andes_jobs})
+        rows = comp.delta_rows()
+        metrics = {m for m, _, _ in rows}
+        assert "failure_rate_std" in metrics
+        assert len(rows) == 7 * 2
+
+    def test_single_system_rejected(self, frontier_jobs):
+        with pytest.raises(DataError):
+            compare_systems({"frontier": frontier_jobs})
+
+    def test_missing_view(self, frontier_jobs, andes_jobs):
+        comp = compare_systems({"frontier": frontier_jobs,
+                                "andes": andes_jobs})
+        with pytest.raises(DataError):
+            comp.view("summit")

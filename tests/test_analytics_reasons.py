@@ -1,0 +1,43 @@
+"""Tests for the pending-reason breakdown."""
+
+import pytest
+
+from repro.analytics import reason_breakdown
+from repro.frame import Frame
+
+
+def frame(rows):
+    return Frame({"Reason": [r for r, _ in rows],
+                  "WaitS": [w for _, w in rows]})
+
+
+class TestReasons:
+    def test_grouping_and_stats(self):
+        f = frame([("Resources", 100), ("Resources", 300),
+                   ("Priority", 50), ("None", 0)])
+        s = reason_breakdown(f)
+        assert s.n_jobs == 4
+        count, mean, p95 = s.by_reason["Resources"]
+        assert count == 2 and mean == 200.0
+
+    def test_rows_ordered_by_count(self):
+        f = frame([("Priority", 1)] * 3 + [("Resources", 1)])
+        rows = reason_breakdown(f).rows()
+        assert rows[0][0] == "Priority"
+
+    def test_empty_reason_becomes_none(self):
+        f = frame([("", 0)])
+        assert "None" in reason_breakdown(f).by_reason
+
+    def test_frac_waiting_on_resources(self):
+        f = frame([("Resources", 5), ("None", 0)])
+        assert reason_breakdown(f).frac_waiting_on_resources == 0.5
+
+    def test_on_simulated_trace(self, frontier_jobs):
+        s = reason_breakdown(frontier_jobs)
+        assert sum(c for c, _, _ in s.by_reason.values()) == \
+            len(frontier_jobs)
+        # an idle or congested system still has immediate starts
+        assert "None" in s.by_reason
+        # contention reasons appear under load
+        assert {"Priority", "Resources"} & set(s.by_reason)

@@ -1,0 +1,53 @@
+"""Tests for job-step analytics."""
+
+import pytest
+
+from repro.analytics import step_statistics
+from repro.frame import Frame
+
+
+def steps_frame(records):
+    cols = {"ParentJobID": [], "Elapsed": [], "State": []}
+    for parent, elapsed, state in records:
+        cols["ParentJobID"].append(parent)
+        cols["Elapsed"].append(elapsed)
+        cols["State"].append(state)
+    return Frame(cols)
+
+
+class TestStepStatistics:
+    def test_counts_and_means(self):
+        f = steps_frame([(1, 10, "COMPLETED"), (1, 20, "COMPLETED"),
+                         (2, 30, "FAILED")])
+        s = step_statistics(f)
+        assert s.n_steps == 3
+        assert s.n_parent_jobs == 2
+        assert s.steps_per_job_mean == pytest.approx(1.5)
+        assert s.frac_failed_steps == pytest.approx(1 / 3)
+
+    def test_many_task_fraction(self):
+        records = [(1, 5, "COMPLETED")] * 20 + [(2, 5, "COMPLETED")]
+        s = step_statistics(steps_frame(records), many_task_threshold=16)
+        assert s.frac_many_task_jobs == pytest.approx(0.5)
+
+    def test_empty_frame(self):
+        s = step_statistics(steps_frame([]))
+        assert s.n_steps == 0
+        assert s.steps_per_job_mean == 0.0
+
+    def test_elapsed_percentiles(self):
+        records = [(i, i * 10, "COMPLETED") for i in range(1, 101)]
+        s = step_statistics(steps_frame(records))
+        assert s.step_elapsed_median_s == pytest.approx(505.0)
+        assert s.step_elapsed_p95_s > s.step_elapsed_median_s
+
+    def test_rows_shape(self):
+        s = step_statistics(steps_frame([(1, 10, "COMPLETED")]))
+        assert len(s.rows()) == 6
+
+    def test_on_simulated_frontier_steps(self, frontier_steps):
+        s = step_statistics(frontier_steps)
+        # the srun-heavy Frontier profile: many-task jobs are common
+        assert s.steps_per_job_mean > 3
+        assert s.frac_many_task_jobs > 0.05
+        assert 0 <= s.frac_failed_steps < 0.5

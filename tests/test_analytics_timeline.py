@@ -1,0 +1,87 @@
+"""Tests for the occupancy/backlog timeline."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DataError
+from repro.analytics import occupancy_timeline
+from repro.charts.figures import occupancy_chart
+from repro.frame import Frame
+
+
+def jobs_frame(rows):
+    cols = {"SubmitTime": [], "StartTime": [], "EndTime": [], "NNodes": []}
+    for submit, start, end, nn in rows:
+        cols["SubmitTime"].append(submit)
+        cols["StartTime"].append(start)
+        cols["EndTime"].append(end)
+        cols["NNodes"].append(nn)
+    return Frame(cols)
+
+
+class TestOccupancy:
+    def test_single_job_fills_its_bins(self):
+        f = jobs_frame([(0, 0, 7200, 4)])
+        occ = occupancy_timeline(f, total_nodes=8, bin_s=3600)
+        assert len(occ.allocated_nodes) == 2
+        np.testing.assert_allclose(occ.allocated_nodes, [4.0, 4.0])
+        assert occ.peak_allocated == 4
+        assert occ.mean_utilization == pytest.approx(0.5)
+
+    def test_partial_bin_weighting(self):
+        f = jobs_frame([(0, 0, 1800, 4)])   # half of the first hour
+        occ = occupancy_timeline(f, total_nodes=8, bin_s=3600)
+        assert occ.allocated_nodes[0] == pytest.approx(2.0)
+
+    def test_queued_demand_between_submit_and_start(self):
+        f = jobs_frame([(0, 3600, 7200, 8)])
+        occ = occupancy_timeline(f, total_nodes=8, bin_s=3600)
+        assert occ.queued_nodes[0] == pytest.approx(8.0)
+        assert occ.allocated_nodes[0] == pytest.approx(0.0)
+        assert occ.allocated_nodes[1] == pytest.approx(8.0)
+
+    def test_never_started_job_queues_until_end(self):
+        f = jobs_frame([(0, -1, 3600, 2)])   # cancelled while pending
+        occ = occupancy_timeline(f, total_nodes=8, bin_s=3600)
+        assert occ.queued_nodes[0] == pytest.approx(2.0)
+        assert occ.peak_allocated == 0
+
+    def test_saturation_flag(self):
+        f = jobs_frame([(0, 0, 3600, 8), (0, 3600, 7200, 8)])
+        occ = occupancy_timeline(f, total_nodes=8, bin_s=3600)
+        assert occ.frac_saturated > 0
+
+    def test_empty_frame(self):
+        occ = occupancy_timeline(jobs_frame([]), total_nodes=8)
+        assert occ.peak_allocated == 0
+        assert occ.mean_utilization == 0.0
+
+    def test_bad_total_nodes(self):
+        with pytest.raises(DataError):
+            occupancy_timeline(jobs_frame([]), total_nodes=0)
+
+    def test_on_simulated_data_bounded(self, frontier_jobs):
+        occ = occupancy_timeline(frontier_jobs, total_nodes=9408)
+        assert occ.peak_allocated <= 9408
+        assert 0 <= occ.mean_utilization <= 1
+        assert occ.rows()[0][0] == "mean_utilization"
+
+
+class TestOccupancyChart:
+    def test_chart_has_three_lines(self, frontier_jobs):
+        occ = occupancy_timeline(frontier_jobs, total_nodes=9408)
+        spec = occupancy_chart(occ, "frontier")
+        assert len(spec.series) == 3
+        names = {s.name for s in spec.series}
+        assert names == {"allocated", "queued demand", "capacity"}
+
+    def test_chart_renders(self, frontier_jobs):
+        from repro.raster import rasterize_chart
+        occ = occupancy_timeline(frontier_jobs, total_nodes=9408)
+        img = rasterize_chart(occupancy_chart(occ, "frontier"))
+        assert img.shape == (560, 900, 3)
+
+    def test_empty_summary_chart(self):
+        occ = occupancy_timeline(jobs_frame([]), total_nodes=8)
+        spec = occupancy_chart(occ, "x")
+        assert spec.series

@@ -1,0 +1,275 @@
+"""Tests for chart specs, scales, layout, and backends."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import RenderError
+from repro.charts import (
+    Axis,
+    BarSeries,
+    ChartSpec,
+    LinearScale,
+    LineSeries,
+    LogScale,
+    ScatterSeries,
+    StackedBarSeries,
+    layout_chart,
+    make_scale,
+    to_html,
+    to_svg,
+)
+from repro.charts.scale import nice_ticks
+
+
+class TestScales:
+    def test_linear_maps_endpoints(self):
+        s = LinearScale((0, 10), (100, 200))
+        assert s(0) == 100 and s(10) == 200
+
+    def test_linear_vectorized(self):
+        s = LinearScale((0, 10), (0, 100))
+        np.testing.assert_allclose(s(np.array([0, 5, 10])), [0, 50, 100])
+
+    def test_linear_invert(self):
+        s = LinearScale((0, 10), (0, 100))
+        assert s.invert(s(7.3)) == pytest.approx(7.3)
+
+    def test_degenerate_domain_widened(self):
+        s = LinearScale((5, 5), (0, 100))
+        assert np.isfinite(s(5))
+
+    def test_log_maps_decades(self):
+        s = LogScale((1, 100), (0, 100))
+        assert s(10) == pytest.approx(50)
+
+    def test_log_rejects_nonpositive_domain(self):
+        with pytest.raises(RenderError):
+            LogScale((0, 10), (0, 1))
+
+    def test_log_rejects_nonpositive_value(self):
+        s = LogScale((1, 100), (0, 100))
+        with pytest.raises(RenderError):
+            s(0)
+
+    def test_log_ticks_are_decades(self):
+        s = LogScale((1, 1000), (0, 100))
+        assert s.ticks() == [1, 10, 100, 1000]
+
+    def test_log_invert(self):
+        s = LogScale((1, 1000), (0, 100))
+        assert s.invert(s(37.0)) == pytest.approx(37.0)
+
+    def test_make_scale_dispatch(self):
+        assert isinstance(make_scale("linear", (0, 1), (0, 1)), LinearScale)
+        assert isinstance(make_scale("log", (1, 2), (0, 1)), LogScale)
+        with pytest.raises(RenderError):
+            make_scale("sqrt", (0, 1), (0, 1))
+
+    def test_nice_ticks_125(self):
+        ticks = nice_ticks(0, 100, target=6)
+        assert 0 in ticks and 100 in ticks
+        steps = np.diff(ticks)
+        assert len(set(np.round(steps, 9))) == 1
+
+    def test_nice_ticks_degenerate(self):
+        assert nice_ticks(5, 5) == [5]
+
+    def test_nice_ticks_reversed_rejected(self):
+        with pytest.raises(RenderError):
+            nice_ticks(10, 0)
+
+
+class TestSpecValidation:
+    def test_scatter_shape_mismatch(self):
+        with pytest.raises(RenderError):
+            ScatterSeries("s", np.arange(3), np.arange(4))
+
+    def test_bad_marker(self):
+        with pytest.raises(RenderError):
+            ScatterSeries("s", np.arange(3), np.arange(3), marker="star")
+
+    def test_bad_axis_scale(self):
+        with pytest.raises(RenderError):
+            Axis("x", scale="sqrt")
+
+    def test_tiny_chart_rejected(self):
+        with pytest.raises(RenderError):
+            ChartSpec(title="t", x_axis=Axis("x"), y_axis=Axis("y"),
+                      width=10, height=10)
+
+    def test_stacked_arity(self):
+        with pytest.raises(RenderError):
+            StackedBarSeries("s", ["a", "b"],
+                             segments={"x": np.array([1.0])})
+
+    def test_data_domain_scatter(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x"), y_axis=Axis("y"),
+                         series=[ScatterSeries("s", [1, 5], [2, 9])])
+        assert spec.data_domain("x") == (1.0, 5.0)
+        assert spec.data_domain("y") == (2.0, 9.0)
+
+    def test_data_domain_empty(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x"), y_axis=Axis("y"))
+        assert spec.data_domain("x") == (0.0, 1.0)
+
+    def test_calibration_records_axis_domain(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x", "log", domain=(1, 99)),
+                         y_axis=Axis("y"),
+                         series=[ScatterSeries("s", [2, 5], [2, 9])])
+        cal = spec.calibration()
+        assert cal["x_domain"] == [1, 99]
+        assert cal["series"][0]["color"] == "#1f77b4"
+        assert cal["series"][0]["n"] == 2
+
+
+class TestLayout:
+    def _scatter_spec(self, **kw):
+        return ChartSpec(title="t", x_axis=Axis("x"), y_axis=Axis("y"),
+                         series=[ScatterSeries("s", [1, 2, 3], [1, 4, 9])],
+                         **kw)
+
+    def test_layout_produces_marks(self):
+        prims = layout_chart(self._scatter_spec())
+        assert sum(p.kind == "circle" for p in prims) >= 3
+
+    def test_out_of_domain_points_clipped(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x", domain=(0, 1)),
+                         y_axis=Axis("y", domain=(0, 1)),
+                         series=[ScatterSeries("s", [0.5, 99.0],
+                                               [0.5, 99.0])])
+        prims = layout_chart(spec)
+        # one in-domain point + one legend glyph
+        assert sum(p.kind == "circle" for p in prims) == 2
+
+    def test_bars_need_categories(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x"), y_axis=Axis("y"),
+                         series=[BarSeries("b", ["a"], [1.0])])
+        with pytest.raises(RenderError, match="x_categories"):
+            layout_chart(spec)
+
+    def test_grouped_bars_disjoint(self):
+        spec = ChartSpec(
+            title="t", x_axis=Axis("x"), y_axis=Axis("y"),
+            x_categories=["c1"],
+            series=[BarSeries("a", ["c1"], [5.0], color="#111111"),
+                    BarSeries("b", ["c1"], [7.0], color="#222222")])
+        rects = [p for p in layout_chart(spec)
+                 if p.kind == "rect" and p.color in ("#111111", "#222222")
+                 and p.x < 700]   # exclude legend swatches (x > plot area)
+        assert len(rects) == 2
+        a, b = sorted(rects, key=lambda r: r.x)
+        assert a.x + a.w <= b.x + 1e-6
+
+    def test_stacked_bars_heights_sum(self):
+        spec = ChartSpec(
+            title="t", x_axis=Axis("x"),
+            y_axis=Axis("y", domain=(0, 10)), x_categories=["c1"],
+            series=[StackedBarSeries(
+                "s", ["c1"],
+                segments={"a": np.array([4.0]), "b": np.array([6.0])},
+                colors={"a": "#111111", "b": "#222222"})])
+        rects = [p for p in layout_chart(spec)
+                 if p.kind == "rect" and p.color in ("#111111", "#222222")
+                 and p.x < 700]
+        assert len(rects) == 2
+        # the two segments together span the full plot height
+        # (domain 0..10, values 4 + 6): py0 - py1 = 560 - 56 - 48 = 456
+        assert sum(r.h for r in rects) == pytest.approx(456.0)
+        # the 4-unit segment is 40% of the stack
+        assert min(r.h for r in rects) == pytest.approx(0.4 * 456.0)
+
+    def test_line_series(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x"), y_axis=Axis("y"),
+                         series=[LineSeries("l", [0, 1, 2], [0, 1, 0])])
+        segs = [p for p in layout_chart(spec)
+                if p.kind == "line" and p.color == "#1f77b4"]
+        assert len(segs) >= 2
+
+
+class TestHistogram:
+    def _series(self, **kw):
+        from repro.charts import HistogramSeries
+        rng = np.random.default_rng(0)
+        return HistogramSeries("h", rng.lognormal(3, 1, 500), **kw)
+
+    def test_compute_linear(self):
+        s = self._series(bins=10)
+        edges, heights = s.compute(0, 100)
+        assert len(edges) == 11
+        assert len(heights) == 10
+        assert heights.sum() <= 500
+
+    def test_compute_log_bins(self):
+        s = self._series(bins=10, log_bins=True)
+        edges, heights = s.compute(1, 1000)
+        ratios = edges[1:] / edges[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_log_bins_need_positive_domain(self):
+        s = self._series(log_bins=True)
+        with pytest.raises(RenderError):
+            s.compute(0, 10)
+
+    def test_validation(self):
+        from repro.charts import HistogramSeries
+        with pytest.raises(RenderError):
+            HistogramSeries("h", np.zeros((2, 2)))
+        with pytest.raises(RenderError):
+            HistogramSeries("h", np.zeros(3), bins=0)
+
+    def test_layout_produces_bars(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x", domain=(0, 100)),
+                         y_axis=Axis("y"),
+                         series=[self._series(bins=12)])
+        rects = [p for p in layout_chart(spec)
+                 if p.kind == "rect" and p.color == "#1f77b4" and p.x < 700]
+        assert 1 < len(rects) <= 12
+
+    def test_y_domain_from_heights(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x", domain=(0, 100)),
+                         y_axis=Axis("y"), series=[self._series(bins=12)])
+        lo, hi = spec.data_domain("y")
+        assert lo == 0.0 and hi >= 1
+
+    def test_calibration_entry(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x"), y_axis=Axis("y"),
+                         series=[self._series(bins=7)])
+        meta = spec.calibration()["series"][0]
+        assert meta["bins"] == 7 and meta["n"] == 500
+
+    def test_needs_numeric_axis(self):
+        spec = ChartSpec(title="t", x_axis=Axis("x"), y_axis=Axis("y"),
+                         x_categories=["a"], series=[self._series()])
+        with pytest.raises(RenderError, match="numeric x axis"):
+            layout_chart(spec)
+
+
+class TestBackends:
+    def _spec(self):
+        return ChartSpec(title="T<itle> & co", x_axis=Axis("x"),
+                         y_axis=Axis("y"),
+                         series=[ScatterSeries("s", [1, 2], [3, 4])])
+
+    def test_svg_well_formed(self):
+        import xml.etree.ElementTree as ET
+        svg = to_svg(self._spec())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_svg_escapes_text(self):
+        svg = to_svg(self._spec())
+        assert "T&lt;itle&gt; &amp; co" in svg
+
+    def test_html_self_contained(self):
+        html = to_html(self._spec())
+        assert "<svg" in html
+        assert "calibration" in html
+        assert "wheel" in html  # zoom handler
+
+    def test_html_embeds_valid_calibration(self):
+        import json
+        import re
+        html = to_html(self._spec())
+        m = re.search(r'id="calibration">(.*?)</script>', html, re.S)
+        cal = json.loads(m.group(1))
+        assert cal["x_label"] == "x"

@@ -1,0 +1,109 @@
+"""Tests for the repro-workflow and repro-sacct CLIs."""
+
+import pytest
+
+from repro.slurm import cli as sacct_cli
+from repro.workflows import cli as wf_cli
+
+
+class TestSacctCli:
+    def test_prints_header_and_rows(self, capsys):
+        rc = sacct_cli.main(["--system", "testsys", "--month", "2024-01",
+                             "--rate-scale", "0.01", "--limit", "5",
+                             "--format", "JobID,User,State"])
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "JobID|User|State"
+        assert len(out) == 6
+        assert out[1].count("|") == 2
+
+    def test_no_steps_flag(self, capsys):
+        sacct_cli.main(["--system", "testsys", "--month", "2024-01",
+                        "--rate-scale", "0.01", "--no-steps",
+                        "--format", "JobID"])
+        out = capsys.readouterr().out.splitlines()[1:]
+        assert all("." not in line for line in out)
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "dump.txt"
+        rc = sacct_cli.main(["--system", "testsys", "--month", "2024-01",
+                             "--rate-scale", "0.01", "--limit", "3",
+                             "-o", str(target)])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+        assert len(target.read_text().splitlines()) == 4
+
+    def test_bad_month_is_error(self, capsys):
+        rc = sacct_cli.main(["--month", "2024-13"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_default_fields_are_obtain_set(self, capsys):
+        sacct_cli.main(["--system", "testsys", "--month", "2024-01",
+                        "--rate-scale", "0.01", "--limit", "1"])
+        header = capsys.readouterr().out.splitlines()[0]
+        assert len(header.split("|")) == 60
+
+
+class TestAdvisorCli:
+    @pytest.fixture(scope="class")
+    def swf_path(self, tmp_path_factory):
+        from repro.interop import write_swf
+        from repro.sched import simulate_month
+        jobs = simulate_month("testsys", "2024-01", seed=3,
+                              rate_scale=0.3).jobs
+        path = tmp_path_factory.mktemp("adv") / "trace.swf"
+        write_swf(jobs, str(path), cpus_per_node=8)
+        return str(path)
+
+    def test_report_over_swf(self, swf_path, capsys):
+        from repro.advisor import cli as adv_cli
+        rc = adv_cli.main([swf_path, "--cpus-per-node", "8",
+                           "--total-nodes", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jobs from" in out
+        assert "walltime" in out.lower()
+
+    def test_ask_over_swf(self, swf_path, capsys):
+        from repro.advisor import cli as adv_cli
+        rc = adv_cli.main([swf_path, "--cpus-per-node", "8",
+                           "--ask", "what about walltime requests?"])
+        assert rc == 0
+        assert "walltime" in capsys.readouterr().out
+
+    def test_bad_file_is_error(self, tmp_path, capsys):
+        from repro.advisor import cli as adv_cli
+        bad = tmp_path / "bad.swf"
+        bad.write_text("garbage\n")
+        rc = adv_cli.main([str(bad)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestWorkflowCli:
+    def test_end_to_end(self, tmp_path, capsys):
+        rc = wf_cli.main(["-n", "2", "--system", "testsys",
+                          "--dates", "2024-01", "--rate-scale", "0.03",
+                          "--workdir", str(tmp_path / "wf"), "--no-ai"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dashboard:" in out
+        assert "peak concurrency" in out
+        assert (tmp_path / "wf" / "dashboard" / "index.html").exists()
+
+    def test_date_range_expansion(self):
+        assert wf_cli._parse_dates("2023-11:2024-01") == \
+            ("2023-11", "2023-12", "2024-01")
+        assert wf_cli._parse_dates("2024-05") == ("2024-05",)
+
+    def test_bad_dates_is_error(self, tmp_path, capsys):
+        rc = wf_cli.main(["--dates", "2024-06:2024-01",
+                          "--workdir", str(tmp_path)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = wf_cli.build_parser().parse_args([])
+        assert args.workers == 4
+        assert args.system == "frontier"

@@ -1,0 +1,110 @@
+"""Tests for system profiles and hostlist notation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.errors import ConfigError, DataError
+from repro.cluster import (
+    ANDES,
+    FRONTIER,
+    TESTSYS,
+    Partition,
+    QOS,
+    SystemProfile,
+    compact_nodelist,
+    expand_nodelist,
+    get_system,
+)
+
+
+class TestProfiles:
+    def test_frontier_shape(self):
+        assert FRONTIER.total_nodes == 9408
+        assert FRONTIER.gpus_per_node == 8
+        assert FRONTIER.partition("batch").max_nodes == 9408
+
+    def test_andes_is_cpu_centric(self):
+        assert ANDES.gpus_per_node == 0
+        assert ANDES.total_nodes == 704
+
+    def test_get_system(self):
+        assert get_system("frontier") is FRONTIER
+        assert get_system("andes") is ANDES
+        assert get_system("testsys") is TESTSYS
+
+    def test_get_unknown_system(self):
+        with pytest.raises(ConfigError, match="unknown system"):
+            get_system("summit")
+
+    def test_qos_lookup(self):
+        assert FRONTIER.qos("urgent").priority_boost > \
+            FRONTIER.qos("debug").priority_boost > 0
+
+    def test_missing_partition(self):
+        with pytest.raises(ConfigError):
+            ANDES.partition("gpu-big")
+
+    def test_total_cpus(self):
+        assert TESTSYS.total_cpus == 16 * 8
+
+    def test_partition_validation(self):
+        with pytest.raises(ConfigError):
+            Partition("bad", max_nodes=0, max_time_s=3600)
+        with pytest.raises(ConfigError):
+            Partition("bad", max_nodes=1, max_time_s=10)
+
+    def test_profile_partition_exceeding_system(self):
+        with pytest.raises(ConfigError, match="exceeds system size"):
+            SystemProfile(
+                name="x", node_prefix="x", total_nodes=4, cpus_per_node=1,
+                gpus_per_node=0, mem_per_node_kib=1024,
+                partitions=(Partition("p", max_nodes=8, max_time_s=3600),),
+                qos_levels=(QOS("normal"),))
+
+    def test_duplicate_partitions_rejected(self):
+        p = Partition("p", max_nodes=2, max_time_s=3600)
+        with pytest.raises(ConfigError, match="duplicate"):
+            SystemProfile(
+                name="x", node_prefix="x", total_nodes=4, cpus_per_node=1,
+                gpus_per_node=0, mem_per_node_kib=1024,
+                partitions=(p, p), qos_levels=(QOS("normal"),))
+
+
+class TestNodelist:
+    def test_single_node(self):
+        assert compact_nodelist("andes", [12]) == "andes00012"
+
+    def test_runs_and_gaps(self):
+        assert compact_nodelist("frontier", [1, 2, 3, 7]) == \
+            "frontier[00001-00003,00007]"
+
+    def test_empty(self):
+        assert compact_nodelist("x", []) == ""
+        assert expand_nodelist("") == ("", [])
+
+    def test_duplicates_collapsed(self):
+        assert compact_nodelist("x", [5, 5, 6]) == "x[00005-00006]"
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            compact_nodelist("x", [-1])
+
+    def test_expand_single(self):
+        assert expand_nodelist("andes00012") == ("andes", [12])
+
+    def test_expand_bracket(self):
+        prefix, ids = expand_nodelist("frontier[00001-00003,00007]")
+        assert prefix == "frontier" and ids == [1, 2, 3, 7]
+
+    @pytest.mark.parametrize("bad", ["frontier[", "x[1-]", "x[3-1]", "[1-2]"])
+    def test_expand_malformed(self, bad):
+        with pytest.raises((DataError, ValueError)):
+            expand_nodelist(bad)
+
+    @given(st.lists(st.integers(min_value=0, max_value=99999), min_size=1,
+                    max_size=60))
+    def test_round_trip(self, ids):
+        text = compact_nodelist("n", ids)
+        prefix, back = expand_nodelist(text)
+        assert prefix == "n"
+        assert back == sorted(set(ids))

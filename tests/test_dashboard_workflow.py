@@ -1,0 +1,157 @@
+"""Tests for dashboard assembly and the composed end-to-end workflow."""
+
+import json
+import os
+import re
+
+import numpy as np
+import pytest
+
+from repro._util.errors import RenderError
+from repro.charts import Axis, ChartSpec, ScatterSeries
+from repro.dashboard import DashboardBuilder
+from repro.flow import concurrency_profile
+from repro.workflows import SchedulingAnalysisWorkflow, WorkflowConfig
+
+
+def _spec(title="chart"):
+    rng = np.random.default_rng(0)
+    return ChartSpec(title=title, x_axis=Axis("x"), y_axis=Axis("y"),
+                     series=[ScatterSeries("s", rng.random(10),
+                                           rng.random(10))])
+
+
+class TestDashboard:
+    def test_empty_rejected(self):
+        with pytest.raises(RenderError):
+            DashboardBuilder("t").render()
+
+    def test_sections_and_stats_rendered(self, tmp_path):
+        b = DashboardBuilder("My Dash")
+        b.add_stat("jobs", "1,234")
+        b.add_section("Waits", _spec("waits"), insight="AI text & more")
+        b.add_section("States", _spec("states"))
+        path = b.write(str(tmp_path / "index.html"))
+        html = open(path).read()
+        assert "My Dash" in html
+        assert html.count("<svg") == 2
+        assert "AI text &amp; more" in html
+        assert "1,234" in html
+        assert "showTab(1)" in html
+
+    def test_title_escaped(self):
+        b = DashboardBuilder("<script>alert(1)</script>")
+        b.add_section("s", _spec())
+        assert "<script>alert(1)" not in b.render()
+
+
+@pytest.fixture(scope="module")
+def workflow_result(tmp_path_factory):
+    workdir = str(tmp_path_factory.mktemp("wf"))
+    cfg = WorkflowConfig(system="testsys", months=("2024-01", "2024-02"),
+                         workdir=workdir, workers=4, seed=3,
+                         rate_scale=0.12)
+    return SchedulingAnalysisWorkflow(cfg).run()
+
+
+class TestEndToEndWorkflow:
+    def test_all_tasks_succeed(self, workflow_result):
+        rep = workflow_result.flow_report
+        assert rep.ok
+        # 2 months x (obtain + curate + 4 plots + 4x2 ai) + volume +
+        # occupancy (+2 ai pairs) + compare + llm-reports + advisor
+        # + dashboard
+        assert len(rep.results) == 38
+
+    def test_aggregate_llm_reports_written(self, workflow_result):
+        workdir = workflow_result.config.workdir
+        single = os.path.join(workdir, "llm",
+                              "llm_single_file_analysis.md")
+        double = os.path.join(workdir, "llm",
+                              "llm_double_file_analysis.md")
+        assert os.path.exists(single) and os.path.exists(double)
+        body = open(single).read()
+        assert body.count("## ") == len(workflow_result.insights)
+        assert "2024-01-waits" in body
+
+    def test_advisor_stage_fires(self, workflow_result):
+        assert workflow_result.advisor_report
+        assert "walltime" in workflow_result.advisor_report.lower()
+        html = open(workflow_result.dashboard_path).read()
+        assert "Policy advisor" in html
+
+    def test_dashboard_written(self, workflow_result):
+        assert os.path.exists(workflow_result.dashboard_path)
+        html = open(workflow_result.dashboard_path).read()
+        assert html.count("<svg") == 10  # volume + occupancy + 4 kinds x 2 months
+
+    def test_insights_embedded_in_dashboard(self, workflow_result):
+        html = open(workflow_result.dashboard_path).read()
+        assert "AI-generated insight" in html
+
+    def test_charts_and_pngs_exist(self, workflow_result):
+        assert len(workflow_result.chart_html) == 10
+        assert len(workflow_result.chart_png) == 10
+        for key, png in workflow_result.chart_png.items():
+            assert os.path.exists(png), key
+            assert os.path.exists(png + ".json"), key
+
+    def test_insight_per_chart(self, workflow_result):
+        assert set(workflow_result.insights) == \
+            set(workflow_result.chart_png)
+        assert all(len(t) > 50 for t in workflow_result.insights.values())
+
+    def test_cross_month_compare(self, workflow_result):
+        assert len(workflow_result.compares) == 1
+        (text,) = workflow_result.compares.values()
+        assert "chart A" in text and "chart B" in text
+
+    def test_pipeline_counts(self, workflow_result):
+        assert workflow_result.n_jobs > 500
+        assert workflow_result.n_steps > workflow_result.n_jobs
+
+    def test_concurrency_extracted(self, workflow_result):
+        """The Figure 2 claim: a linear task list runs concurrently."""
+        peak, avg = concurrency_profile(workflow_result.flow_report.trace)
+        assert peak >= 3
+
+    def test_plot_stages_overlap_across_months(self, workflow_result):
+        trace = workflow_result.flow_report.trace
+        overlaps = 0
+        for a in ("plot-waits-2024-01", "plot-states-2024-01"):
+            for b in ("plot-waits-2024-02", "plot-states-2024-02",
+                      "plot-backfill-2024-01"):
+                if trace.overlapping(a, b):
+                    overlaps += 1
+        assert overlaps >= 1
+
+    def test_cache_reused_on_second_run(self, workflow_result,
+                                        tmp_path_factory):
+        cfg = workflow_result.config
+        wf2 = SchedulingAnalysisWorkflow(cfg)
+        res2 = wf2.run()
+        assert res2.flow_report.ok
+        obtain = res2.flow_report.results["obtain-2024-01"]
+        assert obtain.status == "ok"
+        # curate is memoized: its CSVs are newer than the cached pull
+        assert res2.flow_report.results["curate-2024-01"].status == \
+            "cached"
+
+    def test_ai_disabled_still_builds_dashboard(self, tmp_path_factory):
+        workdir = str(tmp_path_factory.mktemp("wf-noai"))
+        cfg = WorkflowConfig(system="testsys", months=("2024-01",),
+                             workdir=workdir, workers=2, seed=5,
+                             rate_scale=0.05, enable_ai=False)
+        res = SchedulingAnalysisWorkflow(cfg).run()
+        assert res.flow_report.ok
+        assert os.path.exists(res.dashboard_path)
+        assert not res.insights
+
+    def test_months_must_be_sorted(self):
+        with pytest.raises(Exception):
+            WorkflowConfig(months=("2024-02", "2024-01"))
+
+    def test_calibration_sidecars_valid_json(self, workflow_result):
+        for png in workflow_result.chart_png.values():
+            cal = json.load(open(png + ".json"))
+            assert "x_domain" in cal and "series" in cal

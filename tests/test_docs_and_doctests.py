@@ -1,0 +1,46 @@
+"""Documentation discipline: docstrings everywhere, doctests pass."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name for _, name, _ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."))
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_module_has_a_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__ and mod.__doc__.strip(), \
+        f"{module_name} lacks a module docstring"
+
+
+_DOCTEST_MODULES = [
+    "repro._util.timefmt",
+    "repro._util.sizefmt",
+    "repro.cluster.nodelist",
+    "repro.slurm.parse",
+]
+
+
+@pytest.mark.parametrize("module_name", _DOCTEST_MODULES)
+def test_doctests(module_name):
+    mod = importlib.import_module(module_name)
+    failures, tested = doctest.testmod(
+        mod, verbose=False).failed, doctest.testmod(mod).attempted
+    assert tested > 0, f"{module_name} has no doctests to run"
+    assert failures == 0
+
+
+def test_public_api_symbols_resolve():
+    """Every name in each package's __all__ must be importable."""
+    for module_name in MODULES:
+        mod = importlib.import_module(module_name)
+        for symbol in getattr(mod, "__all__", []):
+            assert hasattr(mod, symbol), \
+                f"{module_name}.__all__ exports missing {symbol!r}"

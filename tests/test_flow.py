@@ -1,0 +1,244 @@
+"""Tests for the dataflow engine."""
+
+import time
+
+import pytest
+
+from repro._util.errors import WorkflowError
+from repro.flow import FlowEngine, concurrency_profile
+
+
+def sleep_task(duration=0.02, value=None, log=None, name=None):
+    def fn():
+        time.sleep(duration)
+        if log is not None:
+            log.append(name)
+        return value
+    return fn
+
+
+class TestGraphInference:
+    def test_file_edge_inferred(self):
+        eng = FlowEngine(workers=2)
+        eng.task("a", sleep_task(), outputs=["x.txt"])
+        eng.task("b", sleep_task(), inputs=["x.txt"])
+        g = eng.graph()
+        assert list(g.edges) == [("a", "b")]
+
+    def test_path_normalization(self):
+        eng = FlowEngine()
+        eng.task("a", sleep_task(), outputs=["dir/../x.txt"])
+        eng.task("b", sleep_task(), inputs=["./x.txt"])
+        assert list(eng.graph().edges) == [("a", "b")]
+
+    def test_unproduced_inputs_are_external(self):
+        eng = FlowEngine()
+        eng.task("a", sleep_task(), inputs=["outside.csv"])
+        assert list(eng.graph().edges) == []
+
+    def test_two_producers_rejected(self):
+        eng = FlowEngine()
+        eng.task("a", sleep_task(), outputs=["x"])
+        eng.task("b", sleep_task(), outputs=["x"])
+        with pytest.raises(WorkflowError, match="produce"):
+            eng.graph()
+
+    def test_cycle_rejected(self):
+        eng = FlowEngine()
+        eng.task("a", sleep_task(), inputs=["y"], outputs=["x"])
+        eng.task("b", sleep_task(), inputs=["x"], outputs=["y"])
+        with pytest.raises(WorkflowError, match="cycle"):
+            eng.graph()
+
+    def test_duplicate_names_rejected(self):
+        eng = FlowEngine()
+        eng.task("a", sleep_task())
+        with pytest.raises(WorkflowError, match="duplicate"):
+            eng.task("a", sleep_task())
+
+    def test_explicit_after_edge(self):
+        eng = FlowEngine()
+        eng.task("a", sleep_task())
+        eng.task("b", sleep_task(), after=["a"])
+        assert list(eng.graph().edges) == [("a", "b")]
+
+    def test_after_unknown_task(self):
+        eng = FlowEngine()
+        eng.task("b", sleep_task(), after=["ghost"])
+        with pytest.raises(WorkflowError, match="unknown task"):
+            eng.graph()
+
+    def test_bad_worker_count(self):
+        with pytest.raises(WorkflowError):
+            FlowEngine(workers=0)
+
+
+class TestExecution:
+    def test_results_and_values(self):
+        eng = FlowEngine(workers=2)
+        eng.task("a", sleep_task(value=41), outputs=["x"])
+        eng.task("b", sleep_task(value=42), inputs=["x"])
+        report = eng.run()
+        assert report.ok
+        assert report.results["a"].value == 41
+        assert report.results["b"].value == 42
+
+    def test_dependency_order_respected(self):
+        log = []
+        eng = FlowEngine(workers=4)
+        eng.task("a", sleep_task(0.02, log=log, name="a"), outputs=["x"])
+        eng.task("b", sleep_task(0.0, log=log, name="b"), inputs=["x"])
+        eng.run()
+        assert log == ["a", "b"]
+
+    def test_independent_tasks_run_concurrently(self):
+        eng = FlowEngine(workers=4)
+        for i in range(4):
+            eng.task(f"t{i}", sleep_task(0.05))
+        report = eng.run()
+        peak, _ = concurrency_profile(report.trace)
+        assert peak >= 2
+        assert report.wall_s < 4 * 0.05  # faster than serial
+
+    def test_single_worker_serializes(self):
+        eng = FlowEngine(workers=1)
+        for i in range(3):
+            eng.task(f"t{i}", sleep_task(0.02))
+        report = eng.run()
+        peak, _ = concurrency_profile(report.trace)
+        assert peak == 1
+
+    def test_failure_skips_descendants(self):
+        def boom():
+            raise ValueError("kapow")
+        eng = FlowEngine(workers=2)
+        eng.task("a", boom, outputs=["x"])
+        eng.task("b", sleep_task(), inputs=["x"], outputs=["y"])
+        eng.task("c", sleep_task(), inputs=["y"])
+        eng.task("d", sleep_task())  # independent: still runs
+        report = eng.run()
+        assert report.results["a"].status == "failed"
+        assert "kapow" in report.results["a"].error
+        assert report.results["b"].status == "skipped"
+        assert report.results["c"].status == "skipped"
+        assert report.results["d"].status == "ok"
+
+    def test_run_or_raise(self):
+        def boom():
+            raise ValueError("kapow")
+        eng = FlowEngine()
+        eng.task("a", boom)
+        with pytest.raises(WorkflowError, match="kapow"):
+            eng.run_or_raise()
+
+    def test_diamond_dataflow(self):
+        """The Figure 2 shape: fan out from one source, join at the end."""
+        log = []
+        eng = FlowEngine(workers=4)
+        eng.task("obtain", sleep_task(0.02, log=log, name="obtain"),
+                 outputs=["raw"])
+        eng.task("plot1", sleep_task(0.04, log=log, name="plot1"),
+                 inputs=["raw"], outputs=["p1"])
+        eng.task("plot2", sleep_task(0.04, log=log, name="plot2"),
+                 inputs=["raw"], outputs=["p2"])
+        eng.task("dash", sleep_task(0.0, log=log, name="dash"),
+                 inputs=["p1", "p2"])
+        report = eng.run()
+        assert report.ok
+        assert log[0] == "obtain" and log[-1] == "dash"
+        assert report.trace.overlapping("plot1", "plot2")
+
+    def test_trace_event_lookup(self):
+        eng = FlowEngine()
+        eng.task("a", sleep_task())
+        report = eng.run()
+        assert report.trace.event("a").ok
+        with pytest.raises(KeyError):
+            report.trace.event("zzz")
+
+
+class TestRetriesAndCache:
+    def test_retries_recover_transient_failure(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "done"
+
+        eng = FlowEngine()
+        eng.task("a", flaky, retries=3)
+        report = eng.run()
+        assert report.ok
+        assert report.results["a"].value == "done"
+        assert calls["n"] == 3
+
+    def test_retries_exhausted_fails(self):
+        def dead():
+            raise RuntimeError("permanent")
+        eng = FlowEngine()
+        eng.task("a", dead, retries=2)
+        report = eng.run()
+        assert report.results["a"].status == "failed"
+        assert "permanent" in report.results["a"].error
+
+    def test_negative_retries_rejected(self):
+        eng = FlowEngine()
+        with pytest.raises(WorkflowError):
+            eng.task("a", sleep_task(), retries=-1)
+
+    def test_cache_skips_when_outputs_fresh(self, tmp_path):
+        out = tmp_path / "result.txt"
+        calls = {"n": 0}
+
+        def produce():
+            calls["n"] += 1
+            out.write_text("v1")
+
+        def build():
+            eng = FlowEngine()
+            eng.task("a", produce, outputs=[str(out)], cache=True)
+            return eng.run()
+
+        r1 = build()
+        assert r1.results["a"].status == "ok" and calls["n"] == 1
+        r2 = build()
+        assert r2.results["a"].status == "cached"
+        assert calls["n"] == 1
+        assert r2.ok and r2.cached()
+
+    def test_cache_invalidated_by_newer_input(self, tmp_path):
+        src = tmp_path / "input.txt"
+        out = tmp_path / "output.txt"
+        src.write_text("x")
+        calls = {"n": 0}
+
+        def produce():
+            calls["n"] += 1
+            out.write_text("y")
+
+        def build():
+            eng = FlowEngine()
+            eng.task("a", produce, inputs=[str(src)], outputs=[str(out)],
+                     cache=True)
+            return eng.run()
+
+        build()
+        import os
+        # make the input strictly newer than the cached output
+        future = out.stat().st_mtime + 10
+        os.utime(src, (future, future))
+        build()
+        assert calls["n"] == 2
+
+    def test_cache_without_outputs_never_fresh(self):
+        calls = {"n": 0}
+
+        def produce():
+            calls["n"] += 1
+
+        eng = FlowEngine()
+        eng.task("a", produce, cache=True)
+        eng.run()
+        assert calls["n"] == 1

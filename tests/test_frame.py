@@ -1,0 +1,280 @@
+"""Unit tests for the columnar Frame."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DataError
+from repro.frame import Frame, concat
+
+
+@pytest.fixture
+def jobs():
+    return Frame({
+        "jobid": [1, 2, 3, 4, 5, 6],
+        "user": ["ada", "bob", "ada", "cyd", "bob", "ada"],
+        "nnodes": [8, 128, 1, 4096, 16, 2],
+        "wait_s": [10.0, 300.0, 5.0, 9000.0, 60.0, 1.0],
+        "state": ["COMPLETED", "FAILED", "COMPLETED", "COMPLETED",
+                  "CANCELLED", "FAILED"],
+    })
+
+
+class TestConstruction:
+    def test_lengths_checked(self):
+        with pytest.raises(DataError):
+            Frame({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataError):
+            Frame({"a": np.zeros((2, 2))})
+
+    def test_string_columns_become_object(self, jobs):
+        assert jobs["user"].dtype == object
+
+    def test_unicode_array_coerced_to_object(self):
+        f = Frame({"s": np.array(["x", "y"], dtype="U4")})
+        assert f["s"].dtype == object
+
+    def test_empty_frame(self):
+        f = Frame()
+        assert len(f) == 0 and f.columns == []
+
+    def test_from_records_union_of_keys(self):
+        f = Frame.from_records([{"a": 1}, {"a": 2, "b": "x"}])
+        assert f.columns == ["a", "b"]
+        assert f["b"][0] is None
+
+    def test_from_records_missing_numeric_is_nan(self):
+        f = Frame.from_records([{"a": 1.5}, {}])
+        assert np.isnan(f["a"][1])
+
+    def test_row_access(self, jobs):
+        r = jobs.row(1)
+        assert r == {"jobid": 2, "user": "bob", "nnodes": 128,
+                     "wait_s": 300.0, "state": "FAILED"}
+
+    def test_row_out_of_range(self, jobs):
+        with pytest.raises(IndexError):
+            jobs.row(6)
+
+    def test_missing_column_keyerror_names_available(self, jobs):
+        with pytest.raises(KeyError, match="nnodes"):
+            jobs["nope"]
+
+
+class TestSubsetting:
+    def test_filter_mask(self, jobs):
+        failed = jobs.filter(jobs["state"] == "FAILED")
+        assert len(failed) == 2
+        assert failed["jobid"].tolist() == [2, 6]
+
+    def test_filter_requires_bool(self, jobs):
+        with pytest.raises(DataError):
+            jobs.filter(np.array([1, 0, 1, 0, 1, 0]))
+
+    def test_filter_length_checked(self, jobs):
+        with pytest.raises(DataError):
+            jobs.filter(np.array([True, False]))
+
+    def test_where(self, jobs):
+        big = jobs.where("nnodes", lambda n: n >= 100)
+        assert big["jobid"].tolist() == [2, 4]
+
+    def test_head(self, jobs):
+        assert len(jobs.head(2)) == 2
+        assert len(jobs.head(100)) == 6
+
+    def test_take_ints(self, jobs):
+        sub = jobs.take(np.array([5, 0]))
+        assert sub["jobid"].tolist() == [6, 1]
+
+    def test_sample_deterministic(self, jobs):
+        rng = np.random.default_rng(0)
+        s1 = jobs.sample(3, rng)
+        s2 = jobs.sample(3, np.random.default_rng(0))
+        assert s1["jobid"].tolist() == s2["jobid"].tolist()
+        assert len(s1) == 3
+
+    def test_sort_single_key(self, jobs):
+        s = jobs.sort("wait_s")
+        assert s["wait_s"].tolist() == sorted(jobs["wait_s"].tolist())
+
+    def test_sort_descending(self, jobs):
+        s = jobs.sort("nnodes", ascending=False)
+        assert s["nnodes"][0] == 4096
+
+    def test_sort_multi_key_primary_first(self, jobs):
+        s = jobs.sort(["user", "nnodes"])
+        assert s["user"].tolist() == ["ada", "ada", "ada", "bob", "bob", "cyd"]
+        ada = [n for u, n in zip(s["user"], s["nnodes"]) if u == "ada"]
+        assert ada == sorted(ada)
+
+
+class TestColumnOps:
+    def test_select_order(self, jobs):
+        sel = jobs.select(["state", "jobid"])
+        assert sel.columns == ["state", "jobid"]
+
+    def test_select_missing_raises(self, jobs):
+        with pytest.raises(KeyError):
+            jobs.select(["jobid", "ghost"])
+
+    def test_drop(self, jobs):
+        assert "wait_s" not in jobs.drop(["wait_s"]).columns
+
+    def test_rename(self, jobs):
+        r = jobs.rename({"jobid": "JobID"})
+        assert "JobID" in r.columns and "jobid" not in r.columns
+
+    def test_rename_collision_rejected(self, jobs):
+        with pytest.raises(DataError):
+            jobs.rename({"jobid": "user"})
+
+    def test_assign_array(self, jobs):
+        f = jobs.assign(double=jobs["nnodes"] * 2)
+        assert f["double"].tolist() == (jobs["nnodes"] * 2).tolist()
+
+    def test_assign_callable(self, jobs):
+        f = jobs.assign(wait_min=lambda fr: fr["wait_s"] / 60.0)
+        assert f["wait_min"][1] == pytest.approx(5.0)
+
+    def test_assign_does_not_mutate_original(self, jobs):
+        jobs.assign(extra=np.zeros(len(jobs)))
+        assert "extra" not in jobs.columns
+
+    def test_unique(self, jobs):
+        assert jobs.unique("user").tolist() == ["ada", "bob", "cyd"]
+
+    def test_describe_numeric_columns_only(self, jobs):
+        d = jobs.describe()
+        assert d["column"].tolist() == ["jobid", "nnodes", "wait_s"]
+        row = {c: v for c, v in zip(d["column"], d["median"])}
+        assert row["nnodes"] == 12.0  # median of 8,128,1,4096,16,2
+
+    def test_describe_skips_nan(self):
+        f = Frame({"x": np.array([1.0, np.nan, 3.0])})
+        d = f.describe()
+        assert d["count"][0] == 2
+        assert d["mean"][0] == pytest.approx(2.0)
+
+    def test_describe_empty_frame(self):
+        assert len(Frame().describe()) == 0
+
+    def test_value_counts_descending(self, jobs):
+        vc = jobs.value_counts("user")
+        assert vc["user"][0] == "ada" and vc["count"][0] == 3
+        assert vc["count"].tolist() == sorted(vc["count"].tolist(), reverse=True)
+
+
+class TestGroupBy:
+    def test_sizes(self, jobs):
+        g = jobs.group_by("user").size().sort("user")
+        assert g["user"].tolist() == ["ada", "bob", "cyd"]
+        assert g["count"].tolist() == [3, 2, 1]
+
+    def test_agg_multiple(self, jobs):
+        g = jobs.group_by("user").agg(
+            jobs=("jobid", "count"),
+            max_nodes=("nnodes", "max"),
+            mean_wait=("wait_s", "mean"),
+        ).sort("user")
+        assert g["max_nodes"].tolist() == [8, 128, 4096]
+        assert g["mean_wait"][0] == pytest.approx((10 + 5 + 1) / 3)
+
+    def test_agg_callable(self, jobs):
+        g = jobs.group_by("user").agg(spread=("wait_s", lambda a: a.max() - a.min()))
+        assert len(g) == 3
+
+    def test_agg_nunique_on_strings(self, jobs):
+        g = jobs.group_by("user").agg(states=("state", "nunique")).sort("user")
+        assert g["states"].tolist() == [2, 2, 1]
+
+    def test_multi_key_grouping(self, jobs):
+        g = jobs.group_by(["user", "state"]).size()
+        assert len(g) == 5  # ada x2 states, bob x2, cyd x1
+
+    def test_groups_iteration(self, jobs):
+        seen = dict()
+        for key, sub in jobs.group_by("user").groups():
+            seen[key[0]] = len(sub)
+        assert seen == {"ada": 3, "bob": 2, "cyd": 1}
+
+    def test_std_single_element_zero(self, jobs):
+        g = jobs.group_by("user").agg(s=("wait_s", "std")).sort("user")
+        assert g["s"][2] == 0.0  # cyd has one job
+
+    def test_empty_frame_groupby(self):
+        f = Frame({"k": np.array([], dtype=object), "v": np.array([])})
+        assert len(f.group_by("k").size()) == 0
+
+    def test_unknown_agg_rejected(self, jobs):
+        with pytest.raises(DataError):
+            jobs.group_by("user").agg(x=("wait_s", "p99"))
+
+
+class TestJoin:
+    def test_inner_join(self, jobs):
+        accounts = Frame({"user": ["ada", "bob"], "account": ["phy01", "bio02"]})
+        j = jobs.join(accounts, on="user", how="inner")
+        assert len(j) == 5  # cyd dropped
+        assert set(j["account"]) == {"phy01", "bio02"}
+
+    def test_left_join_pads_missing(self, jobs):
+        accounts = Frame({"user": ["ada"], "account": ["phy01"]})
+        j = jobs.join(accounts, on="user", how="left")
+        assert len(j) == 6
+        missing = [a for u, a in zip(j["user"], j["account"]) if u != "ada"]
+        assert all(a is None for a in missing)
+
+    def test_left_join_numeric_pads_nan(self, jobs):
+        extra = Frame({"user": ["ada"], "score": [1.5]})
+        j = jobs.join(extra, on="user", how="left")
+        vals = {u: s for u, s in zip(j["user"], j["score"])}
+        assert np.isnan(vals["bob"])
+
+    def test_duplicate_right_keys_multiply(self):
+        left = Frame({"k": ["a"], "x": [1]})
+        right = Frame({"k": ["a", "a"], "y": [10, 20]})
+        j = left.join(right, on="k")
+        assert len(j) == 2
+
+    def test_collision_suffix(self, jobs):
+        other = Frame({"user": ["ada"], "nnodes": [999]})
+        j = jobs.join(other, on="user", how="inner")
+        assert "nnodes_right" in j.columns
+
+    def test_bad_how_rejected(self, jobs):
+        with pytest.raises(DataError):
+            jobs.join(jobs, on="user", how="outer")
+
+
+class TestConcat:
+    def test_round_trip(self, jobs):
+        c = concat([jobs.head(3), jobs.take(np.arange(3, 6))])
+        assert c == jobs
+
+    def test_mismatched_columns_rejected(self, jobs):
+        with pytest.raises(DataError):
+            concat([jobs, jobs.drop(["state"])])
+
+    def test_empty_list(self):
+        assert len(concat([])) == 0
+
+    def test_mixed_object_upcast(self):
+        a = Frame({"x": [1, 2]})
+        b = Frame({"x": ["s"]})
+        c = concat([a, b])
+        assert c["x"].dtype == object
+
+
+class TestEquality:
+    def test_equal_frames(self, jobs):
+        assert jobs == jobs.copy()
+
+    def test_unequal_values(self, jobs):
+        other = jobs.copy()
+        other["nnodes"][0] = 7
+        assert jobs != other
+
+    def test_unequal_columns(self, jobs):
+        assert jobs != jobs.drop(["state"])

@@ -1,0 +1,131 @@
+"""Tests for Frame CSV / pipe-separated I/O."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DataError
+from repro.frame import Frame, read_csv, read_pipe, sniff_columns, write_csv, write_pipe
+
+
+@pytest.fixture
+def frame():
+    return Frame({
+        "JobID": [101, 102],
+        "User": ["ada", "bob"],
+        "Elapsed": ["01:00:00", "2-00:00:00"],
+        "NNodes": [8.0, 9408.0],
+    })
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path, frame):
+        path = tmp_path / "out.csv"
+        write_csv(frame, path)
+        back = read_csv(path)
+        assert back.columns == frame.columns
+        assert back["User"].tolist() == ["ada", "bob"]
+        assert back["JobID"].tolist() == [101, 102]
+
+    def test_float_integral_written_as_int(self, tmp_path, frame):
+        path = tmp_path / "out.csv"
+        write_csv(frame, path)
+        text = path.read_text()
+        assert "9408" in text and "9408.0" not in text
+
+    def test_infer_false_keeps_strings(self, tmp_path, frame):
+        path = tmp_path / "out.csv"
+        write_csv(frame, path)
+        back = read_csv(path, infer=False)
+        assert back["JobID"].dtype == object
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(DataError, match="line 3"):
+            read_csv(path)
+
+    def test_float_column_with_blank_cell_becomes_nan(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text("x,y\n1.5,a\n,b\n")
+        f = read_csv(path)
+        assert np.isnan(f["x"][1])
+
+    def test_underscored_ids_stay_strings(self, tmp_path):
+        # int("400596_400604") parses via PEP 515 separators; Slurm array
+        # JobIDs must not be mangled into integers
+        path = tmp_path / "a.csv"
+        path.write_text("JobID\n400596_400604\n400700\n")
+        f = read_csv(path)
+        assert f["JobID"].dtype == object
+        assert f["JobID"][0] == "400596_400604"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text("x\n1\n\n2\n")
+        f = read_csv(path)
+        assert f["x"].tolist() == [1, 2]
+
+    def test_makedirs(self, tmp_path, frame):
+        path = tmp_path / "deep" / "dir" / "out.csv"
+        write_csv(frame, path)
+        assert path.exists()
+
+
+class TestPipe:
+    def test_round_trip(self, tmp_path, frame):
+        path = tmp_path / "out.txt"
+        write_pipe(frame, path)
+        back = read_pipe(path, infer=True)
+        assert back["User"].tolist() == ["ada", "bob"]
+
+    def test_header_is_pipe_separated(self, tmp_path, frame):
+        path = tmp_path / "out.txt"
+        write_pipe(frame, path)
+        assert path.read_text().splitlines()[0] == "JobID|User|Elapsed|NNodes"
+
+    def test_malformed_rows_strict(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a|b\n1|2\n3\n")
+        with pytest.raises(DataError, match="line 3"):
+            read_pipe(path, strict=True)
+
+    def test_malformed_rows_dropped_lenient(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a|b\n1|2\ncorrupt-row\n3|4\n")
+        f = read_pipe(path, strict=False, infer=True)
+        assert f["a"].tolist() == [1, 3]
+
+    def test_pipe_in_value_rejected_on_write(self, tmp_path):
+        f = Frame({"c": ["has|pipe"]})
+        with pytest.raises(DataError):
+            write_pipe(f, tmp_path / "x.txt")
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_pipe(path)
+
+
+class TestSniff:
+    def test_sniff_pipe(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("a|b|c\n1|2|3\n")
+        assert sniff_columns(path) == ["a", "b", "c"]
+
+    def test_sniff_csv(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        assert sniff_columns(path) == ["a", "b", "c"]
+
+    def test_sniff_empty(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            sniff_columns(path)

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for Frame invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.frame import Frame, concat, read_csv, write_csv
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+ints = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+@st.composite
+def frames(draw, min_rows=0, max_rows=30):
+    n = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    key = draw(st.lists(names, min_size=n, max_size=n))
+    val = draw(st.lists(ints, min_size=n, max_size=n))
+    wgt = draw(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                  width=32), min_size=n, max_size=n))
+    return Frame({"key": np.array(key, dtype=object),
+                  "val": np.array(val, dtype=np.int64),
+                  "wgt": np.array(wgt)})
+
+
+@given(frames())
+def test_filter_partition(f):
+    """A mask and its complement partition the rows exactly."""
+    mask = f["val"] >= 0
+    assert len(f.filter(mask)) + len(f.filter(~mask)) == len(f)
+
+
+@given(frames())
+def test_sort_is_permutation_and_ordered(f):
+    s = f.sort("val")
+    assert sorted(s["val"].tolist()) == sorted(f["val"].tolist())
+    vals = s["val"]
+    assert all(vals[i] <= vals[i + 1] for i in range(len(vals) - 1))
+
+
+@given(frames())
+def test_groupby_sizes_sum_to_len(f):
+    sizes = f.group_by("key").size()
+    assert int(sizes["count"].sum()) if len(sizes) else 0 == len(f)
+    assert sum(sizes["count"].tolist()) == len(f)
+
+
+@given(frames())
+def test_groupby_group_count_matches_unique(f):
+    assert len(f.group_by("key").size()) == len(set(f["key"].tolist()))
+
+
+@given(frames())
+def test_groupby_sum_matches_total(f):
+    g = f.group_by("key").agg(total=("val", "sum"))
+    total = sum(g["total"].tolist()) if len(g) else 0
+    assert total == int(f["val"].sum()) if len(f) else total == 0
+
+
+@given(frames(min_rows=1))
+def test_value_counts_consistent(f):
+    vc = f.value_counts("key")
+    assert sum(vc["count"].tolist()) == len(f)
+    assert len(vc) == len(set(f["key"].tolist()))
+
+
+@given(frames(), frames())
+def test_concat_length_additive(a, b):
+    c = concat([a, b])
+    assert len(c) == len(a) + len(b)
+    assert c["val"].tolist() == a["val"].tolist() + b["val"].tolist()
+
+
+@settings(max_examples=25)
+@given(frames())
+def test_csv_round_trip(tmp_path_factory, f):
+    path = tmp_path_factory.mktemp("csv") / "f.csv"
+    write_csv(f, path)
+    back = read_csv(path)
+    assert back.columns == f.columns
+    assert back["val"].tolist() == f["val"].tolist()
+    np.testing.assert_allclose(
+        np.asarray(back["wgt"], dtype=float),
+        np.asarray(f["wgt"], dtype=float), rtol=1e-9)
+
+
+@given(frames(min_rows=1))
+def test_take_row_identity(f):
+    i = len(f) // 2
+    sub = f.take(np.array([i]))
+    assert sub.row(0) == f.row(i)
+
+
+@given(frames())
+def test_join_with_self_key_superset(f):
+    """Inner self-join row count is sum of squared group sizes."""
+    sizes = f.group_by("key").size()
+    expected = sum(c * c for c in sizes["count"].tolist()) if len(sizes) else 0
+    j = f.join(f, on="key", how="inner")
+    assert len(j) == expected

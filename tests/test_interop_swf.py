@@ -1,0 +1,133 @@
+"""Tests for SWF import/export."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DataError
+from repro.analytics import nodes_vs_elapsed, states_per_user, wait_times, walltime_accuracy
+from repro.interop import read_swf, swf_to_frame, write_swf
+from repro.pipeline import JOB_CSV_COLUMNS
+from repro.sched import simulate_month
+
+
+@pytest.fixture(scope="module")
+def sim_jobs():
+    return simulate_month("testsys", "2024-01", seed=5,
+                          rate_scale=0.05).jobs
+
+
+class TestWrite:
+    def test_write_and_structure(self, tmp_path, sim_jobs):
+        path = str(tmp_path / "trace.swf")
+        n = write_swf(sim_jobs, path, cpus_per_node=8)
+        assert n == len(sim_jobs)
+        lines = open(path).read().splitlines()
+        header = [l for l in lines if l.startswith(";")]
+        data = [l for l in lines if not l.startswith(";")]
+        assert any("UnixStartTime" in h for h in header)
+        assert len(data) == n
+        assert all(len(l.split()) == 18 for l in data)
+
+    def test_relative_submit_times(self, tmp_path, sim_jobs):
+        path = str(tmp_path / "trace.swf")
+        write_swf(sim_jobs, path, cpus_per_node=8)
+        origin, frame = read_swf(path)
+        assert origin == min(j.submit for j in sim_jobs)
+        assert frame["submit"].min() == 0
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            write_swf([], str(tmp_path / "x.swf"), cpus_per_node=8)
+
+
+class TestRead:
+    def test_round_trip_core_fields(self, tmp_path, sim_jobs):
+        path = str(tmp_path / "trace.swf")
+        write_swf(sim_jobs, path, cpus_per_node=8)
+        _, frame = read_swf(path)
+        started = [j for j in sim_jobs if j.elapsed > 0]
+        runtimes = frame["runtime"][frame["runtime"] >= 0]
+        assert len(runtimes) == len(started)
+        np.testing.assert_array_equal(
+            np.sort(runtimes), np.sort([j.elapsed for j in started]))
+
+    def test_malformed_arity(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(DataError, match="18 fields"):
+            read_swf(str(path))
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text(" ".join(["x"] * 18) + "\n")
+        with pytest.raises(DataError, match="non-numeric"):
+            read_swf(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.swf"
+        path.write_text("; only comments\n")
+        with pytest.raises(DataError, match="no data rows"):
+            read_swf(str(path))
+
+    def test_bad_unixstarttime(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text("; UnixStartTime: soon\n")
+        with pytest.raises(DataError, match="UnixStartTime"):
+            read_swf(str(path))
+
+
+class TestSwfToFrame:
+    def test_schema_matches_curated(self, tmp_path, sim_jobs):
+        path = str(tmp_path / "trace.swf")
+        write_swf(sim_jobs, path, cpus_per_node=8)
+        frame = swf_to_frame(path, cpus_per_node=8)
+        assert frame.columns == JOB_CSV_COLUMNS
+        assert len(frame) == len(sim_jobs)
+
+    def test_full_round_trip_preserves_analytics(self, tmp_path, sim_jobs):
+        """Export then import: the headline figure statistics survive."""
+        path = str(tmp_path / "trace.swf")
+        write_swf(sim_jobs, path, cpus_per_node=8)
+        frame = swf_to_frame(path, cpus_per_node=8)
+
+        ran = [j for j in sim_jobs if j.elapsed > 0]
+        scale = nodes_vs_elapsed(frame)
+        assert scale.median_elapsed_s == pytest.approx(
+            float(np.median([j.elapsed for j in ran])))
+        bf = walltime_accuracy(frame)
+        truth = np.median([j.elapsed / j.timelimit_s for j in ran])
+        assert bf.median_ratio_all == pytest.approx(truth, rel=0.05)
+
+    def test_analytics_run_on_external_style_trace(self, tmp_path):
+        """A hand-written archive-style SWF runs the whole stack."""
+        lines = ["; UnixStartTime: 1700000000"]
+        rng = np.random.default_rng(0)
+        for i in range(1, 201):
+            submit = i * 300
+            wait = int(rng.integers(0, 4000))
+            run = int(rng.integers(60, 20_000))
+            procs = int(rng.choice([16, 32, 64, 128]))
+            status = int(rng.choice([1, 1, 1, 0, 5]))
+            req = run * int(rng.integers(1, 5))
+            lines.append(
+                f"{i} {submit} {wait} {run} {procs} -1 -1 {procs} "
+                f"{req} -1 {status} {1 + i % 17} {1 + i % 5} -1 1 1 -1 -1")
+        path = tmp_path / "archive.swf"
+        path.write_text("\n".join(lines) + "\n")
+        frame = swf_to_frame(str(path), cpus_per_node=16)
+        assert len(frame) == 200
+        waits = wait_times(frame)
+        states = states_per_user(frame)
+        bf = walltime_accuracy(frame)
+        assert set(waits.by_state) <= {"COMPLETED", "FAILED", "CANCELLED"}
+        assert states.overall_failure_rate > 0
+        assert 0 < bf.median_ratio_all < 1
+
+    def test_never_started_jobs_have_unknown_start(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("; UnixStartTime: 1000\n"
+                        "1 0 500 -1 -1 -1 -1 4 600 -1 5 1 1 -1 1 1 -1 -1\n")
+        frame = swf_to_frame(str(path), cpus_per_node=4)
+        assert frame["StartTime"][0] == -1
+        assert frame["State"][0] == "CANCELLED"
+        assert frame["WaitS"][0] == 500

@@ -1,0 +1,185 @@
+"""Tests for providers (Table 2), the client, vision, and the analyst."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError, DataError, WorkflowError
+from repro.charts import Axis, ChartSpec, ScatterSeries
+from repro.raster import render_png
+from repro.llm import (
+    COMPARE_PROMPT,
+    INSIGHT_PROMPT,
+    LLMClient,
+    PROVIDERS,
+    choose_provider,
+    provider_table_rows,
+    read_chart_image,
+    register_backend,
+)
+
+
+class TestProviders:
+    def test_table2_has_ten_rows(self):
+        assert len(PROVIDERS) == 10
+
+    def test_selection_criteria_pick_gemma(self):
+        """The paper's criteria (free API, multimodal, unrestricted, low
+        latency) must land on Gemma 3."""
+        winner = choose_provider()
+        assert winner.vendor == "Google"
+        assert winner.version == "Gemma 3"
+
+    def test_relaxing_free_keeps_multimodal_apis(self):
+        winner = choose_provider(require_free=False,
+                                 require_unrestricted=False)
+        assert winner.has_api and winner.image_input
+
+    def test_impossible_criteria(self, monkeypatch):
+        import repro.llm.providers as prov
+        monkeypatch.setattr(prov, "PROVIDERS",
+                            tuple(p for p in PROVIDERS
+                                  if p.vendor != "Google"))
+        with pytest.raises(ConfigError):
+            prov.choose_provider()  # only Google satisfies the criteria
+
+    def test_table_rows_printable(self):
+        rows = provider_table_rows()
+        assert len(rows) == 10
+        assert rows[0][0] == "OpenAI"
+        assert all(len(r) == 5 for r in rows)
+
+    def test_prompts_match_paper_phrasing(self):
+        assert INSIGHT_PROMPT.startswith("Act as a data scientist")
+        assert "compare and contrast" in COMPARE_PROMPT
+
+
+def _chart_png(tmp_path, name, y_mult=1.0, n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.lognormal(1.0, 0.8, n)
+    y = x * rng.uniform(0.05, 0.5, n) * y_mult
+    spec = ChartSpec(
+        title=f"wait times {name}",
+        x_axis=Axis("requested (h)", "log", domain=(0.01, 100)),
+        y_axis=Axis("actual (h)", "log", domain=(0.01, 100)),
+        series=[ScatterSeries("regular", x, y, color="#1f77b4"),
+                ScatterSeries("backfilled", x[:n // 3],
+                              y[:n // 3] * 0.5, color="#d62728",
+                              marker="plus")])
+    return render_png(spec, str(tmp_path / f"{name}.png"))
+
+
+class TestVision:
+    def test_reads_series_and_frame(self, tmp_path):
+        import json
+        path = _chart_png(tmp_path, "a")
+        cal = json.load(open(path + ".json"))
+        reading = read_chart_image(open(path, "rb").read(), cal)
+        assert reading.frame_ok
+        names = {s.name for s in reading.series}
+        assert names == {"regular", "backfilled"}
+        assert all(s.pixel_count > 0 for s in reading.series)
+
+    def test_measured_median_close_to_truth(self, tmp_path):
+        import json
+        rng = np.random.default_rng(3)
+        x = rng.lognormal(1.0, 0.5, 500)
+        y = rng.lognormal(0.0, 0.5, 500)
+        spec = ChartSpec(
+            title="m", x_axis=Axis("x", "log", domain=(0.01, 100)),
+            y_axis=Axis("y", "log", domain=(0.01, 100)),
+            series=[ScatterSeries("s", x, y, color="#1f77b4")])
+        path = render_png(spec, str(tmp_path / "m.png"))
+        cal = json.load(open(path + ".json"))
+        reading = read_chart_image(open(path, "rb").read(), cal)
+        s = reading.series_named("s")
+        assert s.y_center == pytest.approx(float(np.median(y)), rel=0.35)
+        assert s.x_center == pytest.approx(float(np.median(x)), rel=0.35)
+
+    def test_diagonal_fraction_detected(self, tmp_path):
+        import json
+        path = _chart_png(tmp_path, "diag")
+        cal = json.load(open(path + ".json"))
+        reading = read_chart_image(open(path, "rb").read(), cal)
+        s = reading.series_named("regular")
+        assert s.frac_below_diagonal is not None
+        assert s.frac_below_diagonal > 0.8
+
+    def test_non_chart_rejected_by_analyst(self, tmp_path):
+        from repro.raster import encode_png
+        blank = encode_png(np.full((560, 900, 3), 255, dtype=np.uint8))
+        cal = {"series": [{"name": "s", "color": "#1f77b4"}],
+               "x_domain": [0, 1], "y_domain": [0, 1]}
+        client = LLMClient()
+        with pytest.raises(WorkflowError):
+            client.complete(INSIGHT_PROMPT, [(blank, cal)])
+
+
+class TestClientAndAnalyst:
+    def test_insight_mentions_measured_stats(self, tmp_path):
+        path = _chart_png(tmp_path, "ins")
+        resp = LLMClient().insight(path)
+        assert "regular" in resp.text
+        assert "median" in resp.text
+        assert resp.completion_tokens > 10
+        assert resp.model.startswith("chart-analyst")
+
+    def test_insight_flags_overestimation(self, tmp_path):
+        """The Section 4.2 walltime quote: overestimation + systemic gap."""
+        path = _chart_png(tmp_path, "over")
+        resp = LLMClient().insight(path)
+        assert "overestimate" in resp.text
+        assert "systemic gap" in resp.text
+
+    def test_compare_detects_shift(self, tmp_path):
+        """The Section 4.2 compare quote: lower waits in the later month."""
+        a = _chart_png(tmp_path, "march", y_mult=4.0, seed=1)
+        b = _chart_png(tmp_path, "june", y_mult=0.5, seed=2)
+        resp = LLMClient().compare(a, b)
+        assert "shorter" in resp.text
+        assert "efficient scheduling" in resp.text or "queue load" in resp.text
+
+    def test_compare_reverse_direction(self, tmp_path):
+        a = _chart_png(tmp_path, "low", y_mult=0.5, seed=1)
+        b = _chart_png(tmp_path, "high", y_mult=4.0, seed=2)
+        resp = LLMClient().compare(a, b)
+        assert "congestion" in resp.text or "higher" in resp.text
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError, match="unknown LLM backend"):
+            LLMClient(backend="gpt-17")
+
+    def test_custom_backend_and_retry(self):
+        calls = {"n": 0}
+
+        class Flaky:
+            model_name = "flaky-1"
+
+            def complete(self, prompt, images):
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise RuntimeError("transient")
+                return "answer"
+
+        register_backend("flaky", Flaky)
+        client = LLMClient(backend="flaky", max_retries=3, backoff_s=0.0)
+        resp = client.complete("hi")
+        assert resp.text == "answer"
+        assert resp.attempts == 3
+        assert client.log[-1].ok
+
+    def test_exhausted_retries_raise(self):
+        class Dead:
+            model_name = "dead-1"
+
+            def complete(self, prompt, images):
+                raise RuntimeError("down")
+
+        register_backend("dead", Dead)
+        client = LLMClient(backend="dead", max_retries=1, backoff_s=0.0)
+        with pytest.raises(WorkflowError, match="down"):
+            client.complete("hi")
+        assert not client.log[-1].ok
+
+    def test_analyst_requires_image(self):
+        with pytest.raises(WorkflowError):
+            LLMClient().complete(INSIGHT_PROMPT, [])

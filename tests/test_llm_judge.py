@@ -1,0 +1,79 @@
+"""Tests for the insight verifier (LLM-claim auditing)."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DataError
+from repro.charts import Axis, ChartSpec, ScatterSeries
+from repro.llm import InsightJudge, LLMClient
+from repro.raster import render_png
+
+
+@pytest.fixture(scope="module")
+def chart(tmp_path_factory):
+    rng = np.random.default_rng(0)
+    x = rng.lognormal(1.2, 0.8, 400)
+    y = x * rng.uniform(0.05, 0.5, 400)
+    spec = ChartSpec(
+        title="Requested vs actual",
+        x_axis=Axis("requested (h)", "log", domain=(0.01, 100)),
+        y_axis=Axis("actual (h)", "log", domain=(0.01, 100)),
+        series=[ScatterSeries("regular", x, y, color="#1f77b4"),
+                ScatterSeries("backfilled", x[:120], y[:120] * 0.5,
+                              color="#d62728", marker="plus")])
+    path = tmp_path_factory.mktemp("judge") / "c.png"
+    return render_png(spec, str(path))
+
+
+class TestJudge:
+    def test_analyst_output_is_trustworthy(self, chart):
+        """The offline analyst's own claims must all verify."""
+        text = LLMClient().insight(chart).text
+        report = InsightJudge().judge_file(text, chart)
+        assert report.n_verified >= 3
+        assert report.n_failed == 0
+        assert report.trustworthy
+        assert "TRUSTWORTHY" in report.render()
+
+    def test_fabricated_median_flagged(self, chart):
+        fake = ("Series 'regular' covers ~70% of the plotted mass; "
+                "measured median actual (h) is 99.0 at a typical "
+                "requested (h) of 3.0.")
+        report = InsightJudge().judge_file(fake, chart)
+        medians = [c for c in report.checks if c.kind == "median_y"]
+        assert medians and not medians[0].ok
+        assert not report.trustworthy
+        assert "SUSPECT" in report.render()
+
+    def test_fabricated_diagonal_fraction_flagged(self, chart):
+        fake = ("Notably, series 'regular' sits below the diagonal "
+                "for 10% of its marks.")
+        report = InsightJudge().judge_file(fake, chart)
+        diag = [c for c in report.checks if c.kind == "diagonal_frac"]
+        assert diag and not diag[0].ok
+
+    def test_no_claims_is_unverifiable_not_trustworthy(self, chart):
+        report = InsightJudge().judge_file("waits look fine to me", chart)
+        assert report.checks == []
+        assert not report.trustworthy
+        assert "No verifiable" in report.render()
+
+    def test_unknown_series_raises(self, chart):
+        fake = "Series 'ghost' covers ~50% of the plotted mass"
+        with pytest.raises(DataError):
+            InsightJudge().judge_file(fake, chart)
+
+    def test_missing_sidecar(self, tmp_path):
+        png = tmp_path / "x.png"
+        png.write_bytes(b"not a png")
+        with pytest.raises(DataError, match="sidecar"):
+            InsightJudge().judge_file("text", str(png))
+
+    def test_tolerances_configurable(self, chart):
+        text = LLMClient().insight(chart).text
+        strict = InsightJudge(median_tolerance=1e-9,
+                              share_tolerance=1e-9,
+                              diag_tolerance=1e-9)
+        report = strict.judge_file(text, chart)
+        # the analyst rounds its numbers, so zero tolerance must fail some
+        assert report.n_failed > 0

@@ -1,0 +1,107 @@
+"""Focused tests for smaller behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.flow import ExecutionTrace, concurrency_profile
+from repro.flow.trace import TraceEvent
+from repro.llm.analyst import ChartAnalystBackend, _fmt, _series_colors
+from repro.slurm.emit import SacctEmitter, _stable_id, _tres_req, _tres_usage
+from repro.slurm.records import JobRecord
+
+
+def job(**kw):
+    base = dict(jobid=1, user="ada", account="phy01", partition="batch",
+                submit=0, eligible=0, start=10, end=110, nnodes=4,
+                ncpus=32, req_mem_kib=8 * 1024**2, req_gres="gpu:8",
+                ave_cpu_s=50, ave_rss_kib=1000)
+    base.update(kw)
+    return JobRecord(**base)
+
+
+class TestEmitterDetails:
+    def test_stable_id_deterministic(self):
+        assert _stable_id("ada") == _stable_id("ada")
+        assert _stable_id("ada") != _stable_id("bob")
+        assert 10000 <= _stable_id("anyone") < 60000
+
+    def test_tres_req_includes_gres(self):
+        text = _tres_req(job())
+        assert "cpu=32" in text
+        assert "node=4" in text
+        assert "gres/gpu:8" in text
+
+    def test_tres_req_without_gres(self):
+        assert "gres" not in _tres_req(job(req_gres=""))
+
+    def test_tres_usage_shape(self):
+        text = _tres_usage(job())
+        assert text.startswith("cpu=")
+        assert text.endswith("K")
+
+    def test_emitter_field_order_preserved(self):
+        e = SacctEmitter(fields=["State", "JobID"])
+        assert e.header() == "State|JobID"
+        assert e.job_row(job()).split("|")[1] == "1"
+
+    def test_alias_field_accepted(self):
+        e = SacctEmitter(fields=["Submit"])   # alias of SubmitTime
+        assert e.job_row(job()) == "1970-01-01T00:00:00"
+
+
+class TestAnalystHelpers:
+    def test_fmt_ranges(self):
+        assert _fmt(None) == "n/a"
+        assert _fmt(0.5) == "0.50"
+        assert _fmt(123.4) == "123"
+        assert "," in _fmt(1_234_567.0)
+
+    def test_series_colors_from_scatter_meta(self):
+        cal = {"series": [{"name": "a", "color": "#111111"},
+                          {"name": "s", "colors": {"X": "#222222"}}]}
+        colors = _series_colors(cal)
+        assert colors == {"a": "#111111", "X": "#222222"}
+
+    def test_series_colors_missing_raises(self):
+        from repro._util.errors import DataError
+        with pytest.raises(DataError):
+            _series_colors({"series": []})
+
+    def test_model_name_mentions_standin(self):
+        assert "Gemma" in ChartAnalystBackend.model_name
+
+
+class TestTraceMath:
+    def test_concurrency_profile_counts_overlap(self):
+        trace = ExecutionTrace(events=[
+            TraceEvent("a", 0.0, 2.0),
+            TraceEvent("b", 1.0, 3.0),
+            TraceEvent("c", 5.0, 6.0),
+        ])
+        peak, avg = concurrency_profile(trace)
+        assert peak == 2
+        assert avg == pytest.approx((2 + 2 + 1) / 6.0)
+
+    def test_empty_trace(self):
+        peak, avg = concurrency_profile(ExecutionTrace())
+        assert (peak, avg) == (0, 0.0)
+
+    def test_overlap_predicate(self):
+        trace = ExecutionTrace(events=[TraceEvent("a", 0, 2),
+                                       TraceEvent("b", 2, 3)])
+        assert not trace.overlapping("a", "b")   # touching, not overlapping
+
+
+class TestRecordsFlags:
+    def test_array_job_flag(self):
+        j = job(array_job_id=99)
+        assert "ArrayJob" in j.flags
+
+    def test_wait_with_unknown_eligible(self):
+        from repro._util.timefmt import UNKNOWN_TIME
+        j = job(eligible=UNKNOWN_TIME, submit=5, start=25)
+        assert j.wait_s == 20
+
+    def test_elapsed_clamps_negative(self):
+        j = job(start=100, end=90)
+        assert j.elapsed == 0

@@ -1,0 +1,155 @@
+"""Tests for the Obtain and Curate stages."""
+
+import os
+
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.frame import read_csv
+from repro.pipeline import (
+    CurateStage,
+    JOB_CSV_COLUMNS,
+    ObtainConfig,
+    ObtainStage,
+    STEP_CSV_COLUMNS,
+)
+from repro.sched import simulate_month
+from repro.slurm.db import AccountingDB
+
+
+@pytest.fixture(scope="module")
+def db():
+    d = AccountingDB("testsys")
+    for month, seed in [("2024-01", 1), ("2024-02", 2)]:
+        d.extend(simulate_month("testsys", month, seed=seed,
+                                rate_scale=0.1).jobs)
+    return d
+
+
+class TestObtainConfig:
+    def test_monthly_windows(self):
+        cfg = ObtainConfig("2023-11", "2024-01")
+        assert [w for w, _ in cfg.windows()] == \
+            ["2023-11", "2023-12", "2024-01"]
+
+    def test_yearly_windows(self):
+        cfg = ObtainConfig("2023-11", "2024-02", granularity="yearly")
+        wins = cfg.windows()
+        assert [w for w, _ in wins] == ["2023", "2024"]
+        assert wins[0][1] == ["2023-11", "2023-12"]
+
+    def test_bad_granularity(self):
+        with pytest.raises(ConfigError):
+            ObtainConfig("2024-01", "2024-01", granularity="daily")
+
+    def test_bad_range(self):
+        with pytest.raises(Exception):
+            ObtainConfig("2024-05", "2024-01")
+
+
+class TestObtain:
+    def test_fetch_writes_files(self, db, tmp_path):
+        cfg = ObtainConfig("2024-01", "2024-02",
+                           cache_dir=str(tmp_path / "cache"))
+        report = ObtainStage(db, cfg).run()
+        assert len(report.files) == 2
+        assert report.fetched == ["2024-01", "2024-02"]
+        assert report.cached == []
+        assert all(os.path.exists(f) for f in report.files)
+        assert report.rows > 0
+
+    def test_cache_reused(self, db, tmp_path):
+        cfg = ObtainConfig("2024-01", "2024-02",
+                           cache_dir=str(tmp_path / "cache"))
+        ObtainStage(db, cfg).run()
+        second = ObtainStage(db, cfg).run()
+        assert second.cached == ["2024-01", "2024-02"]
+        assert second.fetched == []
+
+    def test_cache_disabled_refetches(self, db, tmp_path):
+        cfg = ObtainConfig("2024-01", "2024-01",
+                           cache_dir=str(tmp_path / "cache"))
+        ObtainStage(db, cfg).run()
+        cfg2 = ObtainConfig("2024-01", "2024-01",
+                            cache_dir=str(tmp_path / "cache"),
+                            use_cache=False)
+        report = ObtainStage(db, cfg2).run()
+        assert report.fetched == ["2024-01"]
+
+    def test_parallel_fetch_matches_serial(self, db, tmp_path):
+        c1 = ObtainConfig("2024-01", "2024-02", workers=1,
+                          cache_dir=str(tmp_path / "c1"))
+        c4 = ObtainConfig("2024-01", "2024-02", workers=4,
+                          cache_dir=str(tmp_path / "c4"))
+        r1 = ObtainStage(db, c1).run()
+        r4 = ObtainStage(db, c4).run()
+        for f1, f4 in zip(r1.files, r4.files):
+            assert open(f1).read() == open(f4).read()
+
+    def test_yearly_single_file(self, db, tmp_path):
+        cfg = ObtainConfig("2024-01", "2024-02", granularity="yearly",
+                           cache_dir=str(tmp_path / "cache"))
+        report = ObtainStage(db, cfg).run()
+        assert len(report.files) == 1
+
+
+class TestCurate:
+    @pytest.fixture(scope="class")
+    def curated(self, db, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("curate")
+        cfg = ObtainConfig("2024-01", "2024-01", cache_dir=str(tmp / "cache"),
+                           malformed_rate=0.01)
+        obtain = ObtainStage(db, cfg).run()
+        stage = CurateStage(str(tmp / "data"))
+        return stage.run(obtain.files[0])
+
+    def test_outputs_exist(self, curated):
+        jobs_csv, steps_csv, report = curated
+        assert os.path.exists(jobs_csv) and os.path.exists(steps_csv)
+
+    def test_report_accounting(self, curated):
+        _, _, report = curated
+        assert report.input_rows == \
+            report.job_rows + report.step_rows + report.malformed
+        assert report.malformed > 0          # we injected 1%
+        assert report.malformed_fraction < 0.05
+
+    def test_job_csv_schema_and_types(self, curated):
+        jobs_csv, _, _ = curated
+        f = read_csv(jobs_csv)
+        assert f.columns == JOB_CSV_COLUMNS
+        assert f["NNodes"].dtype.kind == "i"     # '9.408K' normalized
+        assert f["Elapsed"].dtype.kind == "i"    # durations in seconds
+        assert (f["WaitS"] >= 0).all()
+        assert set(f["Backfill"].tolist()) <= {0, 1}
+
+    def test_minutes_conversion(self, curated):
+        jobs_csv, _, _ = curated
+        f = read_csv(jobs_csv)
+        import numpy as np
+        np.testing.assert_allclose(f["ElapsedMin"], f["Elapsed"] / 60.0,
+                                   atol=0.01)
+
+    def test_step_csv_schema(self, curated):
+        _, steps_csv, _ = curated
+        # StepID values ("400123.0") are float-shaped; read raw strings
+        f = read_csv(steps_csv, infer=False)
+        assert f.columns == STEP_CSV_COLUMNS
+        assert len(f) > 0
+        assert all("." in s for s in f["StepID"])
+
+    def test_steps_reference_existing_jobs(self, curated):
+        """Nearly all steps reference a surviving job row.  Exact subset
+        cannot hold: a malformed (dropped) job row may leave orphan step
+        rows, exactly as in a real trace."""
+        jobs_csv, steps_csv, _ = curated
+        jobs = read_csv(jobs_csv)
+        steps = read_csv(steps_csv)
+        # array-member JobIDs look like "900_1001"; bare ids are ints
+        job_ids = set()
+        for j in jobs["JobID"]:
+            s = str(j)
+            job_ids.add(int(s.split("_")[-1]) if "_" in s else int(s))
+        parents = [int(p) for p in steps["ParentJobID"]]
+        matched = sum(p in job_ids for p in parents)
+        assert matched / len(parents) > 0.97

@@ -1,0 +1,84 @@
+"""Tests for the policy laboratory."""
+
+import pytest
+
+from repro._util.errors import ConfigError
+from repro._util.timefmt import month_bounds
+from repro.cluster import get_system
+from repro.policylab import PolicySweep, PolicyVariant, standard_variants
+from repro.predict import WalltimePredictor
+from repro.sched import SimConfig, simulate_month
+from repro.workload import WorkloadGenerator, workload_for
+
+SYS = get_system("testsys")
+
+
+@pytest.fixture(scope="module")
+def stream():
+    gen = WorkloadGenerator(workload_for("testsys"), seed=6,
+                            rate_scale=0.6)
+    start, _ = month_bounds("2024-02")
+    return gen.generate(start, start + 5 * 86400)
+
+
+@pytest.fixture(scope="module")
+def sweep(stream):
+    return PolicySweep(SYS, stream)
+
+
+class TestSweep:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigError):
+            PolicySweep(SYS, [])
+
+    def test_no_variants_rejected(self, sweep):
+        with pytest.raises(ConfigError):
+            sweep.run([])
+
+    def test_duplicate_names_rejected(self, sweep):
+        v = PolicyVariant("x", SimConfig(seed=1))
+        with pytest.raises(ConfigError):
+            sweep.run([v, v])
+
+    def test_outcomes_cover_all_jobs(self, sweep, stream):
+        out = sweep.evaluate(PolicyVariant("baseline", SimConfig(seed=1)))
+        assert out.n_jobs == len(stream)
+        assert 0 < out.utilization <= 1
+        assert out.makespan_s > 0
+
+    def test_standard_menu_shapes(self, sweep):
+        outcomes = {o.name: o
+                    for o in sweep.run(standard_variants(seed=1))}
+        assert outcomes["no-backfill"].backfilled == 0
+        assert outcomes["baseline"].backfilled > 0
+        # removing backfill must not reduce waits
+        assert outcomes["no-backfill"].mean_wait_s >= \
+            outcomes["baseline"].mean_wait_s
+        # deeper scans never backfill fewer jobs
+        assert outcomes["deep-backfill"].backfilled >= \
+            outcomes["baseline"].backfilled
+        assert outcomes["preemption"].preempted >= 0
+
+    def test_predictor_variant_transforms_stream(self, sweep):
+        jobs = simulate_month("testsys", "2024-01", seed=9,
+                              rate_scale=0.2).jobs
+        predictor = WalltimePredictor().fit(jobs)
+        variants = standard_variants(seed=1, predictor=predictor)
+        names = [v.name for v in variants]
+        assert "predicted-walltime" in names
+        outcomes = {o.name: o for o in sweep.run(
+            [variants[0], variants[-1]])}
+        # tightened limits cannot make the mean wait worse on this stream
+        assert outcomes["predicted-walltime"].mean_wait_s <= \
+            outcomes["baseline"].mean_wait_s * 1.05
+
+    def test_table_rendering(self, sweep):
+        outcomes = sweep.run(standard_variants(seed=1)[:2])
+        text = PolicySweep.table(outcomes).render()
+        assert "baseline" in text and "no-backfill" in text
+
+    def test_deterministic(self, sweep):
+        v = PolicyVariant("baseline", SimConfig(seed=2))
+        a = sweep.evaluate(v)
+        b = sweep.evaluate(v)
+        assert a.mean_wait_s == b.mean_wait_s

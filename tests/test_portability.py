@@ -1,0 +1,60 @@
+"""Tests for the automated Section 4.3 portability study."""
+
+import os
+
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.workflows import PortabilityConfig, PortabilityStudy
+
+
+class TestConfig:
+    def test_needs_two_systems(self):
+        with pytest.raises(ConfigError):
+            PortabilityConfig(systems=("frontier",))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigError):
+            PortabilityConfig(systems=("andes", "andes"))
+
+
+@pytest.fixture(scope="module")
+def study_result(tmp_path_factory):
+    cfg = PortabilityConfig(
+        systems=("frontier", "andes"),
+        months=("2024-03",),
+        workdir=str(tmp_path_factory.mktemp("portability")),
+        workers=4,
+        seed=13,
+        rate_scales={"frontier": 0.08, "andes": 0.15},
+        enable_ai=False)
+    return PortabilityStudy(cfg).run()
+
+
+class TestStudy:
+    def test_per_system_workflows_ran(self, study_result):
+        assert set(study_result.per_system) == {"frontier", "andes"}
+        for wf_result in study_result.per_system.values():
+            assert wf_result.flow_report.ok
+            assert os.path.exists(wf_result.dashboard_path)
+
+    def test_comparison_rows_present(self, study_result):
+        metrics = {m for m, _, _ in study_result.comparison_rows}
+        assert "median_nodes" in metrics
+        assert "failure_rate_std" in metrics
+
+    def test_paper_claims_checked(self, study_result):
+        assert len(study_result.checks) == 4
+        # the built-in profiles are calibrated so all contrasts hold
+        assert study_result.all_checks_hold, study_result.checks
+
+    def test_report_written(self, study_result):
+        assert os.path.exists(study_result.report_path)
+        body = open(study_result.report_path).read()
+        assert "HOLDS" in body
+        assert "frontier" in body and "andes" in body
+
+    def test_dashboard_written(self, study_result):
+        assert os.path.exists(study_result.dashboard_path)
+        html = open(study_result.dashboard_path).read()
+        assert "Comparison" in html

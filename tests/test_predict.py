@@ -1,0 +1,129 @@
+"""Tests for walltime prediction and the reclamation what-if."""
+
+import pytest
+
+from repro._util.errors import ConfigError, DataError
+from repro.predict import ReclamationStudy, WalltimePredictor
+from repro.sched import simulate_month
+from repro.slurm.records import JobRecord
+
+
+def make_record(user="ada", account="phy", name="sim_x", elapsed=3600,
+                limit=14400, state="COMPLETED", nnodes=2, jobid=1):
+    return JobRecord(jobid=jobid, user=user, account=account,
+                     partition="batch", job_name=name, submit=0, eligible=0,
+                     start=100, end=100 + elapsed, timelimit_s=limit,
+                     nnodes=nnodes, ncpus=nnodes * 8, state=state)
+
+
+class TestPredictor:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WalltimePredictor(quantile=0.3)
+        with pytest.raises(ConfigError):
+            WalltimePredictor(safety=0.5)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(DataError):
+            WalltimePredictor().predict("ada")
+
+    def test_no_trainable_records(self):
+        recs = [make_record(state="CANCELLED", elapsed=0)]
+        with pytest.raises(DataError):
+            WalltimePredictor().fit(recs)
+
+    def test_user_history_drives_prediction(self):
+        recs = [make_record(elapsed=3600, jobid=i) for i in range(10)]
+        recs += [make_record(user="bob", elapsed=60, jobid=100 + i)
+                 for i in range(10)]
+        p = WalltimePredictor(quantile=0.9, safety=1.25).fit(recs)
+        ada = p.predict("ada")
+        bob = p.predict("bob")
+        assert ada > bob
+        assert ada >= 3600 * 1.25 * 0.99
+
+    def test_prediction_never_exceeds_request(self):
+        recs = [make_record(elapsed=3600, jobid=i) for i in range(10)]
+        p = WalltimePredictor().fit(recs)
+        assert p.predict("ada", requested_s=1800) == 1800
+
+    def test_floor_applied(self):
+        recs = [make_record(elapsed=30, jobid=i) for i in range(10)]
+        p = WalltimePredictor(floor_s=600).fit(recs)
+        assert p.predict("ada") >= 600
+
+    def test_fallback_hierarchy(self):
+        recs = [make_record(user=f"u{i}", account="phy", elapsed=7200,
+                            jobid=i) for i in range(10)]
+        p = WalltimePredictor(min_samples=5).fit(recs)
+        # unseen user falls back to the account pool
+        unseen = p.predict("stranger", account="phy")
+        assert unseen >= 7200
+
+    def test_whole_minute_rounding(self):
+        recs = [make_record(elapsed=3661, jobid=i) for i in range(10)]
+        p = WalltimePredictor().fit(recs)
+        assert p.predict("ada") % 60 == 0
+
+    def test_evaluate_metrics(self):
+        train = [make_record(elapsed=3600, jobid=i) for i in range(20)]
+        p = WalltimePredictor().fit(train)
+        holdout = [make_record(elapsed=3000 + 60 * i, limit=40000,
+                               jobid=i) for i in range(10)]
+        m = p.evaluate(holdout)
+        assert m.n_jobs == 10
+        assert 0 <= m.coverage <= 1
+        assert m.median_inflation < m.median_request_inflation
+        assert m.reclaimed_node_hours > 0
+
+
+class TestPredictorOnSimulatedData:
+    def test_beats_user_requests(self):
+        """On a simulated month, the predictor's inflation is far lower
+        than the users' chronic overestimation — the paper's case for
+        'AI-predicted walltime estimation'."""
+        jobs = simulate_month("testsys", "2024-01", seed=9,
+                              rate_scale=0.2).jobs
+        split = len(jobs) // 2
+        p = WalltimePredictor().fit(jobs[:split])
+        m = p.evaluate(jobs[split:])
+        assert m.coverage > 0.8
+        assert m.median_inflation < m.median_request_inflation
+        assert m.reclaimed_node_hours > 0
+
+
+class TestReclamation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ReclamationStudy("testsys", "2024-01", "2024-02", seed=4,
+                                rate_scale=0.6).run()
+
+    def test_waits_improve(self, report):
+        assert report.predicted_mean_wait_s < report.baseline_mean_wait_s
+        assert report.wait_improvement > 0
+
+    def test_node_hours_reclaimed(self, report):
+        assert report.reclaimed_node_hours > 0
+        assert report.predicted_node_hours < report.requested_node_hours
+
+    def test_cost_side_reported(self, report):
+        # tightening limits must report its timeout risk honestly
+        assert report.induced_timeouts >= 0
+        assert report.baseline_timeouts > 0
+
+    def test_rows_shape(self, report):
+        rows = report.rows()
+        assert [r[0] for r in rows] == [
+            "mean_wait_s", "median_wait_s", "backfilled_jobs", "timeouts"]
+
+    def test_with_resubmit_closes_the_loop(self):
+        """Prediction + checkpointing: the induced timeouts finish."""
+        rep = ReclamationStudy("testsys", "2024-01", "2024-02", seed=4,
+                               rate_scale=0.5,
+                               with_resubmit=True).run()
+        assert rep.resubmit_extra_restarts > 0
+        # nearly all work completes despite tightened limits
+        assert rep.resubmit_unfinished <= rep.induced_timeouts
+        assert rep.resubmit_mean_wait_s > 0
+        # and the queue is still better than under user requests
+        assert rep.resubmit_mean_wait_s < rep.baseline_mean_wait_s * 1.2

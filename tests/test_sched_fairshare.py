@@ -1,0 +1,145 @@
+"""Tests for the fairshare priority factor and NODE_FAIL requeue."""
+
+import numpy as np
+import pytest
+
+from repro._util.timefmt import UNKNOWN_TIME
+from repro.cluster import get_system
+from repro.sched import SimConfig, Simulator
+from repro.sched.priority import PriorityModel, UsageTracker
+from repro.workload.jobs import JobRequest
+
+SYS = get_system("testsys")
+
+
+def req(submit=0, nnodes=1, limit=3600, true_rt=600, outcome="COMPLETED",
+        user="u0", account="acc0", **kw):
+    return JobRequest(
+        user=user, account=account, partition="batch", qos="normal",
+        job_class="simulation", submit=submit, nnodes=nnodes,
+        ncpus=nnodes * SYS.cpus_per_node, timelimit_s=limit,
+        true_runtime_s=true_rt, outcome=outcome, **kw)
+
+
+class TestUsageTracker:
+    def test_charge_and_read(self):
+        u = UsageTracker(half_life_s=100)
+        u.charge("a", 1000.0, now=0)
+        assert u.usage("a", 0) == pytest.approx(1000.0)
+
+    def test_half_life_decay(self):
+        u = UsageTracker(half_life_s=100)
+        u.charge("a", 1000.0, now=0)
+        assert u.usage("a", 100) == pytest.approx(500.0)
+        assert u.usage("a", 200) == pytest.approx(250.0)
+
+    def test_charges_accumulate_with_decay(self):
+        u = UsageTracker(half_life_s=100)
+        u.charge("a", 1000.0, now=0)
+        u.charge("a", 1000.0, now=100)
+        assert u.usage("a", 100) == pytest.approx(1500.0)
+
+    def test_unknown_account_zero(self):
+        assert UsageTracker().usage("ghost", 50) == 0.0
+
+    def test_bad_half_life(self):
+        with pytest.raises(ValueError):
+            UsageTracker(half_life_s=0)
+
+
+class TestFairsharePriority:
+    def test_factor_decreases_with_usage(self):
+        pm = PriorityModel(fairshare_weight=100_000, fairshare_norm=1000.0)
+        usage = UsageTracker()
+        light = pm.static_priority(SYS, req(account="light"), usage, now=0)
+        usage.charge("heavy", 1000.0, now=0)   # one norm of usage
+        heavy = pm.static_priority(SYS, req(account="heavy"), usage, now=0)
+        assert light - heavy == pytest.approx(50_000, abs=2)
+
+    def test_disabled_by_default(self):
+        pm = PriorityModel()
+        usage = UsageTracker()
+        usage.charge("a", 1e12, now=0)
+        with_u = pm.static_priority(SYS, req(account="a"), usage, now=0)
+        without = pm.static_priority(SYS, req(account="a"))
+        assert with_u == without
+
+    def test_fairshare_reorders_queue(self):
+        """A heavy account's later jobs queue behind a light account's."""
+        pm = PriorityModel(fairshare_weight=500_000, fairshare_norm=1e4)
+        cfg = SimConfig(seed=1, priority=pm, fairshare=True,
+                        fairshare_half_life_s=7 * 86400, backfill=False)
+        # heavy account monopolizes the machine first
+        stream = [req(submit=0, nnodes=16, true_rt=3000, limit=3600,
+                      account="hog")]
+        # then both accounts submit identical blocked jobs; light first
+        # in *priority* despite later submission
+        stream.append(req(submit=10, nnodes=16, true_rt=300, limit=600,
+                          account="hog"))
+        stream.append(req(submit=20, nnodes=16, true_rt=300, limit=600,
+                          account="newcomer"))
+        res = Simulator(SYS, cfg).run(stream)
+        hog2, newcomer = res.jobs[1], res.jobs[2]
+        assert newcomer.start < hog2.start
+
+    def test_without_fairshare_fifo_wins(self):
+        cfg = SimConfig(seed=1, backfill=False)
+        stream = [req(submit=0, nnodes=16, true_rt=3000, limit=3600,
+                      account="hog"),
+                  req(submit=10, nnodes=16, true_rt=300, limit=600,
+                      account="hog"),
+                  req(submit=20, nnodes=16, true_rt=300, limit=600,
+                      account="newcomer")]
+        res = Simulator(SYS, cfg).run(stream)
+        assert res.jobs[1].start < res.jobs[2].start
+
+
+class TestNodeFailRequeue:
+    def test_requeue_completes_with_restart_count(self):
+        cfg = SimConfig(seed=1, requeue_node_fail=True)
+        res = Simulator(SYS, cfg).run([req(outcome="NODE_FAIL",
+                                           true_rt=600)])
+        (j,) = res.jobs
+        assert j.state == "COMPLETED"
+        assert j.restarts == 1
+        assert j.reason == "NodeFail"
+        assert j.elapsed == 600        # the successful rerun
+
+    def test_requeue_disabled_keeps_node_fail(self):
+        cfg = SimConfig(seed=1, requeue_node_fail=False)
+        res = Simulator(SYS, cfg).run([req(outcome="NODE_FAIL",
+                                           true_rt=600)])
+        (j,) = res.jobs
+        assert j.state == "NODE_FAIL"
+        assert j.restarts == 0
+
+    def test_requeued_job_waits_in_queue_again(self):
+        blocker_after = req(submit=1, nnodes=16, true_rt=2000, limit=2400)
+        victim = req(submit=0, nnodes=16, outcome="NODE_FAIL", true_rt=1000,
+                     limit=1200)
+        cfg = SimConfig(seed=1, requeue_node_fail=True)
+        res = Simulator(SYS, cfg).run([victim, blocker_after])
+        v, b = res.jobs
+        assert v.state == "COMPLETED" and v.restarts == 1
+        # the rerun started only after the blocker finished
+        assert v.start >= b.end
+
+    def test_all_jobs_terminal_with_requeue_in_big_run(self):
+        rng = np.random.default_rng(0)
+        stream = []
+        for i in range(300):
+            outcome = "NODE_FAIL" if rng.random() < 0.1 else "COMPLETED"
+            stream.append(req(submit=i * 20, nnodes=int(rng.integers(1, 8)),
+                              true_rt=int(rng.integers(60, 2000)),
+                              limit=3600, outcome=outcome,
+                              account=f"acc{i % 5}"))
+        cfg = SimConfig(seed=2, requeue_node_fail=True, fairshare=True,
+                        priority=PriorityModel(fairshare_weight=100_000))
+        res = Simulator(SYS, cfg).run(stream)
+        assert len(res.jobs) == 300
+        assert all(j.state for j in res.jobs)
+        assert not any(j.state == "NODE_FAIL" for j in res.jobs)
+        restarted = [j for j in res.jobs if j.restarts == 1]
+        assert restarted
+        for j in restarted:
+            assert j.start != UNKNOWN_TIME

@@ -1,0 +1,149 @@
+"""Tests for per-partition node fencing."""
+
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.cluster import Partition, QOS, SystemProfile, expand_nodelist
+from repro.sched import SimConfig, Simulator
+from repro.workload.jobs import JobRequest
+
+
+def fenced_system():
+    return SystemProfile(
+        name="fencedsys", node_prefix="f", total_nodes=16,
+        cpus_per_node=8, gpus_per_node=0, mem_per_node_kib=1024**2,
+        partitions=(
+            Partition("batch", max_nodes=12, max_time_s=8 * 3600,
+                      priority_tier=1),
+            Partition("gpu", max_nodes=4, max_time_s=8 * 3600,
+                      dedicated_nodes=4),
+        ),
+        qos_levels=(QOS("normal"),))
+
+
+SYS = fenced_system()
+
+
+def req(submit=0, nnodes=1, limit=3600, true_rt=600, partition="batch"):
+    return JobRequest(
+        user="u0", account="acc", partition=partition, qos="normal",
+        job_class="simulation", submit=submit, nnodes=nnodes,
+        ncpus=nnodes * 8, timelimit_s=limit, true_runtime_s=true_rt,
+        outcome="COMPLETED")
+
+
+def run(requests, **kw):
+    return Simulator(SYS, SimConfig(seed=1, **kw)).run(requests)
+
+
+class TestValidation:
+    def test_fence_cannot_exceed_total(self):
+        with pytest.raises(ConfigError, match="no shared pool"):
+            SystemProfile(
+                name="x", node_prefix="x", total_nodes=4, cpus_per_node=1,
+                gpus_per_node=0, mem_per_node_kib=1024,
+                partitions=(Partition("p", max_nodes=4, max_time_s=3600,
+                                      dedicated_nodes=4),),
+                qos_levels=(QOS("normal"),))
+
+    def test_max_nodes_within_fence(self):
+        with pytest.raises(ConfigError, match="exceeds its fence"):
+            Partition("p", max_nodes=8, max_time_s=3600,
+                      dedicated_nodes=4)
+
+
+class TestFencedScheduling:
+    def test_pools_use_disjoint_node_ids(self):
+        res = run([req(partition="gpu", nnodes=4),
+                   req(partition="batch", nnodes=12)])
+        gpu, batch = res.jobs
+        _, gpu_ids = expand_nodelist(gpu.node_list)
+        _, batch_ids = expand_nodelist(batch.node_list)
+        assert not set(gpu_ids) & set(batch_ids)
+        assert max(gpu_ids) <= 4            # the fenced slice comes first
+        assert min(batch_ids) >= 5
+
+    def test_batch_cannot_use_gpu_nodes(self):
+        """A 12-node batch job saturates the shared pool; a second
+        batch job waits even though the 4 gpu nodes are idle."""
+        res = run([req(nnodes=12, true_rt=5000, limit=5400),
+                   req(submit=1, nnodes=1, true_rt=100)])
+        first, second = res.jobs
+        assert second.start >= first.end
+
+    def test_gpu_queue_immune_to_batch_congestion(self):
+        """The Figure 2 portability point of fencing: gpu work starts
+        immediately while batch is saturated."""
+        res = run([req(nnodes=12, true_rt=5000, limit=5400),
+                   req(submit=1, nnodes=2, true_rt=100),          # batch
+                   req(submit=2, partition="gpu", nnodes=4,
+                       true_rt=100)])
+        batch_blocked = res.jobs[1]
+        gpu = res.jobs[2]
+        assert gpu.start == 2
+        assert gpu.wait_s == 0
+        assert batch_blocked.start > 2
+
+    def test_cross_pool_start_not_marked_backfilled(self):
+        res = run([req(nnodes=12, true_rt=5000, limit=5400),
+                   req(submit=1, nnodes=12, true_rt=100),  # blocked head
+                   req(submit=2, partition="gpu", nnodes=2,
+                       true_rt=100)])
+        gpu = res.jobs[2]
+        assert gpu.start == 2
+        assert not gpu.backfilled   # it is its own pool's FIFO head
+
+    def test_backfill_within_head_pool_still_works(self):
+        res = run([req(nnodes=8, true_rt=5000, limit=5400),
+                   req(submit=1, nnodes=12, true_rt=600),   # blocked head
+                   req(submit=2, nnodes=4, true_rt=100, limit=300)])
+        filler = res.jobs[2]
+        assert filler.backfilled
+        assert filler.start == 2
+
+    def test_fifo_within_non_head_pool(self):
+        """Within the gpu pool the scan must not reorder blocked work."""
+        res = run([req(nnodes=12, true_rt=9000, limit=9600),  # head pool
+                   req(submit=1, partition="gpu", nnodes=4,
+                       true_rt=2000, limit=2400),
+                   req(submit=2, partition="gpu", nnodes=4,
+                       true_rt=100, limit=600),
+                   req(submit=3, partition="gpu", nnodes=1,
+                       true_rt=100, limit=600)])
+        g1, g2, g3 = res.jobs[1], res.jobs[2], res.jobs[3]
+        assert g1.start == 1
+        # g2 and g3 wait for g1 (no backfill inside a non-head pool
+        # during a single pass, and nothing fits beside a 4-node job)
+        assert g2.start >= g1.end
+        assert g3.start >= g1.end
+
+    def test_no_oversubscription_per_pool(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        stream = []
+        for i in range(200):
+            if rng.random() < 0.3:
+                stream.append(req(submit=i * 30, partition="gpu",
+                                  nnodes=int(rng.integers(1, 5)),
+                                  true_rt=int(rng.integers(60, 3000))))
+            else:
+                stream.append(req(submit=i * 30,
+                                  nnodes=int(rng.integers(1, 13)),
+                                  true_rt=int(rng.integers(60, 3000))))
+        res = run(stream)
+        for pool_name, cap, id_range in (("gpu", 4, range(1, 5)),
+                                         ("batch", 12, range(5, 17))):
+            events = []
+            for j in res.jobs:
+                if j.partition != pool_name or j.elapsed == 0:
+                    continue
+                _, ids = expand_nodelist(j.node_list)
+                assert all(i in id_range for i in ids), \
+                    f"{pool_name} job outside its pool"
+                events.append((j.start, j.nnodes))
+                events.append((j.end, -j.nnodes))
+            events.sort()
+            level = 0
+            for _, d in events:
+                level += d
+                assert level <= cap

@@ -1,0 +1,123 @@
+"""Integration/property tests: simulator output on generated workloads."""
+
+import numpy as np
+import pytest
+
+from repro._util.timefmt import UNKNOWN_TIME, month_bounds
+from repro.cluster import expand_nodelist, get_system
+from repro.sched import SimConfig, simulate_month, simulate_range
+from repro.slurm.records import check_job_invariants
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_month("testsys", "2024-02", seed=7)
+
+
+class TestSimulatedMonth:
+    def test_every_record_satisfies_invariants(self, result):
+        for job in result.jobs:
+            check_job_invariants(job)
+
+    def test_submissions_inside_window(self, result):
+        start, end = month_bounds("2024-02")
+        assert all(start <= j.submit < end for j in result.jobs)
+
+    def test_no_node_oversubscription(self, result):
+        """At every instant, allocated nodes <= system size."""
+        total = get_system("testsys").total_nodes
+        events = []
+        for j in result.jobs:
+            if j.start == UNKNOWN_TIME or j.elapsed == 0:
+                continue
+            events.append((j.start, j.nnodes))
+            events.append((j.end, -j.nnodes))
+        events.sort()
+        level = 0
+        peak = 0
+        for _, delta in events:
+            level += delta
+            peak = max(peak, level)
+        assert peak <= total
+        assert level == 0
+
+    def test_concurrent_jobs_use_disjoint_nodes(self, result):
+        ran = [j for j in result.jobs
+               if j.start != UNKNOWN_TIME and j.elapsed > 0]
+        ran.sort(key=lambda j: j.start)
+        # sweep: maintain active set, check disjointness on entry
+        active: list = []
+        for j in ran:
+            active = [a for a in active if a.end > j.start]
+            _, mine = expand_nodelist(j.node_list)
+            for a in active:
+                _, theirs = expand_nodelist(a.node_list)
+                assert not set(mine) & set(theirs), \
+                    f"jobs {j.jobid} and {a.jobid} share nodes"
+            active.append(j)
+
+    def test_node_list_matches_nnodes(self, result):
+        for j in result.jobs:
+            if j.start != UNKNOWN_TIME and j.elapsed > 0:
+                _, ids = expand_nodelist(j.node_list)
+                assert len(ids) == j.nnodes
+
+    def test_elapsed_never_exceeds_limit(self, result):
+        assert all(j.elapsed <= j.timelimit_s for j in result.jobs)
+
+    def test_timeout_jobs_hit_their_limit(self, result):
+        timeouts = [j for j in result.jobs if j.state == "TIMEOUT"]
+        assert timeouts, "expected some TIMEOUT jobs in a full month"
+        assert all(j.elapsed == j.timelimit_s for j in timeouts)
+
+    def test_backfilled_jobs_flagged_in_flags(self, result):
+        bf = [j for j in result.jobs if j.backfilled]
+        assert bf, "expected backfill under contention"
+        assert all("SchedBackfill" in j.flags for j in bf)
+
+    def test_steps_nested_in_jobs(self, result):
+        for j in result.jobs:
+            for s in j.steps:
+                assert j.start <= s.start <= s.end <= j.end
+
+    def test_steps_only_on_jobs_that_ran(self, result):
+        for j in result.jobs:
+            if j.start == UNKNOWN_TIME:
+                assert not j.steps
+
+    def test_deterministic_replay(self):
+        a = simulate_month("testsys", "2024-02", seed=7)
+        b = simulate_month("testsys", "2024-02", seed=7)
+        assert len(a.jobs) == len(b.jobs)
+        for x, y in zip(a.jobs, b.jobs):
+            assert (x.jobid, x.submit, x.start, x.end, x.state,
+                    x.backfilled) == \
+                   (y.jobid, y.submit, y.start, y.end, y.state, y.backfilled)
+
+    def test_different_seeds_differ(self):
+        a = simulate_month("testsys", "2024-02", seed=7)
+        b = simulate_month("testsys", "2024-02", seed=8)
+        assert [j.submit for j in a.jobs] != [j.submit for j in b.jobs]
+
+
+class TestBackfillAblation:
+    def test_backfill_reduces_mean_wait(self):
+        """The headline scheduling claim: backfill improves turnaround."""
+        start, _ = month_bounds("2024-03")
+        end = start + 7 * 86400
+        on = simulate_range("testsys", start, end, seed=3,
+                            config=SimConfig(seed=3, backfill=True))
+        off = simulate_range("testsys", start, end, seed=3,
+                             config=SimConfig(seed=3, backfill=False))
+        wait_on = np.mean([j.wait_s for j in on.jobs])
+        wait_off = np.mean([j.wait_s for j in off.jobs])
+        assert on.n_backfilled > 0
+        assert off.n_backfilled == 0
+        assert wait_on < wait_off
+
+    def test_cross_seed_states_cover_all(self):
+        states = set()
+        start, _ = month_bounds("2024-04")
+        res = simulate_range("testsys", start, start + 10 * 86400, seed=11)
+        states |= {j.state for j in res.jobs}
+        assert {"COMPLETED", "FAILED", "CANCELLED"} <= states

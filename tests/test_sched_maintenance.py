@@ -1,0 +1,89 @@
+"""Tests for maintenance windows (drain + post-window spike)."""
+
+import numpy as np
+import pytest
+
+from repro._util.timefmt import month_bounds
+from repro.cluster import get_system
+from repro.sched import SimConfig, Simulator, simulate_range
+from repro.workload import WorkloadGenerator, workload_for
+from repro.workload.jobs import JobRequest
+
+SYS = get_system("testsys")
+
+
+def req(submit=0, nnodes=1, limit=3600, true_rt=600, **kw):
+    return JobRequest(
+        user="u0", account="acc", partition="batch", qos="normal",
+        job_class="simulation", submit=submit, nnodes=nnodes,
+        ncpus=nnodes * 8, timelimit_s=limit, true_runtime_s=true_rt,
+        outcome="COMPLETED", **kw)
+
+
+class TestMaintenance:
+    def test_no_job_runs_into_window(self):
+        window = (10_000, 20_000)
+        cfg = SimConfig(seed=1, maintenance=(window,))
+        stream = [req(submit=i * 600, limit=3600, true_rt=1800)
+                  for i in range(30)]
+        res = Simulator(SYS, cfg).run(stream)
+        for j in res.jobs:
+            # the *walltime envelope* never crosses the window
+            assert not (j.start < window[1] and
+                        j.start + j.timelimit_s > window[0]), \
+                f"job {j.jobid} envelope crosses maintenance"
+
+    def test_drain_before_window(self):
+        """A long job submitted just before the window waits past it."""
+        window = (5_000, 8_000)
+        cfg = SimConfig(seed=1, maintenance=(window,))
+        long_job = req(submit=2_000, limit=4_000, true_rt=3_000)
+        res = Simulator(SYS, cfg).run([long_job])
+        (j,) = res.jobs
+        assert j.start >= window[1]
+        assert j.wait_s >= 6_000
+
+    def test_short_job_slips_before_window(self):
+        """Backfill semantics against the window: a short job still
+        starts if its envelope ends before the drain."""
+        window = (5_000, 8_000)
+        cfg = SimConfig(seed=1, maintenance=(window,))
+        short = req(submit=1_000, limit=1_000, true_rt=500)
+        res = Simulator(SYS, cfg).run([short])
+        (j,) = res.jobs
+        assert j.start == 1_000
+
+    def test_queue_drains_at_window_end(self):
+        window = (5_000, 8_000)
+        cfg = SimConfig(seed=1, maintenance=(window,))
+        blocked = [req(submit=4_000 + i, limit=7_200, true_rt=600,
+                       nnodes=1) for i in range(5)]
+        res = Simulator(SYS, cfg).run(blocked)
+        assert all(j.start == window[1] for j in res.jobs)
+
+    def test_wait_spike_emerges_in_month(self):
+        """The Figure 4 story: maintenance produces a visible spike."""
+        start, end = month_bounds("2024-01")
+        window = (start + 10 * 86400, start + 11 * 86400)
+        gen = WorkloadGenerator(workload_for("testsys"), seed=5,
+                                rate_scale=0.5)
+        stream = gen.generate(start, start + 20 * 86400)
+        quiet = Simulator(SYS, SimConfig(seed=5)).run(stream)
+        maint = Simulator(SYS, SimConfig(
+            seed=5, maintenance=(window,))).run(stream)
+
+        def spike(jobs):
+            waits = np.array([j.wait_s for j in jobs
+                              if window[0] - 86400 <= j.submit
+                              < window[1]])
+            return waits.mean() if waits.size else 0.0
+
+        assert spike(maint.jobs) > 2 * max(1.0, spike(quiet.jobs))
+
+    def test_multiple_windows(self):
+        cfg = SimConfig(seed=1, maintenance=((5_000, 6_000),
+                                             (9_000, 10_000)))
+        j = req(submit=4_500, limit=4_000, true_rt=3_500)
+        res = Simulator(SYS, cfg).run([j])
+        # 4000s envelope cannot fit between the windows (6000..9000)
+        assert res.jobs[0].start >= 10_000

@@ -1,0 +1,99 @@
+"""Tests for the node pool allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.errors import ConfigError, DataError
+from repro.sched.nodes import NodePool
+
+
+class TestNodePool:
+    def test_initial_state(self):
+        pool = NodePool(8)
+        assert pool.free_count == 8
+        assert pool.intervals() == [(1, 8)]
+
+    def test_bad_total(self):
+        with pytest.raises(ConfigError):
+            NodePool(0)
+
+    def test_allocate_first_fit(self):
+        pool = NodePool(8)
+        assert pool.allocate(3) == [1, 2, 3]
+        assert pool.free_count == 5
+        assert pool.intervals() == [(4, 8)]
+
+    def test_allocate_spans_gaps(self):
+        pool = NodePool(8)
+        a = pool.allocate(2)   # [1,2]
+        b = pool.allocate(2)   # [3,4]
+        pool.release(a)
+        got = pool.allocate(4)  # [1,2] + [5,6]
+        assert got == [1, 2, 5, 6]
+        assert b == [3, 4]
+
+    def test_over_allocate_rejected(self):
+        pool = NodePool(4)
+        pool.allocate(3)
+        with pytest.raises(DataError, match="exceeds"):
+            pool.allocate(2)
+
+    def test_zero_allocate_rejected(self):
+        with pytest.raises(DataError):
+            NodePool(4).allocate(0)
+
+    def test_release_merges(self):
+        pool = NodePool(8)
+        a = pool.allocate(8)
+        pool.release(a[:4])
+        pool.release(a[4:])
+        assert pool.intervals() == [(1, 8)]
+        assert pool.free_count == 8
+
+    def test_double_release_detected(self):
+        pool = NodePool(8)
+        a = pool.allocate(2)
+        pool.release(a)
+        with pytest.raises(DataError):
+            pool.release(a)
+
+    def test_release_duplicate_ids_detected(self):
+        pool = NodePool(8)
+        pool.allocate(2)
+        with pytest.raises(DataError):
+            pool.release([1, 1])
+
+    def test_release_out_of_range(self):
+        pool = NodePool(4)
+        pool.allocate(4)
+        with pytest.raises(DataError):
+            pool.release([5])
+
+    def test_release_empty_noop(self):
+        pool = NodePool(4)
+        pool.release([])
+        assert pool.free_count == 4
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10), min_size=1,
+                max_size=40))
+def test_pool_alloc_release_conservation(sizes):
+    """Allocating and releasing arbitrary batches conserves the pool."""
+    pool = NodePool(64)
+    live: list[list[int]] = []
+    for i, n in enumerate(sizes):
+        if n <= pool.free_count:
+            ids = pool.allocate(n)
+            assert len(ids) == n
+            assert len(set(ids)) == n
+            for batch in live:
+                assert not set(batch) & set(ids), "double allocation"
+            live.append(ids)
+        elif live:
+            pool.release(live.pop(i % len(live)))
+    total_live = sum(len(b) for b in live)
+    assert pool.free_count == 64 - total_live
+    for batch in live:
+        pool.release(batch)
+    assert pool.free_count == 64
+    assert pool.intervals() == [(1, 64)]

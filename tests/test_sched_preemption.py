@@ -1,0 +1,111 @@
+"""Tests for QOS-based preemption (urgent evicts standby)."""
+
+import pytest
+
+from repro._util.timefmt import UNKNOWN_TIME
+from repro.cluster import get_system
+from repro.sched import SimConfig, Simulator
+from repro.workload.jobs import JobRequest
+
+SYS = get_system("testsys")
+
+
+def req(submit=0, nnodes=1, limit=3600, true_rt=600, qos="normal",
+        outcome="COMPLETED", **kw):
+    return JobRequest(
+        user="u0", account="acc", partition="batch", qos=qos,
+        job_class="simulation", submit=submit, nnodes=nnodes,
+        ncpus=nnodes * SYS.cpus_per_node, timelimit_s=limit,
+        true_runtime_s=true_rt, outcome=outcome, **kw)
+
+
+def run(requests, preemption=True):
+    sim = Simulator(SYS, SimConfig(seed=1, preemption=preemption))
+    return sim.run(requests)
+
+
+class TestPreemption:
+    def test_urgent_evicts_standby(self):
+        standby = req(nnodes=16, true_rt=10_000, limit=10_800,
+                      qos="standby")
+        urgent = req(submit=100, nnodes=16, true_rt=300, limit=600,
+                     qos="urgent")
+        res = run([standby, urgent])
+        s, u = res.jobs
+        assert res.n_preempted == 1
+        assert u.start == 100            # urgent runs immediately
+        assert s.restarts == 1
+        assert s.reason == "Preempted"
+        assert s.state == "COMPLETED"    # standby reruns afterwards
+        assert s.start >= u.end
+
+    def test_urgent_cannot_evict_normal(self):
+        normal = req(nnodes=16, true_rt=10_000, limit=10_800, qos="normal")
+        urgent = req(submit=100, nnodes=16, true_rt=300, limit=600,
+                     qos="urgent")
+        res = run([normal, urgent])
+        n, u = res.jobs
+        assert res.n_preempted == 0
+        assert u.start >= n.end
+
+    def test_normal_head_cannot_preempt(self):
+        standby = req(nnodes=16, true_rt=10_000, limit=10_800,
+                      qos="standby")
+        normal = req(submit=100, nnodes=16, true_rt=300, limit=600,
+                     qos="normal")
+        res = run([standby, normal])
+        assert res.n_preempted == 0
+        assert res.jobs[1].start >= res.jobs[0].end
+
+    def test_preemption_disabled(self):
+        standby = req(nnodes=16, true_rt=10_000, limit=10_800,
+                      qos="standby")
+        urgent = req(submit=100, nnodes=16, true_rt=300, limit=600,
+                     qos="urgent")
+        res = run([standby, urgent], preemption=False)
+        assert res.n_preempted == 0
+        assert res.jobs[1].start >= res.jobs[0].end
+
+    def test_partial_free_plus_victims(self):
+        """Urgent needs 16; 8 are free, 8 held by standby: one victim."""
+        standby = req(nnodes=8, true_rt=10_000, limit=10_800,
+                      qos="standby")
+        urgent = req(submit=100, nnodes=16, true_rt=300, limit=600,
+                     qos="urgent")
+        res = run([standby, urgent])
+        assert res.n_preempted == 1
+        assert res.jobs[1].start == 100
+
+    def test_youngest_victim_chosen(self):
+        old = req(submit=0, nnodes=8, true_rt=10_000, limit=10_800,
+                  qos="standby")
+        young = req(submit=50, nnodes=8, true_rt=10_000, limit=10_800,
+                    qos="standby")
+        urgent = req(submit=100, nnodes=8, true_rt=300, limit=600,
+                     qos="urgent")
+        res = run([old, young, urgent])
+        o, y, u = res.jobs
+        assert res.n_preempted == 1
+        assert y.restarts == 1 and o.restarts == 0
+        assert o.start == 0 and o.end == 10_000
+
+    def test_not_enough_victims_no_partial_eviction(self):
+        standby = req(nnodes=4, true_rt=10_000, limit=10_800,
+                      qos="standby")
+        normal = req(submit=1, nnodes=12, true_rt=10_000, limit=10_800)
+        urgent = req(submit=100, nnodes=16, true_rt=300, limit=600,
+                     qos="urgent")
+        res = run([standby, normal, urgent])
+        assert res.n_preempted == 0
+        # the standby job is never evicted pointlessly
+        assert res.jobs[0].restarts == 0
+
+    def test_preempted_job_keeps_invariants(self):
+        from repro.slurm.records import check_job_invariants
+        standby = req(nnodes=16, true_rt=5000, limit=5400, qos="standby")
+        urgent = req(submit=100, nnodes=16, true_rt=300, limit=600,
+                     qos="urgent")
+        res = run([standby, urgent])
+        for j in res.jobs:
+            check_job_invariants(j)
+            assert j.start != UNKNOWN_TIME

@@ -1,0 +1,75 @@
+"""Tests for checkpoint/resubmit of TIMEOUT jobs."""
+
+import pytest
+
+from repro.cluster import get_system
+from repro.sched import SimConfig, Simulator
+from repro.workload.jobs import JobRequest
+
+SYS = get_system("testsys")
+
+
+def req(submit=0, nnodes=1, limit=3600, true_rt=600, outcome="COMPLETED",
+        **kw):
+    return JobRequest(
+        user="u0", account="acc", partition="batch", qos="normal",
+        job_class="simulation", submit=submit, nnodes=nnodes,
+        ncpus=nnodes * SYS.cpus_per_node, timelimit_s=limit,
+        true_runtime_s=true_rt, outcome=outcome, **kw)
+
+
+def run(requests, resubmits=3):
+    return Simulator(SYS, SimConfig(
+        seed=1, resubmit_timeouts=resubmits)).run(requests)
+
+
+class TestResubmit:
+    def test_timeout_job_finishes_via_checkpoints(self):
+        # needs 2500s of work in 1000s slices: 2 resubmits
+        res = run([req(limit=1000, true_rt=2500)])
+        (j,) = res.jobs
+        assert j.state == "COMPLETED"
+        assert j.restarts == 2
+        assert j.reason == "Resubmit"
+        # final slice runs the remaining 500s
+        assert j.elapsed == 500
+
+    def test_resubmit_cap_leaves_timeout(self):
+        res = run([req(limit=600, true_rt=10_000)], resubmits=2)
+        (j,) = res.jobs
+        assert j.state == "TIMEOUT"
+        assert j.restarts == 2
+
+    def test_disabled_by_default(self):
+        res = Simulator(SYS, SimConfig(seed=1)).run(
+            [req(limit=1000, true_rt=2500)])
+        (j,) = res.jobs
+        assert j.state == "TIMEOUT"
+        assert j.restarts == 0
+
+    def test_failed_jobs_not_resubmitted(self):
+        # a FAILED job truncated at its limit must not loop
+        res = run([req(limit=300, true_rt=100_000, outcome="FAILED")])
+        (j,) = res.jobs
+        assert j.state == "FAILED"
+        assert j.restarts == 0
+
+    def test_resubmitted_job_requeues_fairly(self):
+        """The resubmitted slice waits behind other eligible work."""
+        chunky = req(limit=1000, true_rt=1500, nnodes=16)
+        other = req(submit=10, nnodes=16, limit=600, true_rt=300)
+        res = run([chunky, other])
+        c, o = res.jobs
+        assert c.state == "COMPLETED" and c.restarts == 1
+        # the second slice starts after 'other' got its turn
+        assert o.start >= 1000
+        assert c.end > o.start
+
+    def test_total_work_conserved(self):
+        """Sum of slice elapsed equals true runtime (no lost/extra work
+        beyond the recorded final slice)."""
+        res = run([req(limit=700, true_rt=2000)])
+        (j,) = res.jobs
+        # slices: 700 + 700 + 600
+        assert j.restarts == 2
+        assert j.elapsed == 2000 - 2 * 700

@@ -1,0 +1,218 @@
+"""Unit tests for the scheduler simulator on hand-built streams."""
+
+import pytest
+
+from repro._util.errors import WorkflowError
+from repro._util.timefmt import UNKNOWN_TIME
+from repro.cluster import get_system
+from repro.sched import SimConfig, Simulator
+from repro.sched.priority import PriorityModel
+from repro.workload.jobs import JobRequest
+
+SYS = get_system("testsys")  # 16 nodes
+
+
+def req(submit=0, nnodes=1, limit=3600, true_rt=600, outcome="COMPLETED",
+        user="u0", qos="normal", partition="batch", **kw):
+    return JobRequest(
+        user=user, account="acc", partition=partition, qos=qos,
+        job_class="simulation", submit=submit, nnodes=nnodes,
+        ncpus=nnodes * SYS.cpus_per_node, timelimit_s=limit,
+        true_runtime_s=true_rt, outcome=outcome, **kw)
+
+
+def run(requests, **cfg_kw):
+    sim = Simulator(SYS, SimConfig(seed=1, **cfg_kw))
+    return sim.run(requests)
+
+
+class TestBasics:
+    def test_single_job_runs_immediately(self):
+        res = run([req()])
+        (j,) = res.jobs
+        assert j.state == "COMPLETED"
+        assert j.start == 0 and j.end == 600
+        assert j.wait_s == 0
+        assert not j.backfilled
+        assert j.reason == "None"
+
+    def test_all_jobs_reach_terminal_state(self):
+        res = run([req(submit=i * 10, nnodes=4) for i in range(20)])
+        assert len(res.jobs) == 20
+        assert all(j.state for j in res.jobs)
+
+    def test_fifo_when_saturated(self):
+        # two 16-node jobs: second must wait for the first
+        res = run([req(nnodes=16, true_rt=1000),
+                   req(submit=1, nnodes=16, true_rt=1000)])
+        first, second = res.jobs
+        assert second.start == first.end
+        assert second.wait_s > 0
+        assert second.reason == "Resources"  # it was head of queue
+
+    def test_timeout_when_underrequested(self):
+        res = run([req(limit=300, true_rt=900)])
+        (j,) = res.jobs
+        assert j.state == "TIMEOUT"
+        assert j.elapsed == 300
+
+    def test_failed_job_truncated(self):
+        res = run([req(outcome="FAILED", true_rt=1000)])
+        (j,) = res.jobs
+        assert j.state == "FAILED"
+        assert 0 < j.elapsed <= 1000
+        assert j.exit_code != 0
+
+    def test_node_list_assigned(self):
+        res = run([req(nnodes=3)])
+        (j,) = res.jobs
+        assert j.node_list.startswith("test")
+
+    def test_nodes_reused_after_completion(self):
+        res = run([req(nnodes=16, true_rt=100),
+                   req(submit=200, nnodes=16, true_rt=100)])
+        a, b = res.jobs
+        assert a.node_list == b.node_list
+
+    def test_energy_accounted(self):
+        res = run([req(nnodes=2, true_rt=3600)])
+        (j,) = res.jobs
+        # 2 nodes x 100 W x 3600 s, derated by utilization in [0.55, 1]
+        assert 0.5 * 720_000 <= j.consumed_energy_j <= 720_000
+
+
+class TestCancellation:
+    def test_cancel_while_pending(self):
+        blocker = req(nnodes=16, true_rt=50_000, limit=50_400)
+        victim = req(submit=1, nnodes=16, outcome="CANCELLED",
+                     cancel_while_pending=True, pending_patience_s=500)
+        res = run([blocker, victim])
+        v = res.jobs[1]
+        assert v.state == "CANCELLED"
+        assert v.start == UNKNOWN_TIME
+        assert v.end == v.submit + 500
+        assert v.wait_s == 500
+
+    def test_pending_cancel_ignored_if_started(self):
+        # machine is free: the job starts immediately, then cancels mid-run
+        res = run([req(outcome="CANCELLED", cancel_while_pending=True,
+                       pending_patience_s=10_000, true_rt=1000)])
+        (j,) = res.jobs
+        assert j.state == "CANCELLED"
+        assert j.start != UNKNOWN_TIME
+
+    def test_cancel_while_running(self):
+        res = run([req(outcome="CANCELLED", true_rt=1000)])
+        (j,) = res.jobs
+        assert j.state == "CANCELLED"
+        assert 0 < j.elapsed < 1000
+
+
+class TestDependencies:
+    def test_afterok_waits_for_parent(self):
+        parent = req(true_rt=1000)
+        child = req(submit=1, true_rt=100)
+        child.dependency_idx = 0
+        res = run([parent, child])
+        p, c = res.jobs
+        assert c.start >= p.end
+        assert c.eligible == p.end
+        assert c.reason == "Dependency"
+        assert c.dependency == f"afterok:{p.jobid}"
+
+    def test_afterok_cancelled_when_parent_fails(self):
+        parent = req(outcome="FAILED", true_rt=1000)
+        child = req(submit=1)
+        child.dependency_idx = 0
+        res = run([parent, child])
+        c = res.jobs[1]
+        assert c.state == "CANCELLED"
+        assert c.start == UNKNOWN_TIME
+        assert c.reason == "DependencyNeverSatisfied"
+
+    def test_dependency_on_already_finished_parent(self):
+        parent = req(true_rt=100)
+        child = req(submit=5000)
+        child.dependency_idx = 0
+        res = run([parent, child])
+        c = res.jobs[1]
+        assert c.state == "COMPLETED"
+        assert c.wait_s == 0
+
+    def test_forward_dependency_rejected(self):
+        a = req()
+        a.dependency_idx = 1
+        with pytest.raises(WorkflowError, match="later request"):
+            run([a, req(submit=1)])
+
+
+class TestBackfill:
+    def _blocked_head_stream(self):
+        """8-node runner, 16-node head blocked behind it, small fillers."""
+        runner = req(nnodes=8, true_rt=10_000, limit=10_800)
+        head = req(submit=1, nnodes=16, true_rt=600, limit=3600)
+        filler = req(submit=2, nnodes=4, true_rt=300, limit=600)
+        return [runner, head, filler]
+
+    def test_backfill_starts_filler_early(self):
+        res = run(self._blocked_head_stream())
+        runner, head, filler = res.jobs
+        assert filler.backfilled
+        assert filler.start < head.start
+        assert res.n_backfilled >= 1
+
+    def test_backfill_never_delays_head(self):
+        res = run(self._blocked_head_stream())
+        runner, head, filler = res.jobs
+        # head starts exactly when the runner's walltime would free nodes
+        # (the runner ends early at true_rt; head starts then)
+        assert head.start == runner.end
+
+    def test_backfill_disabled_keeps_fifo(self):
+        res = run(self._blocked_head_stream(), backfill=False)
+        runner, head, filler = res.jobs
+        assert not filler.backfilled
+        assert filler.start >= head.start
+        assert res.n_backfilled == 0
+
+    def test_long_filler_not_backfilled_unless_in_extra(self):
+        # filler limit longer than the shadow window and wider than the
+        # extra nodes: must not start before the head
+        runner = req(nnodes=8, true_rt=10_000, limit=10_800)
+        head = req(submit=1, nnodes=12, true_rt=600, limit=3600)
+        fat = req(submit=2, nnodes=8, true_rt=20_000, limit=21_600)
+        res = run([runner, head, fat])
+        assert not res.jobs[2].backfilled or \
+            res.jobs[2].start >= res.jobs[1].start
+
+
+class TestPriority:
+    def test_urgent_qos_jumps_queue(self):
+        blocker = req(nnodes=16, true_rt=5_000, limit=5_400)
+        normal = req(submit=1, nnodes=16, true_rt=100)
+        urgent = req(submit=2, nnodes=16, true_rt=100, qos="urgent")
+        res = run([blocker, normal, urgent])
+        _, n, u = res.jobs
+        assert u.start < n.start
+
+    def test_debug_partition_tier_boost(self):
+        blocker = req(nnodes=16, true_rt=5_000, limit=5_400)
+        normal = req(submit=1, nnodes=4, true_rt=7000, limit=7200)
+        debug = req(submit=2, nnodes=4, true_rt=100, limit=600,
+                    partition="debug", qos="debug")
+        res = run([blocker, normal, debug])
+        assert res.jobs[2].start <= res.jobs[1].start
+
+    def test_priority_model_age_term(self):
+        pm = PriorityModel(age_weight=1000, age_cap_s=100)
+        r = req()
+        p0 = pm.priority(SYS, r, now=0, eligible=0)
+        p50 = pm.priority(SYS, r, now=50, eligible=0)
+        pcap = pm.priority(SYS, r, now=1000, eligible=0)
+        assert p50 - p0 == 500
+        assert pcap - p0 == 1000
+
+    def test_recorded_priority_positive_for_waiting_jobs(self):
+        res = run([req(nnodes=16, true_rt=5000, limit=5400),
+                   req(submit=1, nnodes=16, qos="urgent")])
+        assert res.jobs[1].priority > res.jobs[0].priority

@@ -1,0 +1,73 @@
+"""Tests for the accounting database (slurmdbd stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError
+from repro._util.timefmt import month_bounds
+from repro.slurm.db import AccountingDB
+from repro.slurm.records import JobRecord
+
+
+def job(jobid, submit):
+    return JobRecord(jobid=jobid, user="u", account="a", partition="batch",
+                     submit=submit, eligible=submit, start=submit + 10,
+                     end=submit + 100)
+
+
+@pytest.fixture
+def db():
+    d = AccountingDB("testsys")
+    jan, _ = month_bounds("2024-01")
+    feb, _ = month_bounds("2024-02")
+    d.extend([job(3, feb + 50), job(1, jan + 100), job(2, jan + 200)])
+    return d
+
+
+class TestQueries:
+    def test_jobs_sorted_by_submit(self, db):
+        assert [j.jobid for j in db.jobs] == [1, 2, 3]
+
+    def test_query_range(self, db):
+        jan, end = month_bounds("2024-01")
+        got = db.query(jan, end)
+        assert [j.jobid for j in got] == [1, 2]
+
+    def test_query_month(self, db):
+        assert [j.jobid for j in db.query_month("2024-02")] == [3]
+
+    def test_query_empty_month(self, db):
+        assert db.query_month("2023-06") == []
+
+    def test_query_bad_range(self, db):
+        with pytest.raises(ConfigError):
+            db.query(100, 50)
+
+    def test_months_listing(self, db):
+        assert db.months() == ["2024-01", "2024-02"]
+
+    def test_incremental_add_resorts(self, db):
+        jan, _ = month_bounds("2024-01")
+        db.add(job(9, jan + 1))
+        assert [j.jobid for j in db.jobs][0] == 9
+
+    def test_len_and_steps(self, db):
+        assert len(db) == 3
+        assert db.n_steps() == 0
+
+
+class TestDump:
+    def test_dump_month_round_trip(self, tmp_path, db):
+        path = tmp_path / "jan.txt"
+        n = db.dump_sacct_month(path, "2024-01")
+        assert n == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert lines[0].split("|")[0] == "JobID"
+
+    def test_dump_with_malformed(self, tmp_path, db):
+        path = tmp_path / "jan.txt"
+        db.dump_sacct_month(path, "2024-01", malformed_rate=0.9,
+                            rng=np.random.default_rng(0))
+        lines = path.read_text().splitlines()[1:]
+        assert any(len(l.split("|")) != 60 for l in lines)

@@ -1,0 +1,79 @@
+"""Tests for the accounting field catalog (Table 1)."""
+
+import pytest
+
+from repro.slurm.fields import (
+    ALL_FIELDS,
+    CATEGORIES,
+    FIELDS_BY_NAME,
+    OBTAIN_FIELDS,
+    SELECTED_FIELDS,
+    FieldSpec,
+    selected_by_category,
+)
+from repro._util.errors import ConfigError
+
+
+class TestCatalogShape:
+    def test_exactly_118_fields(self):
+        """The paper: 'From the 118 fields available in the Slurm
+        accounting database'."""
+        assert len(ALL_FIELDS) == 118
+
+    def test_selected_matches_table1_size(self):
+        """Table 1 lists 45 field names across 9 categories."""
+        assert len(SELECTED_FIELDS) == 45
+
+    def test_obtain_is_60_fields(self):
+        """Section 3.1: Obtain 'queries the Slurm database for a curated
+        set of 60 accounting fields'."""
+        assert len(OBTAIN_FIELDS) == 60
+
+    def test_selected_subset_of_obtain(self):
+        assert set(f.name for f in SELECTED_FIELDS) <= set(
+            f.name for f in OBTAIN_FIELDS)
+
+    def test_no_duplicate_names(self):
+        names = [f.name for f in ALL_FIELDS]
+        assert len(names) == len(set(names))
+
+    def test_every_category_nonempty(self):
+        by_cat = selected_by_category()
+        assert list(by_cat) == list(CATEGORIES)
+        assert all(by_cat[c] for c in CATEGORIES)
+
+    def test_table1_exemplar_fields_present(self):
+        for name in ["JobID", "SubmitTime", "NNodes", "ReqGRES",
+                     "ConsumedEnergy", "MaxDiskWrite", "ExitCode",
+                     "Priority", "Backfill", "ArrayJobID", "AdminComment"]:
+            assert FIELDS_BY_NAME[name].selected, name
+
+    def test_redundant_fields_excluded_with_reason(self):
+        """The paper's example: Elapsed kept, ElapsedRaw excluded."""
+        assert FIELDS_BY_NAME["Elapsed"].selected
+        raw = FIELDS_BY_NAME["ElapsedRaw"]
+        assert not raw.selected
+        assert "redundant" in raw.exclusion
+
+    def test_excluded_fields_carry_reasons(self):
+        for f in ALL_FIELDS:
+            if not f.selected and not f.obtain:
+                assert f.exclusion, f.name
+
+    def test_aliases_resolve(self):
+        assert FIELDS_BY_NAME["Submit"] is FIELDS_BY_NAME["SubmitTime"]
+        assert FIELDS_BY_NAME["NCPUS"] is FIELDS_BY_NAME["NCPUs"]
+
+
+class TestFieldSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FieldSpec("X", "complex")
+
+    def test_selected_requires_category(self):
+        with pytest.raises(ConfigError):
+            FieldSpec("X", "str", selected=True, obtain=True)
+
+    def test_selected_requires_obtain(self):
+        with pytest.raises(ConfigError):
+            FieldSpec("X", "str", category="Misc", selected=True)

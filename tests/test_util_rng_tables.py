@@ -1,0 +1,80 @@
+"""Tests for deterministic RNG streams and text tables."""
+
+import numpy as np
+import pytest
+
+from repro._util.rng import RngStreams
+from repro._util.tables import TextTable
+
+
+class TestRngStreams:
+    def test_same_name_same_sequence(self):
+        a = RngStreams(7).fresh("arrivals").random(8)
+        b = RngStreams(7).fresh("arrivals").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        s = RngStreams(7)
+        a = s.fresh("arrivals").random(8)
+        b = s.fresh("runtimes").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).fresh("x").random(8)
+        b = RngStreams(2).fresh("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_irrelevant(self):
+        s1 = RngStreams(3)
+        s1.get("a")
+        first = s1.fresh("b").random(4)
+        s2 = RngStreams(3)
+        second = s2.fresh("b").random(4)
+        assert np.array_equal(first, second)
+
+    def test_get_caches_generator(self):
+        s = RngStreams(0)
+        assert s.get("x") is s.get("x")
+
+    def test_child_is_deterministic_and_distinct(self):
+        a = RngStreams(5).child("sub").fresh("x").random(4)
+        b = RngStreams(5).child("sub").fresh("x").random(4)
+        c = RngStreams(5).fresh("x").random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngStreams("seed")  # type: ignore[arg-type]
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["year", "jobs"])
+        t.add_row([2023, 180000])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("year")
+        assert "180,000" in lines[2]
+
+    def test_title_first_line(self):
+        t = TextTable(["a"], title="Figure 1")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "Figure 1"
+
+    def test_row_arity_checked(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        t = TextTable(["v"])
+        t.add_row([0.5])
+        t.add_row([123456.0])
+        t.add_row([float("nan")])
+        body = t.render()
+        assert "0.5" in body and "nan" in body

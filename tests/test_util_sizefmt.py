@@ -1,0 +1,75 @@
+"""Tests for Slurm count and memory formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util import sizefmt
+from repro._util.errors import DataError
+
+
+class TestCountK:
+    def test_small_plain(self):
+        assert sizefmt.format_count_k(64) == "64"
+
+    def test_frontier_full_system(self):
+        assert sizefmt.format_count_k(9408) == "9.408K"
+
+    def test_exact_thousand(self):
+        assert sizefmt.format_count_k(2000) == "2K"
+
+    def test_parse_plain(self):
+        assert sizefmt.parse_count_k("64") == 64
+
+    def test_parse_k(self):
+        assert sizefmt.parse_count_k("9.408K") == 9408
+
+    def test_parse_whole_k(self):
+        assert sizefmt.parse_count_k("2K") == 2000
+
+    def test_parse_m(self):
+        assert sizefmt.parse_count_k("1M") == 1_000_000
+
+    @pytest.mark.parametrize("bad", ["", "abcK", "-3", "1.0001K"])
+    def test_bad_rejected(self, bad):
+        with pytest.raises(DataError):
+            sizefmt.parse_count_k(bad)
+
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    def test_round_trip(self, n):
+        assert sizefmt.parse_count_k(sizefmt.format_count_k(n)) == n
+
+
+class TestMem:
+    def test_format_per_node_normalizes_suffix(self):
+        # 512000M divides exactly into 500G; the formatter prefers the
+        # largest exact suffix (parse_mem still accepts "512000Mn").
+        assert sizefmt.format_mem(512_000 * 1024, per="n") == "500Gn"
+
+    def test_format_inexact_g_stays_m(self):
+        assert sizefmt.format_mem(1536 * 1024, per="n") == "1536Mn"
+
+    def test_format_per_cpu_exact_g(self):
+        assert sizefmt.format_mem(4 * 1024**2, per="c") == "4Gc"
+
+    def test_parse_mn(self):
+        assert sizefmt.parse_mem("512000Mn") == (512_000 * 1024, "n")
+
+    def test_parse_gc(self):
+        assert sizefmt.parse_mem("4Gc") == (4 * 1024**2, "c")
+
+    def test_parse_bare_number_defaults_mb(self):
+        assert sizefmt.parse_mem("100") == (100 * 1024, "")
+
+    def test_zero(self):
+        kib, per = sizefmt.parse_mem(sizefmt.format_mem(0, per="n"))
+        assert kib == 0 and per == "n"
+
+    @pytest.mark.parametrize("bad", ["", "n", "xGn", "-1G"])
+    def test_bad_rejected(self, bad):
+        with pytest.raises(DataError):
+            sizefmt.parse_mem(bad)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.sampled_from(["n", "c", ""]))
+    def test_round_trip(self, kib, per):
+        text = sizefmt.format_mem(kib, per=per)
+        assert sizefmt.parse_mem(text) == (kib, per)

@@ -1,0 +1,114 @@
+"""Tests for Slurm time parsing/formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util import timefmt
+from repro._util.errors import DataError
+
+
+class TestFormatDuration:
+    def test_zero(self):
+        assert timefmt.format_slurm_duration(0) == "00:00:00"
+
+    def test_plain_hms(self):
+        assert timefmt.format_slurm_duration(3661) == "01:01:01"
+
+    def test_day_rollover(self):
+        assert timefmt.format_slurm_duration(86400) == "1-00:00:00"
+
+    def test_multi_day(self):
+        assert timefmt.format_slurm_duration(2 * 86400 + 3600 * 3 + 60 * 7 + 9) == "2-03:07:09"
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            timefmt.format_slurm_duration(-1)
+
+
+class TestParseDuration:
+    def test_hms(self):
+        assert timefmt.parse_slurm_duration("01:01:01") == 3661
+
+    def test_day_prefix(self):
+        assert timefmt.parse_slurm_duration("1-00:00:00") == 86400
+
+    def test_mm_ss(self):
+        assert timefmt.parse_slurm_duration("05:30") == 330
+
+    def test_bare_seconds(self):
+        assert timefmt.parse_slurm_duration("42") == 42
+
+    def test_fractional_seconds_truncated(self):
+        assert timefmt.parse_slurm_duration("00:00:01.500") == 1
+
+    def test_unlimited_sentinel(self):
+        assert timefmt.parse_slurm_duration("UNLIMITED") == -1
+
+    def test_partition_limit_sentinel(self):
+        assert timefmt.parse_slurm_duration("Partition_Limit") == -1
+
+    @pytest.mark.parametrize("bad", ["", "a:b:c", "1:2:3:4", "-5", "1-xx:00:00"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(DataError):
+            timefmt.parse_slurm_duration(bad)
+
+    @given(st.integers(min_value=0, max_value=60 * 86400))
+    def test_round_trip(self, seconds):
+        text = timefmt.format_slurm_duration(seconds)
+        assert timefmt.parse_slurm_duration(text) == seconds
+
+
+class TestTimestamps:
+    def test_round_trip_known(self):
+        # 2024-03-01T00:00:00 UTC
+        epoch = 1709251200
+        text = timefmt.format_timestamp(epoch)
+        assert text == "2024-03-01T00:00:00"
+        assert timefmt.parse_timestamp(text) == epoch
+
+    def test_unknown_round_trip(self):
+        assert timefmt.format_timestamp(timefmt.UNKNOWN_TIME) == "Unknown"
+        assert timefmt.parse_timestamp("Unknown") == timefmt.UNKNOWN_TIME
+
+    def test_none_sentinel(self):
+        assert timefmt.parse_timestamp("None") == timefmt.UNKNOWN_TIME
+
+    def test_bad_rejected(self):
+        with pytest.raises(DataError):
+            timefmt.parse_timestamp("2024-13-01T00:00:00")
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_round_trip_property(self, epoch):
+        assert timefmt.parse_timestamp(timefmt.format_timestamp(epoch)) == epoch
+
+
+class TestMonths:
+    def test_month_bounds_january(self):
+        start, end = timefmt.month_bounds("2024-01")
+        assert end - start == 31 * 86400
+        assert timefmt.format_timestamp(start) == "2024-01-01T00:00:00"
+
+    def test_month_bounds_leap_february(self):
+        start, end = timefmt.month_bounds("2024-02")
+        assert end - start == 29 * 86400
+
+    def test_bounds_adjacent(self):
+        _, end_jan = timefmt.month_bounds("2024-01")
+        start_feb, _ = timefmt.month_bounds("2024-02")
+        assert end_jan == start_feb
+
+    @pytest.mark.parametrize("bad", ["2024", "2024-13", "2024-00", "24-1", "x"])
+    def test_bad_month_rejected(self, bad):
+        with pytest.raises(DataError):
+            timefmt.month_bounds(bad)
+
+    def test_iter_months_spanning_year(self):
+        months = list(timefmt.iter_months("2023-11", "2024-02"))
+        assert months == ["2023-11", "2023-12", "2024-01", "2024-02"]
+
+    def test_iter_months_single(self):
+        assert list(timefmt.iter_months("2024-06", "2024-06")) == ["2024-06"]
+
+    def test_iter_months_reversed_rejected(self):
+        with pytest.raises(DataError):
+            list(timefmt.iter_months("2024-06", "2024-01"))

@@ -1,0 +1,92 @@
+"""Tests for workload calibration (trace → fitted profile → twin)."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DataError
+from repro._util.timefmt import month_bounds
+from repro.cluster import get_system
+from repro.frame import Frame
+from repro.workload import (
+    WorkloadGenerator,
+    calibrate_profile,
+    workload_for,
+)
+
+SYS = get_system("testsys")
+
+
+@pytest.fixture(scope="module")
+def curated(frontier_jobs):
+    return frontier_jobs
+
+
+class TestCalibrate:
+    def test_too_few_jobs_rejected(self):
+        f = Frame({"SubmitTime": [0], "Elapsed": [1], "Timelimit": [60],
+                   "NNodes": [1], "State": ["COMPLETED"], "User": ["u"]})
+        with pytest.raises(DataError, match=">= 50"):
+            calibrate_profile(f, SYS)
+
+    def test_fit_on_simulated_frontier(self, curated):
+        profile, report = calibrate_profile(curated,
+                                            get_system("frontier"))
+        assert report.n_jobs == len(curated)
+        assert report.arrival_rate > 0
+        assert 0 <= report.diurnal_amp < 0.9
+        # the frontier workload model builds in heavy overestimation
+        assert report.overrequest_median > 1.5
+        assert 0 < report.failure_rate < 0.5
+        assert profile.classes
+        assert abs(sum(profile.class_weights()) - 1.0) < 1e-9
+
+    def test_fitted_profile_generates(self, curated):
+        profile, report = calibrate_profile(curated,
+                                            get_system("frontier"))
+        gen = WorkloadGenerator(profile, seed=3)
+        start, _ = month_bounds("2024-05")
+        days = 3
+        twin = gen.generate(start, start + days * 86400)
+        # roughly rate * 72h arrivals (bursts and cycles modulate)
+        assert len(twin) > 0.3 * report.arrival_rate * days * 24
+
+    def test_twin_matches_source_statistics(self, curated):
+        """The digital twin reproduces the source's headline moments."""
+        profile, report = calibrate_profile(curated,
+                                            get_system("frontier"))
+        gen = WorkloadGenerator(profile, seed=3)
+        start, _ = month_bounds("2024-05")
+        twin = gen.generate(start, start + 7 * 86400)
+
+        # arrival rate within 35%
+        twin_rate = len(twin) / (7 * 24)
+        assert twin_rate == pytest.approx(report.arrival_rate, rel=0.35)
+
+        # runtime medians within a factor of ~2.5 (moment fit, 3 classes)
+        src_med = float(np.median(
+            np.asarray(curated["Elapsed"])[
+                np.asarray(curated["Elapsed"]) > 0]))
+        twin_med = float(np.median([r.true_runtime_s for r in twin]))
+        assert twin_med == pytest.approx(src_med, rel=1.5)
+
+        # node-count medians in the same regime
+        src_nodes = float(np.median(curated["NNodes"]))
+        twin_nodes = float(np.median([r.nnodes for r in twin]))
+        assert 0.2 * src_nodes <= twin_nodes <= 5 * src_nodes
+
+    def test_calibrate_roundtrip_from_swf(self, tmp_path):
+        """SWF import feeds calibration (the external-trace loop)."""
+        from repro.interop import swf_to_frame, write_swf
+        from repro.sched import simulate_month
+        jobs = simulate_month("testsys", "2024-01", seed=4,
+                              rate_scale=0.3).jobs
+        path = str(tmp_path / "t.swf")
+        write_swf(jobs, path, cpus_per_node=8)
+        frame = swf_to_frame(path, cpus_per_node=8)
+        profile, report = calibrate_profile(frame, SYS)
+        assert report.n_jobs == len(jobs)
+        assert profile.arrival_rate > 0
+
+    def test_report_rows(self, curated):
+        _, report = calibrate_profile(curated, get_system("frontier"))
+        assert len(report.rows()) == 7
