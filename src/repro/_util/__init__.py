@@ -9,6 +9,7 @@ from repro._util.errors import (
     RenderError,
 )
 from repro._util.rng import RngStreams
+from repro._util.sortedlist import SortedKeyList
 from repro._util.timefmt import (
     format_slurm_duration,
     parse_slurm_duration,
@@ -32,6 +33,7 @@ __all__ = [
     "WorkflowError",
     "RenderError",
     "RngStreams",
+    "SortedKeyList",
     "format_slurm_duration",
     "parse_slurm_duration",
     "format_timestamp",

@@ -35,23 +35,40 @@ class Task:
     cache: bool = False
 
     def is_fresh(self) -> bool:
-        """True when cached outputs make execution unnecessary."""
+        """True when cached outputs make execution unnecessary.
+
+        A missing declared *input* forces re-execution just like a
+        missing output: outputs on disk cannot be trusted to reflect an
+        input the task says it reads but that no longer exists.
+        """
         if not self.cache or not self.outputs:
             return False
         try:
             out_times = [os.path.getmtime(p) for p in self.outputs]
+            in_times = [os.path.getmtime(p) for p in self.inputs]
         except OSError:
             return False
-        in_times = [os.path.getmtime(p) for p in self.inputs
-                    if os.path.exists(p)]
         newest_in = max(in_times, default=float("-inf"))
         return min(out_times) >= newest_in
 
 
 @dataclass
 class TaskResult:
+    """Outcome of one task.
+
+    ``status`` is one of:
+
+    - ``"ok"`` — the task function ran and returned
+    - ``"cached"`` — fresh outputs let the run be skipped
+      (:meth:`Task.is_fresh`); counts as success for
+      :attr:`FlowReport.ok` and is listed by :meth:`FlowReport.cached`
+    - ``"failed"`` — the function raised on every attempt
+    - ``"skipped"`` — never executed (upstream failure, fail-fast
+      cancellation, or the task never became ready); ``error`` says why
+    """
+
     name: str
-    status: str                   # "ok" | "failed" | "skipped"
+    status: str                   # "ok" | "cached" | "failed" | "skipped"
     duration_s: float = 0.0
     value: object = None
     error: str = ""
@@ -208,20 +225,47 @@ class FlowEngine:
                             newly_ready.append(succ)
                 if failed_any and self.fail_fast:
                     break
-                newly_ready.sort(key=order.__getitem__)
-                for name in newly_ready:
+                # drain via an explicit worklist, re-sorting whenever a
+                # skip releases successors mid-drain: every dispatch
+                # (launch or skip) happens in registration order among
+                # the ready tasks known at that moment — appending to
+                # the list being iterated would dispatch transitively
+                # skipped successors in arbitrary discovery order
+                worklist = sorted(newly_ready, key=order.__getitem__)
+                while worklist:
+                    name = worklist.pop(0)
                     if name in cancelled:
                         report.results[name] = TaskResult(
                             name=name, status="skipped",
                             error="upstream failure")
                         # propagate skip transitively
+                        released = False
                         for succ in g.successors(name):
                             indegree[succ] -= 1
                             if indegree[succ] == 0:
-                                newly_ready.append(succ)
+                                worklist.append(succ)
+                                released = True
+                        if released:
+                            worklist.sort(key=order.__getitem__)
                         continue
                     launch(pool, name)
 
+        # a fail-fast break leaves futures behind: pool shutdown has
+        # waited for the ones already executing, so record their real
+        # outcome rather than pretending they never became ready
+        for fut, name in running.items():
+            if fut.cancelled():
+                report.results[name] = TaskResult(
+                    name=name, status="skipped",
+                    error="cancelled (fail_fast)")
+                continue
+            status, value, err, t0, t1 = fut.result()
+            report.results[name] = TaskResult(
+                name=name, status=status,
+                duration_s=t1 - t0, value=value, error=err)
+            report.trace.events.append(TraceEvent(
+                task=name, start_s=t0 - t_origin,
+                end_s=t1 - t_origin, ok=status == "ok"))
         for name in self._tasks:
             if name not in report.results:
                 report.results[name] = TaskResult(

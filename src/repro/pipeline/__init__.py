@@ -12,13 +12,14 @@ Section 3.1's first two blue boxes:
   pipe-separated text to typed CSV, split into job rows and step rows.
 """
 
-from repro.pipeline.obtain import ObtainConfig, ObtainStage, ObtainReport
+from repro.pipeline.obtain import ObtainConfig, ObtainStage, ObtainReport, window_seed
 from repro.pipeline.curate import CurateStage, CurateReport, JOB_CSV_COLUMNS, STEP_CSV_COLUMNS
 
 __all__ = [
     "ObtainConfig",
     "ObtainStage",
     "ObtainReport",
+    "window_seed",
     "CurateStage",
     "CurateReport",
     "JOB_CSV_COLUMNS",

@@ -16,6 +16,7 @@ parallelism — only the concurrency structure is reproduced).
 from __future__ import annotations
 
 import os
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -26,7 +27,18 @@ from repro._util.timefmt import iter_months, month_bounds
 from repro.slurm.db import AccountingDB
 from repro.slurm.emit import DEFAULT_MALFORMED_RATE
 
-__all__ = ["ObtainConfig", "ObtainStage", "ObtainReport"]
+__all__ = ["ObtainConfig", "ObtainStage", "ObtainReport", "window_seed"]
+
+
+def window_seed(name: str) -> int:
+    """Process-stable RNG seed word for a window name.
+
+    Built-in ``hash()`` on strings is salted per interpreter
+    (``PYTHONHASHSEED``), which would make "cached vs fresh" runs
+    synthesize different data across invocations; crc32 is a stable
+    digest of the name alone.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -88,7 +100,7 @@ class ObtainStage:
         _, end = month_bounds(months[-1])
         path = self._window_path(name)
         rng = np.random.default_rng(
-            [self.config.seed, hash(name) % 2**32])
+            [self.config.seed, window_seed(name)])
         rows = self.db.dump_sacct(path, start, end,
                                   malformed_rate=self.config.malformed_rate,
                                   rng=rng)

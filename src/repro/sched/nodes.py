@@ -64,7 +64,10 @@ class NodePool:
         """Return node ids to the pool (merging adjacent intervals)."""
         if not ids:
             return
-        ids = sorted(ids)
+        # allocate() hands out strictly increasing ids, so the common
+        # release is pre-sorted: an O(n) check avoids the sort + copy
+        if not all(a < b for a, b in zip(ids, ids[1:])):
+            ids = sorted(ids)
         # build intervals from the returned ids
         runs: list[list[int]] = []
         lo = hi = ids[0]

@@ -26,7 +26,20 @@ from dataclasses import dataclass
 from repro.cluster import SystemProfile
 from repro.workload.jobs import JobRequest
 
-__all__ = ["PriorityModel", "UsageTracker"]
+__all__ = ["PriorityModel", "UsageTracker", "queue_key"]
+
+
+def queue_key(static_prio: int, eligible: int, jobid: int
+              ) -> tuple[int, int, int]:
+    """Total order of the pending queue.
+
+    Highest static priority first, then earliest eligible time, with the
+    unique jobid as the final tie-break — the uniqueness is what lets
+    the simulator's indexed queue (``repro._util.sortedlist``) remove a
+    cancelled job by key in O(log n) and keeps the order reproducible
+    across container implementations.
+    """
+    return (-static_prio, eligible, jobid)
 
 
 class UsageTracker:

@@ -1,8 +1,10 @@
 """Tests for the dataflow engine."""
 
+import threading
 import time
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro._util.errors import WorkflowError
 from repro.flow import FlowEngine, concurrency_profile
@@ -242,3 +244,142 @@ class TestRetriesAndCache:
         eng.task("a", produce, cache=True)
         eng.run()
         assert calls["n"] == 1
+
+    def test_missing_input_forces_rerun(self, tmp_path):
+        """A stale output + *missing* declared input must re-execute:
+        the output cannot reflect an input that no longer exists."""
+        src = tmp_path / "input.txt"
+        out = tmp_path / "output.txt"
+        out.write_text("stale")          # output exists, input does not
+        calls = {"n": 0}
+
+        def produce():
+            calls["n"] += 1
+            out.write_text("rebuilt")
+
+        eng = FlowEngine()
+        eng.task("a", produce, inputs=[str(src)], outputs=[str(out)],
+                 cache=True)
+        report = eng.run()
+        assert report.results["a"].status == "ok"
+        assert calls["n"] == 1
+
+    def test_missing_input_present_output_combined(self, tmp_path):
+        # the input exists on the second run: then caching applies
+        src = tmp_path / "input.txt"
+        out = tmp_path / "output.txt"
+        out.write_text("stale")
+        calls = {"n": 0}
+
+        def produce():
+            calls["n"] += 1
+            out.write_text("rebuilt")
+
+        def build():
+            eng = FlowEngine()
+            eng.task("a", produce, inputs=[str(src)], outputs=[str(out)],
+                     cache=True)
+            return eng.run()
+
+        build()
+        assert calls["n"] == 1
+        src.write_text("now present")
+        build()                          # input newer than output: rerun
+        assert calls["n"] == 2
+        build()                          # now genuinely fresh
+        assert calls["n"] == 2
+
+
+class TestDispatchOrderAndFailFast:
+    def test_transitive_skips_recorded_in_registration_order(self):
+        """A failure fans out through a deep skip chain; every skipped
+        task is recorded and siblings unlocked later than a skipped
+        task still dispatch deterministically."""
+        def boom():
+            raise ValueError("kapow")
+
+        eng = FlowEngine(workers=2)
+        eng.task("root", boom, outputs=["r"])
+        # two chains hanging off the failure, interleaved registration
+        eng.task("a1", sleep_task(), inputs=["r"], outputs=["a1f"])
+        eng.task("b1", sleep_task(), inputs=["r"], outputs=["b1f"])
+        eng.task("a2", sleep_task(), inputs=["a1f"], outputs=["a2f"])
+        eng.task("b2", sleep_task(), inputs=["b1f"], outputs=["b2f"])
+        eng.task("a3", sleep_task(), inputs=["a2f"])
+        eng.task("b3", sleep_task(), inputs=["b2f"])
+        report = eng.run()
+        assert report.results["root"].status == "failed"
+        for name in ("a1", "b1", "a2", "b2", "a3", "b3"):
+            assert report.results[name].status == "skipped"
+            assert report.results[name].error == "upstream failure"
+
+    def test_fail_fast_inflight_task_gets_real_status(self):
+        """fail_fast aborts the round loop while a sibling is still
+        executing; that sibling ran, so its result must say so instead
+        of the old "never became ready" lie."""
+        release = threading.Event()
+        ran = []
+
+        def slow_ok():
+            release.wait(5)
+            ran.append("slow")
+            return "slow-done"
+
+        def boom():
+            raise ValueError("kapow")
+
+        def late_release():
+            # let the failure be processed first, then unblock slow_ok
+            time.sleep(0.05)
+            release.set()
+
+        eng = FlowEngine(workers=3, fail_fast=True)
+        eng.task("slow", slow_ok)
+        eng.task("fail", boom)
+        eng.task("release", late_release)
+        report = eng.run()
+        assert ran == ["slow"]
+        assert report.results["fail"].status == "failed"
+        assert report.results["slow"].status == "ok"
+        assert report.results["slow"].value == "slow-done"
+        assert set(report.results) == {"slow", "fail", "release"}
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_fail_fast_records_every_task_accurately(self, data):
+        """Property: with fail_fast=True, every registered task gets a
+        TaskResult whose status matches what actually happened — "ok"
+        iff its function completed, "failed" iff it raised, "skipped"
+        iff it never ran."""
+        n = data.draw(st.integers(2, 10), label="n_tasks")
+        fails = data.draw(st.sets(st.integers(0, n - 1), min_size=1),
+                          label="failing")
+        executed = set()
+        lock = threading.Lock()
+
+        def make_fn(i):
+            def fn():
+                with lock:
+                    executed.add(f"t{i}")
+                if i in fails:
+                    raise RuntimeError(f"boom {i}")
+            return fn
+
+        eng = FlowEngine(
+            workers=data.draw(st.integers(1, 4), label="workers"),
+            fail_fast=True)
+        for i in range(n):
+            # random forward edges keep the graph a DAG
+            deps = [f"t{j}" for j in range(i)
+                    if data.draw(st.booleans(), label=f"edge {j}->{i}")]
+            eng.task(f"t{i}", make_fn(i), after=deps)
+        report = eng.run()
+
+        assert set(report.results) == {f"t{i}" for i in range(n)}
+        for i in range(n):
+            r = report.results[f"t{i}"]
+            if f"t{i}" in executed:
+                expected = "failed" if i in fails else "ok"
+                assert r.status == expected, (r.name, r.status, r.error)
+            else:
+                assert r.status == "skipped", (r.name, r.status)

@@ -12,6 +12,7 @@ from repro.pipeline import (
     ObtainConfig,
     ObtainStage,
     STEP_CSV_COLUMNS,
+    window_seed,
 )
 from repro.sched import simulate_month
 from repro.slurm.db import AccountingDB
@@ -91,6 +92,51 @@ class TestObtain:
                            cache_dir=str(tmp_path / "cache"))
         report = ObtainStage(db, cfg).run()
         assert len(report.files) == 1
+
+
+class TestWindowSeed:
+    """The per-window RNG seed must not depend on interpreter state."""
+
+    def test_known_values_pinned(self):
+        # crc32 is a frozen spec: these values must never change, or
+        # cached synthetic data silently diverges from fresh pulls
+        assert window_seed("2024-01") == 3159296962
+        assert window_seed("2024") == 2479467106
+
+    def test_process_independent(self):
+        """Same seed under different PYTHONHASHSEED salts (the builtin
+        hash() the seed derivation used to rely on is per-process)."""
+        import subprocess
+        import sys
+
+        def probe(hashseed):
+            env = dict(os.environ,
+                       PYTHONPATH="src", PYTHONHASHSEED=hashseed)
+            out = subprocess.run(
+                [sys.executable, "-c",
+                 "from repro.pipeline import window_seed;"
+                 "print(window_seed('2024-03'), hash('2024-03'))"],
+                capture_output=True, text=True, check=True, env=env,
+                cwd=os.path.dirname(os.path.dirname(
+                    os.path.abspath(__file__))))
+            seed, salted = out.stdout.split()
+            return int(seed), int(salted)
+
+        seed_a, hash_a = probe("1")
+        seed_b, hash_b = probe("2")
+        assert seed_a == seed_b == window_seed("2024-03")
+        # sanity: the salts really did differ, so the old hash()-based
+        # derivation would have produced different synthetic data
+        assert hash_a != hash_b
+
+    def test_fetch_deterministic_across_stages(self, db, tmp_path):
+        r1 = ObtainStage(db, ObtainConfig(
+            "2024-01", "2024-01",
+            cache_dir=str(tmp_path / "s1"))).run()
+        r2 = ObtainStage(db, ObtainConfig(
+            "2024-01", "2024-01",
+            cache_dir=str(tmp_path / "s2"))).run()
+        assert open(r1.files[0]).read() == open(r2.files[0]).read()
 
 
 class TestCurate:
