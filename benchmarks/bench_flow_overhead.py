@@ -1,0 +1,169 @@
+"""Flow-engine observability overhead: bus cost with/without subscribers.
+
+The PR-3 acceptance bar: attaching the full observability stack (the
+per-run :class:`TraceRecorder` plus a :class:`repro.obs.RunContext`
+recording every event, metric, and span) must cost < 5% wall time on a
+realistic DAG.  This bench runs the same layered fan-out DAG — tasks do
+a few milliseconds of real compute each, like the plot/insight stages
+they stand in for — through three configurations:
+
+``bare``
+    engine only; the per-run bus carries just the backward-compat
+    ``TraceRecorder`` (this is what every pre-obs caller gets).
+``context``
+    a ``RunContext`` attached: every lifecycle event is recorded,
+    counters bumped, the run wrapped in a span.
+``manifest``
+    as ``context``, plus serializing the full run manifest
+    (``events.jsonl`` + ``provenance.json`` + ``summary.json``) to disk
+    afterwards — the complete ``workflows/main.py`` code path.
+
+Each leg repeats and the per-leg minimum wall time is compared (minimum,
+not mean: scheduling noise only ever adds time).  With ``--out`` the
+``manifest`` leg's run manifest is kept for upload as a CI artifact.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_flow_overhead.py          # full
+    PYTHONPATH=src python benchmarks/bench_flow_overhead.py --quick  # CI smoke
+
+or under pytest (quick shape only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_flow_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro._util.tables import TextTable
+from repro.flow import FlowEngine
+from repro.obs import RunContext
+
+FULL_SHAPE = (6, 12, 8)     # layers, width, repeats
+QUICK_SHAPE = (3, 6, 3)
+
+_SPIN = 30_000              # inner-loop size: ~1-2 ms of real work/task
+
+
+def _work() -> int:
+    return sum(i * i for i in range(_SPIN))
+
+
+def build_dag(engine: FlowEngine, layers: int, width: int) -> int:
+    """A layered fan-out/fan-in DAG: src -> W-wide layers -> join."""
+    engine.task("src", _work)
+    prev = ["src"]
+    for lv in range(layers):
+        cur = []
+        for i in range(width):
+            name = f"l{lv}-t{i}"
+            engine.task(name, _work, after=list(prev))
+            cur.append(name)
+        prev = cur
+    engine.task("join", _work, after=list(prev))
+    return 2 + layers * width
+
+
+@dataclass
+class Leg:
+    """One configuration's best-of-N measurement."""
+
+    impl: str
+    n_tasks: int
+    wall_s: float
+    n_events: int
+
+
+def run_leg(impl: str, layers: int, width: int, repeats: int,
+            out_dir: str | None = None) -> Leg:
+    best, n_events = float("inf"), 0
+    for _ in range(repeats):
+        ctx = RunContext(run_id=f"bench-{impl}") \
+            if impl != "bare" else None
+        engine = FlowEngine(workers=4, context=ctx)
+        n_tasks = build_dag(engine, layers, width)
+        t0 = time.perf_counter()
+        report = engine.run()
+        if impl == "manifest":
+            ctx.write_manifest(out_dir)
+        wall = time.perf_counter() - t0
+        assert report.ok and len(report.results) == n_tasks
+        best = min(best, wall)
+        n_events = len(ctx.events) if ctx is not None else 0
+    return Leg(impl=impl, n_tasks=n_tasks, wall_s=best,
+               n_events=n_events)
+
+
+def sweep(layers: int, width: int, repeats: int,
+          out_dir: str | None = None) -> list[Leg]:
+    manifest_dir = out_dir or tempfile.mkdtemp(prefix="bench-obs-")
+    return [run_leg("bare", layers, width, repeats),
+            run_leg("context", layers, width, repeats),
+            run_leg("manifest", layers, width, repeats, manifest_dir)]
+
+
+def render(legs: list[Leg]) -> str:
+    base = legs[0].wall_s
+    table = TextTable(
+        ["configuration", "tasks", "wall (best)", "events",
+         "overhead"],
+        title="Flow engine — observability overhead")
+    for leg in legs:
+        over = (leg.wall_s - base) / base * 100.0
+        table.add_row([leg.impl, leg.n_tasks, f"{leg.wall_s * 1e3:.1f} ms",
+                       leg.n_events or "-",
+                       "baseline" if leg is legs[0] else f"{over:+.1f}%"])
+    return table.render()
+
+
+def test_overhead_quick(tmp_path):
+    """Pytest smoke: all three legs run and the manifest lands."""
+    legs = sweep(*QUICK_SHAPE, out_dir=str(tmp_path))
+    print()
+    print(render(legs))
+    assert os.path.exists(tmp_path / "events.jsonl")
+    assert legs[1].n_events >= 3 * legs[1].n_tasks  # ready/started/finished
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small DAG, fewer repeats (CI smoke)")
+    ap.add_argument("--out", default=None,
+                    help="keep the manifest leg's run manifest here "
+                         "(events.jsonl / provenance.json / summary.json)")
+    ap.add_argument("--max-overhead", type=float, default=None,
+                    help="fail if the context leg exceeds this %% "
+                         "overhead over the bare engine")
+    args = ap.parse_args(argv)
+    layers, width, repeats = QUICK_SHAPE if args.quick else FULL_SHAPE
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    legs = sweep(layers, width, repeats, out_dir=args.out)
+    print(render(legs))
+    bare, context = legs[0], legs[1]
+    overhead = (context.wall_s - bare.wall_s) / bare.wall_s * 100.0
+    print(f"full subscriber stack on {context.n_tasks} tasks "
+          f"({context.n_events} events): {overhead:+.1f}% wall time "
+          f"vs the bare engine")
+    if args.out:
+        with open(os.path.join(args.out, "bench_results.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump({"legs": [vars(leg) for leg in legs],
+                       "overhead_pct": round(overhead, 2)}, fh, indent=2)
+        print(f"manifest + results kept in {args.out}/")
+    if args.max_overhead is not None and overhead > args.max_overhead:
+        print(f"FAIL: overhead {overhead:.1f}% > allowed "
+              f"{args.max_overhead:.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,5 +9,7 @@ of headline statistics.
 """
 
 from repro.dashboard.build import DashboardBuilder, DashboardSection
+from repro.dashboard.trace import render_trace_page, write_trace_page
 
-__all__ = ["DashboardBuilder", "DashboardSection"]
+__all__ = ["DashboardBuilder", "DashboardSection",
+           "render_trace_page", "write_trace_page"]

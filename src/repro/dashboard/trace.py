@@ -1,0 +1,214 @@
+"""The run trace & provenance page.
+
+A second dashboard page rendered from a :class:`repro.obs.RunContext`
+after the workflow finishes: a Gantt of every task and timing span, the
+run's metric snapshot, and the artifact lineage graph reconstructed
+from the provenance ledger (inputs → artifact edges, layered by
+dataflow depth).
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import os
+
+__all__ = ["render_trace_page", "write_trace_page"]
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font-family: Helvetica, Arial, sans-serif; margin: 0;
+         background: #f6f7f9; }}
+  header {{ background: #1b2a41; color: white; padding: 14px 24px; }}
+  header h1 {{ margin: 0; font-size: 20px; }}
+  .stats {{ display: flex; gap: 24px; padding: 10px 24px;
+           background: #22344f; color: #cfe0f5; font-size: 13px; }}
+  .stats b {{ color: white; }}
+  section {{ background: white; margin: 18px 24px; padding: 16px;
+            border: 1px solid #ccc; }}
+  section h2 {{ margin-top: 0; font-size: 16px; }}
+  table {{ border-collapse: collapse; font-size: 12px; }}
+  td, th {{ border: 1px solid #ddd; padding: 3px 8px; text-align: left; }}
+  th {{ background: #eef1f5; }}
+  svg text {{ font-family: Helvetica, Arial, sans-serif; }}
+</style>
+</head>
+<body>
+<header><h1>{title}</h1></header>
+<div class="stats">{stats}</div>
+{sections}
+</body>
+</html>
+"""
+
+_BAR_COLORS = {"ok": "#2ca02c", "cached": "#7fbf7f", "failed": "#d62728",
+               "skipped": "#9e9e9e"}
+
+
+def _task_rows(ctx) -> list[tuple[str, float, float, str]]:
+    """(name, start_s, end_s, status) per finished task, start-ordered."""
+    rows = []
+    for e in ctx.events:
+        if e.kind == "task_finished":
+            a = e.attrs
+            rows.append((e.name, a["start_s"], a["end_s"], a["status"]))
+    rows.sort(key=lambda r: (r[1], r[0]))
+    return rows
+
+
+def _gantt_svg(rows: list[tuple[str, float, float, str]],
+               spans) -> str:
+    """Task bars plus span brackets on a shared time axis."""
+    items = [(name, s, e, _BAR_COLORS.get(st, "#1f77b4"), st)
+             for name, s, e, st in rows]
+    items += [(f"[span] {sp.name}", sp.start_s, sp.end_s,
+               "#9467bd", f"depth {sp.depth}") for sp in spans]
+    if not items:
+        return "<p>no timing data recorded</p>"
+    t_max = max(e for _, _, e, _, _ in items) or 1.0
+    label_w, plot_w, row_h = 260, 640, 16
+    height = row_h * len(items) + 28
+    parts = [f'<svg width="{label_w + plot_w + 20}" height="{height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    for i, (name, s, e, color, note) in enumerate(items):
+        y = 18 + i * row_h
+        x0 = label_w + (s / t_max) * plot_w
+        w = max(1.5, ((e - s) / t_max) * plot_w)
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + 11}" font-size="10" '
+            f'text-anchor="end">{html_mod.escape(name[:44])}</text>')
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y + 2}" width="{w:.1f}" '
+            f'height="{row_h - 5}" fill="{color}">'
+            f"<title>{html_mod.escape(f'{name} [{note}] ' )}"
+            f"{s:.3f}s – {e:.3f}s</title></rect>")
+    # time axis
+    parts.append(
+        f'<line x1="{label_w}" y1="12" x2="{label_w + plot_w}" y2="12" '
+        f'stroke="#888"/>')
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = label_w + frac * plot_w
+        parts.append(f'<text x="{x:.0f}" y="9" font-size="9" '
+                     f'text-anchor="middle">{frac * t_max:.2f}s</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _lineage_svg(ledger) -> str:
+    """Layered dataflow graph: nodes are artifact paths, edges run
+    input → artifact; depth = longest input chain within the ledger."""
+    records = ledger.records()
+    if not records:
+        return "<p>no artifacts recorded</p>"
+    known = {r.path for r in records}
+    by_path = {r.path: r for r in records}
+    depth: dict[str, int] = {}
+
+    def d(path: str, seen=()) -> int:
+        if path in depth:
+            return depth[path]
+        rec = by_path.get(path)
+        if rec is None or path in seen:
+            return 0
+        ins = [p for p in rec.inputs if p in known]
+        depth[path] = 1 + max((d(p, seen + (path,)) for p in ins),
+                              default=-1) if ins else 0
+        return depth[path]
+
+    layers: dict[int, list[str]] = {}
+    for r in records:
+        layers.setdefault(d(r.path), []).append(r.path)
+    node_w, node_h, gap_y = 240, 18, 56
+    max_row = max(len(v) for v in layers.values())
+    width = max(680, min(1400, max_row * (node_w + 14) + 20))
+    height = (max(layers) + 1) * (node_h + gap_y) + 10
+    pos: dict[str, tuple[float, float]] = {}
+    for lvl in sorted(layers):
+        row = sorted(layers[lvl])
+        step = width / (len(row) + 1)
+        for i, path in enumerate(row):
+            pos[path] = ((i + 1) * step, 10 + lvl * (node_h + gap_y))
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    for rec in records:
+        x1, y1 = pos[rec.path]
+        for inp in rec.inputs:
+            if inp in pos:
+                x0, y0 = pos[inp]
+                parts.append(
+                    f'<line x1="{x0:.0f}" y1="{y0 + node_h:.0f}" '
+                    f'x2="{x1:.0f}" y2="{y1:.0f}" stroke="#b0b8c4"/>')
+    for path, (x, y) in pos.items():
+        rec = by_path[path]
+        label = os.path.basename(path) or path
+        parts.append(
+            f'<rect x="{x - node_w / 2:.0f}" y="{y:.0f}" width="{node_w}" '
+            f'height="{node_h}" rx="4" fill="#eef4fb" stroke="#4a6fa5">'
+            f"<title>{html_mod.escape(path)}\n"
+            f"producer: {html_mod.escape(rec.producer)}\n"
+            f"sha256: {rec.sha256[:16]}…  ({rec.bytes:,} B)</title></rect>")
+        parts.append(
+            f'<text x="{x:.0f}" y="{y + 13:.0f}" font-size="10" '
+            f'text-anchor="middle">{html_mod.escape(label[:36])}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _metrics_table(metrics: dict[str, float]) -> str:
+    if not metrics:
+        return "<p>no metrics recorded</p>"
+    rows = "".join(
+        f"<tr><td>{html_mod.escape(k)}</td><td>{v:g}</td></tr>"
+        for k, v in metrics.items())
+    return f"<table><tr><th>metric</th><th>value</th></tr>{rows}</table>"
+
+
+def _artifact_table(ledger) -> str:
+    rows = "".join(
+        f"<tr><td>{html_mod.escape(r.path)}</td>"
+        f"<td><code>{r.sha256[:16]}…</code></td>"
+        f"<td>{r.bytes:,}</td>"
+        f"<td>{html_mod.escape(r.producer)}</td>"
+        f"<td>{html_mod.escape(', '.join(r.inputs))}</td></tr>"
+        for r in ledger.records())
+    return ("<table><tr><th>artifact</th><th>sha256</th><th>bytes</th>"
+            f"<th>producer</th><th>inputs</th></tr>{rows}</table>")
+
+
+def render_trace_page(ctx) -> str:
+    """One self-contained HTML page for a finished run context."""
+    rows = _task_rows(ctx)
+    counts = ctx.event_counts()
+    statuses = [r[3] for r in rows]
+    stats = " ".join(
+        f"<span>{html_mod.escape(k)}: <b>{html_mod.escape(str(v))}"
+        f"</b></span>"
+        for k, v in [("run", ctx.run_id), ("events", len(ctx.events)),
+                     ("tasks", len(rows)),
+                     ("failed", statuses.count("failed")),
+                     ("cached", statuses.count("cached")),
+                     ("artifacts", len(ctx.ledger))])
+    sections = [
+        "<section><h2>Task &amp; span timeline</h2>"
+        + _gantt_svg(rows, sorted(ctx.spans,
+                                  key=lambda s: (s.start_s, s.name)))
+        + "</section>",
+        "<section><h2>Artifact lineage</h2>" + _lineage_svg(ctx.ledger)
+        + _artifact_table(ctx.ledger) + "</section>",
+        "<section><h2>Metrics</h2>"
+        + _metrics_table(ctx.metrics.snapshot()) + "</section>",
+        "<section><h2>Event counts</h2>" + _metrics_table(
+            {k: float(v) for k, v in counts.items()}) + "</section>",
+    ]
+    return _PAGE.format(title=f"Run trace — {html_mod.escape(ctx.run_id)}",
+                        stats=stats, sections="".join(sections))
+
+
+def write_trace_page(ctx, path: str) -> str:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_trace_page(ctx))
+    return path

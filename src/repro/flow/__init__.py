@@ -16,7 +16,7 @@ dataflow diagram" — with ``-n N`` setting the physical concurrency.
 """
 
 from repro.flow.engine import FlowEngine, Task, TaskResult, FlowReport
-from repro.flow.trace import ExecutionTrace, concurrency_profile
+from repro.flow.trace import ExecutionTrace, TraceRecorder, concurrency_profile
 
 __all__ = [
     "FlowEngine",
@@ -24,5 +24,6 @@ __all__ = [
     "TaskResult",
     "FlowReport",
     "ExecutionTrace",
+    "TraceRecorder",
     "concurrency_profile",
 ]

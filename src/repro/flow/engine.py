@@ -13,7 +13,8 @@ from typing import Callable, Sequence
 import networkx as nx
 
 from repro._util.errors import WorkflowError
-from repro.flow.trace import ExecutionTrace, TraceEvent
+from repro.flow.trace import ExecutionTrace, TraceRecorder
+from repro.obs import EventBus, RunContext
 
 __all__ = ["Task", "TaskResult", "FlowReport", "FlowEngine"]
 
@@ -30,6 +31,9 @@ class Task:
     after: tuple[str, ...] = ()
     #: re-run attempts on failure (transient-fault tolerance)
     retries: int = 0
+    #: seconds slept before the first re-run attempt, doubling per
+    #: subsequent attempt (0 = immediate retry, the historical default)
+    retry_backoff_s: float = 0.0
     #: skip execution when every output already exists and is newer than
     #: every input (incremental re-runs, like the paper's data cache)
     cache: bool = False
@@ -72,6 +76,9 @@ class TaskResult:
     duration_s: float = 0.0
     value: object = None
     error: str = ""
+    #: times the task function was invoked (0 for cached/skipped; > 1
+    #: means retries happened — visible in the run manifest)
+    attempts: int = 0
 
 
 @dataclass
@@ -110,11 +117,17 @@ class FlowEngine:
         report = eng.run()
     """
 
-    def __init__(self, workers: int = 4, fail_fast: bool = False) -> None:
+    def __init__(self, workers: int = 4, fail_fast: bool = False,
+                 context: RunContext | None = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         if workers < 1:
             raise WorkflowError("workers must be >= 1")
         self.workers = workers
         self.fail_fast = fail_fast
+        #: observability context; when absent the engine runs on a
+        #: private bus whose only subscriber is the trace recorder
+        self.context = context
+        self._sleep = sleep
         self._tasks: dict[str, Task] = {}
 
     # -- construction -----------------------------------------------------------
@@ -122,18 +135,26 @@ class FlowEngine:
     def task(self, name: str, fn: Callable[[], object], *,
              inputs: Sequence[str] = (), outputs: Sequence[str] = (),
              after: Sequence[str] = (), retries: int = 0,
-             cache: bool = False) -> Task:
+             retry_backoff_s: float = 0.0, cache: bool = False) -> Task:
         """Register a task; returns it for reference."""
         if name in self._tasks:
             raise WorkflowError(f"duplicate task name {name!r}")
         if retries < 0:
             raise WorkflowError(f"task {name!r}: negative retries")
+        if retry_backoff_s < 0:
+            raise WorkflowError(f"task {name!r}: negative retry backoff")
         t = Task(name=name, fn=fn,
                  inputs=tuple(_norm(p) for p in inputs),
                  outputs=tuple(_norm(p) for p in outputs),
-                 after=tuple(after), retries=retries, cache=cache)
+                 after=tuple(after), retries=retries,
+                 retry_backoff_s=retry_backoff_s, cache=cache)
         self._tasks[name] = t
         return t
+
+    @property
+    def tasks(self) -> dict[str, Task]:
+        """Registered tasks by name (read-only view by convention)."""
+        return self._tasks
 
     def graph(self) -> nx.DiGraph:
         """The inferred dependency DAG (validated)."""
@@ -168,7 +189,21 @@ class FlowEngine:
         """Execute the DAG on the worker pool; returns the full report."""
         g = self.graph()
         report = FlowReport()
+        # lifecycle events flow through the run context's bus when one
+        # is attached, else a private bus; either way the legacy
+        # ExecutionTrace is reconstructed by a TraceRecorder subscriber
+        bus = self.context.bus if self.context is not None else EventBus()
+        recorder = bus.subscribe(TraceRecorder(report.trace))
+        try:
+            return self._run(g, report, bus)
+        finally:
+            bus.unsubscribe(recorder)
+
+    def _run(self, g: nx.DiGraph, report: FlowReport,
+             bus: EventBus) -> FlowReport:
         t_origin = time.perf_counter()
+        bus.emit("run_started", "flow", tasks=len(self._tasks),
+                 workers=self.workers)
         indegree = {n: g.in_degree(n) for n in g.nodes}
         ready = [n for n, d in indegree.items() if d == 0]
         # deterministic dispatch order: registration order among ready
@@ -179,21 +214,44 @@ class FlowEngine:
         cancelled: set[str] = set()
         failed_any = False
 
+        def finish(name: str, status: str, value, err: str,
+                   t0: float, t1: float, attempts: int) -> None:
+            """Record one terminal outcome (result + lifecycle event)."""
+            report.results[name] = TaskResult(
+                name=name, status=status, duration_s=t1 - t0,
+                value=value, error=err, attempts=attempts)
+            bus.emit("task_finished", name, status=status,
+                     start_s=t0 - t_origin, end_s=t1 - t_origin,
+                     attempts=attempts)
+
         def launch(pool: ThreadPoolExecutor, name: str) -> None:
             task = self._tasks[name]
+            bus.emit("task_ready", name)
 
             def call():
                 t0 = time.perf_counter()
                 if task.is_fresh():
-                    return ("cached", None, "", t0, time.perf_counter())
+                    return ("cached", None, "", t0, time.perf_counter(), 0)
+                bus.emit("task_started", name)
                 last_tb = ""
-                for _attempt in range(task.retries + 1):
+                attempts = 0
+                for attempt in range(task.retries + 1):
+                    attempts += 1
                     try:
                         value = task.fn()
-                        return ("ok", value, "", t0, time.perf_counter())
+                        return ("ok", value, "", t0,
+                                time.perf_counter(), attempts)
                     except Exception:
                         last_tb = traceback.format_exc()
-                return ("failed", None, last_tb, t0, time.perf_counter())
+                    if attempt < task.retries:
+                        bus.emit("task_retried", name, attempt=attempts)
+                        if task.retry_backoff_s > 0:
+                            # deterministic exponential backoff:
+                            # backoff, 2*backoff, 4*backoff, ...
+                            self._sleep(task.retry_backoff_s
+                                        * (2 ** attempt))
+                return ("failed", None, last_tb, t0,
+                        time.perf_counter(), attempts)
             running[pool.submit(call)] = name
 
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
@@ -204,14 +262,9 @@ class FlowEngine:
                 newly_ready: list[str] = []
                 for fut in done:
                     name = running.pop(fut)
-                    status, value, err, t0, t1 = fut.result()
+                    status, value, err, t0, t1, attempts = fut.result()
                     with lock:
-                        report.results[name] = TaskResult(
-                            name=name, status=status,
-                            duration_s=t1 - t0, value=value, error=err)
-                        report.trace.events.append(TraceEvent(
-                            task=name, start_s=t0 - t_origin,
-                            end_s=t1 - t_origin, ok=status == "ok"))
+                        finish(name, status, value, err, t0, t1, attempts)
                     if status == "failed":
                         failed_any = True
                         for desc in nx.descendants(g, name):
@@ -238,6 +291,8 @@ class FlowEngine:
                         report.results[name] = TaskResult(
                             name=name, status="skipped",
                             error="upstream failure")
+                        bus.emit("task_skipped", name,
+                                 reason="upstream failure")
                         # propagate skip transitively
                         released = False
                         for succ in g.successors(name):
@@ -258,20 +313,22 @@ class FlowEngine:
                 report.results[name] = TaskResult(
                     name=name, status="skipped",
                     error="cancelled (fail_fast)")
+                bus.emit("task_skipped", name,
+                         reason="cancelled (fail_fast)")
                 continue
-            status, value, err, t0, t1 = fut.result()
-            report.results[name] = TaskResult(
-                name=name, status=status,
-                duration_s=t1 - t0, value=value, error=err)
-            report.trace.events.append(TraceEvent(
-                task=name, start_s=t0 - t_origin,
-                end_s=t1 - t_origin, ok=status == "ok"))
+            status, value, err, t0, t1, attempts = fut.result()
+            finish(name, status, value, err, t0, t1, attempts)
         for name in self._tasks:
             if name not in report.results:
                 report.results[name] = TaskResult(
                     name=name, status="skipped",
                     error="never became ready")
+                bus.emit("task_skipped", name,
+                         reason="never became ready")
         report.wall_s = time.perf_counter() - t_origin
+        bus.emit("run_finished", "flow", ok=report.ok,
+                 wall_s=round(report.wall_s, 6),
+                 tasks=len(report.results))
         return report
 
     def run_or_raise(self) -> FlowReport:

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["TraceEvent", "ExecutionTrace", "concurrency_profile"]
+__all__ = ["TraceEvent", "ExecutionTrace", "TraceRecorder",
+           "concurrency_profile"]
 
 
 @dataclass
@@ -49,6 +50,29 @@ class ExecutionTrace:
     @property
     def busy_s(self) -> float:
         return sum(e.duration_s for e in self.events)
+
+
+class TraceRecorder:
+    """Event-bus subscriber that reconstructs an :class:`ExecutionTrace`.
+
+    The engine no longer appends trace events directly: it emits
+    ``task_finished`` lifecycle events on its bus (see ``repro.obs``)
+    and this subscriber keeps :attr:`FlowReport.trace` byte-compatible
+    for existing consumers.  A ``"cached"`` status is a success — the
+    task's outputs are present and fresh (the old direct append
+    recorded cached tasks as failures).
+    """
+
+    def __init__(self, trace: ExecutionTrace) -> None:
+        self.trace = trace
+
+    def __call__(self, event) -> None:
+        if event.kind != "task_finished":
+            return
+        a = event.attrs
+        self.trace.events.append(TraceEvent(
+            task=event.name, start_s=a["start_s"], end_s=a["end_s"],
+            ok=a["status"] in ("ok", "cached")))
 
 
 def concurrency_profile(trace: ExecutionTrace) -> tuple[int, float]:

@@ -69,12 +69,19 @@ class _LogEntry:
 
 @dataclass
 class LLMClient:
-    """Backend-agnostic client with retries and a request log."""
+    """Backend-agnostic client with retries and a request log.
+
+    When ``context`` (a :class:`repro.obs.RunContext`) is attached,
+    every completion runs under an ``llm:<backend>`` timing span, emits
+    one ``llm_call`` event, and accumulates the run-level token/latency
+    counters that land in the manifest's ``summary.json``.
+    """
 
     backend: str = "chart-analyst"
     max_retries: int = 2
     backoff_s: float = 0.05
     log: list[_LogEntry] = field(default_factory=list)
+    context: object | None = None
 
     def __post_init__(self) -> None:
         factory = _BACKENDS.get(self.backend)
@@ -88,6 +95,27 @@ class LLMClient:
 
     def complete(self, prompt: str, images: list[Image] | None = None
                  ) -> LLMResponse:
+        ctx = self.context
+        if ctx is None:
+            return self._complete(prompt, images)
+        with ctx.span(f"llm:{self.backend}", images=len(images or [])):
+            try:
+                resp = self._complete(prompt, images)
+            except Exception:
+                ctx.counter("llm.failures").inc()
+                raise
+        ctx.counter("llm.calls").inc()
+        ctx.counter("llm.retries").inc(resp.attempts - 1)
+        ctx.counter("llm.prompt_tokens").inc(resp.prompt_tokens)
+        ctx.counter("llm.completion_tokens").inc(resp.completion_tokens)
+        ctx.bus.emit("llm_call", self.backend, model=resp.model,
+                     prompt_tokens=resp.prompt_tokens,
+                     completion_tokens=resp.completion_tokens,
+                     attempts=resp.attempts)
+        return resp
+
+    def _complete(self, prompt: str, images: list[Image] | None
+                  ) -> LLMResponse:
         images = images or []
         last_err: Exception | None = None
         for attempt in range(1, self.max_retries + 2):

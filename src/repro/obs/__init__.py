@@ -1,0 +1,50 @@
+"""Run-context observability & provenance core.
+
+The paper's Swift/T-style composition lives or dies on knowing *what
+ran, when, from which inputs*.  This package is the first-class runtime
+layer that records it (following the production shape of central event
+logs every subsystem writes through — cf. Balsam, and Souza et al.'s
+"LLM Agents for Interactive Workflow Provenance"):
+
+- :class:`RunContext` — one per workflow invocation; bundles the rest
+- :class:`EventBus` / :class:`Event` — synchronous typed lifecycle
+  events with a total order (``seq``) and run-relative timestamps
+- :class:`MetricRegistry` — monotonic :class:`Counter`\\ s and
+  :class:`Gauge`\\ s (scheduler passes, token usage, queue high-water)
+- :class:`ProvenanceLedger` — every artifact's path, SHA-256 content
+  fingerprint, producing task, and declared inputs
+- ``RunContext.span()`` — nestable, per-thread timing spans
+
+``RunContext.write_manifest(dir)`` serializes a run as
+``events.jsonl`` + ``provenance.json`` + ``summary.json``; the
+composed workflow writes these into its workdir and the dashboard's
+trace page renders them.
+"""
+
+from repro.obs.context import (
+    MANIFEST_EVENTS,
+    MANIFEST_PROVENANCE,
+    MANIFEST_SUMMARY,
+    RunContext,
+    SpanRecord,
+)
+from repro.obs.events import Event, EventBus, load_events
+from repro.obs.metrics import Counter, Gauge, MetricRegistry
+from repro.obs.provenance import ArtifactRecord, ProvenanceLedger, file_sha256
+
+__all__ = [
+    "RunContext",
+    "SpanRecord",
+    "Event",
+    "EventBus",
+    "load_events",
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "ArtifactRecord",
+    "ProvenanceLedger",
+    "file_sha256",
+    "MANIFEST_EVENTS",
+    "MANIFEST_PROVENANCE",
+    "MANIFEST_SUMMARY",
+]

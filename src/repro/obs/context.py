@@ -1,0 +1,169 @@
+"""The per-invocation run context: one object every layer reports to.
+
+A :class:`RunContext` bundles the event bus, the metric registry, the
+provenance ledger, and a nestable span stack.  The workflow creates one
+per invocation, threads it through the engine, the pipeline stages, the
+scheduler, and the LLM client, and finally serializes everything as the
+run manifest:
+
+- ``events.jsonl`` — the full recorded event stream, one JSON per line
+- ``provenance.json`` — every artifact with hash, producer, inputs
+- ``summary.json`` — run id, metrics snapshot, span tree, event counts
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.obs.events import Event, EventBus
+from repro.obs.metrics import MetricRegistry
+from repro.obs.provenance import ProvenanceLedger
+
+__all__ = ["RunContext", "SpanRecord", "MANIFEST_EVENTS",
+           "MANIFEST_PROVENANCE", "MANIFEST_SUMMARY"]
+
+MANIFEST_EVENTS = "events.jsonl"
+MANIFEST_PROVENANCE = "provenance.json"
+MANIFEST_SUMMARY = "summary.json"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed timing span."""
+
+    name: str
+    start_s: float
+    end_s: float
+    depth: int                # 0 = top-level
+    parent: str | None
+    attrs: dict
+
+    @property
+    def wall_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "start_s": round(self.start_s, 6),
+                "end_s": round(self.end_s, 6), "depth": self.depth,
+                "parent": self.parent, "attrs": self.attrs}
+
+
+class RunContext:
+    """Observability state for one workflow invocation."""
+
+    def __init__(self, run_id: str | None = None, root: str | None = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if run_id is None:
+            run_id = f"run-{os.getpid():x}-{time.time_ns():x}"
+        self.run_id = run_id
+        self.bus = EventBus(clock=clock)
+        self.metrics = MetricRegistry()
+        self.ledger = ProvenanceLedger(root=root)
+        self.events: list[Event] = []
+        self.spans: list[SpanRecord] = []
+        self._span_stack = threading.local()
+        self._lock = threading.Lock()
+        self.bus.subscribe(self._record)
+
+    # -- event recording -----------------------------------------------------------
+
+    def _record(self, event: Event) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- metric shorthands ---------------------------------------------------------
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    # -- provenance ----------------------------------------------------------------
+
+    def record_artifact(self, path: str, producer: str,
+                        inputs: tuple[str, ...] | list[str] = ()):
+        """Fingerprint an artifact into the ledger (+ an ``artifact``
+        event carrying the hash)."""
+        rec = self.ledger.record(path, producer, inputs)
+        self.bus.emit("artifact", rec.path, producer=producer,
+                      sha256=rec.sha256, bytes=rec.bytes)
+        return rec
+
+    # -- spans ---------------------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._span_stack, "items", None)
+        if stack is None:
+            stack = self._span_stack.items = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[None]:
+        """Nestable timing span; nesting is per-thread."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        depth = len(stack)
+        start = self.bus.emit("span_started", name, depth=depth).t_s
+        stack.append(name)
+        try:
+            yield
+        finally:
+            stack.pop()
+            end = self.bus.now()
+            self.bus.emit("span_finished", name, depth=depth,
+                          wall_s=round(end - start, 6))
+            rec = SpanRecord(name=name, start_s=start, end_s=end,
+                             depth=depth, parent=parent, attrs=attrs)
+            with self._lock:
+                self.spans.append(rec)
+
+    # -- manifest ------------------------------------------------------------------
+
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        with self._lock:
+            for e in self.events:
+                counts[e.kind] = counts.get(e.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> dict:
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: (s.start_s, s.name))
+            n_events = len(self.events)
+        return {
+            "run_id": self.run_id,
+            "n_events": n_events,
+            "event_counts": self.event_counts(),
+            "metrics": self.metrics.snapshot(),
+            "n_artifacts": len(self.ledger),
+            "spans": [s.to_dict() for s in spans],
+        }
+
+    def write_manifest(self, dirpath: str) -> dict[str, str]:
+        """Serialize the run into ``dirpath``; returns name → path."""
+        os.makedirs(dirpath, exist_ok=True)
+        paths = {
+            "events": os.path.join(dirpath, MANIFEST_EVENTS),
+            "provenance": os.path.join(dirpath, MANIFEST_PROVENANCE),
+            "summary": os.path.join(dirpath, MANIFEST_SUMMARY),
+        }
+        with self._lock:
+            events = list(self.events)
+        with open(paths["events"], "w", encoding="utf-8") as fh:
+            for e in events:
+                fh.write(e.to_json() + "\n")
+        with open(paths["provenance"], "w", encoding="utf-8") as fh:
+            json.dump(self.ledger.to_manifest(), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        with open(paths["summary"], "w", encoding="utf-8") as fh:
+            json.dump(self.summary(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return paths

@@ -1,0 +1,136 @@
+"""Typed lifecycle events and the synchronous event bus.
+
+Every subsystem reports what it did through one channel: an
+:class:`Event` is ``(seq, t_s, kind, name, attrs)``, appended by the
+producing layer and dispatched synchronously to every subscriber.  The
+bus is the provenance layer's spine — the run manifest
+(``events.jsonl``) is nothing but the recorded event stream.
+
+Design constraints:
+
+- **Cheap when nobody listens** — ``emit`` with zero subscribers is a
+  lock, a counter bump, and a dataclass construction; the flow engine's
+  hot dispatch loop tolerates it (see
+  ``benchmarks/bench_flow_overhead.py``).
+- **Thread-safe** — tasks emit from worker threads; ``seq`` is the
+  single total order over the run.
+- **Subscriber isolation** — an observer that raises must not kill the
+  workflow; failures are captured on :attr:`EventBus.errors`.
+
+Event taxonomy (``kind`` values; see docs/architecture.md):
+
+================== ==========================================
+``run_started``    engine run begins (``tasks``, ``workers``)
+``run_finished``   engine run ends (``ok``, ``wall_s``)
+``task_ready``     task dispatched to the worker pool
+``task_started``   task function begins executing
+``task_retried``   one attempt failed, another follows
+``task_finished``  terminal task outcome (``status`` ...)
+``task_skipped``   task never ran (``reason``)
+``span_started``   timing span opened
+``span_finished``  timing span closed (``wall_s``, ``depth``)
+``artifact``       provenance ledger recorded an artifact
+``llm_call``       one LLM completion (``model``, tokens)
+================== ==========================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventBus", "load_events"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One thing that happened, in run-relative seconds."""
+
+    seq: int
+    t_s: float
+    kind: str
+    name: str
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "t_s": round(self.t_s, 6),
+                "kind": self.kind, "name": self.name, "attrs": self.attrs}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Event":
+        return cls(seq=int(d["seq"]), t_s=float(d["t_s"]),
+                   kind=str(d["kind"]), name=str(d["name"]),
+                   attrs=dict(d.get("attrs", {})))
+
+
+class EventBus:
+    """Synchronous publish/subscribe with a total event order.
+
+    Subscribers are plain callables ``fn(event)`` invoked inline on the
+    emitting thread.  A subscriber exception is recorded on
+    :attr:`errors` (``(subscriber, event, exception)`` triples) instead
+    of propagating into the emitting layer.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter
+                 ) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._subs: list[Callable[[Event], None]] = []
+        self.errors: list[tuple] = []
+
+    def subscribe(self, fn: Callable[[Event], None]) -> Callable:
+        """Attach ``fn``; returns it so callers can unsubscribe later."""
+        with self._lock:
+            self._subs.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        with self._lock:
+            try:
+                self._subs.remove(fn)
+            except ValueError:
+                pass
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self._subs)
+
+    def now(self) -> float:
+        """Seconds since bus creation (the event timebase)."""
+        return self._clock() - self._t0
+
+    def emit(self, kind: str, name: str, **attrs) -> Event:
+        """Publish one event; returns it (already dispatched)."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            subs = tuple(self._subs)
+        # microsecond resolution, so serialized events round-trip exactly
+        event = Event(seq=seq, t_s=round(self._clock() - self._t0, 6),
+                      kind=kind, name=name, attrs=attrs)
+        for fn in subs:
+            try:
+                fn(event)
+            except Exception as exc:   # observer bugs must not kill runs
+                self.errors.append((fn, event, exc))
+        return event
+
+
+def load_events(path: str) -> list[Event]:
+    """Read an ``events.jsonl`` manifest back into :class:`Event`s."""
+    events: list[Event] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,85 @@
+"""Monotonic counters and gauges for run-level accounting.
+
+The registry is the numeric side of the observability layer: the
+scheduler reports backfill hits and queue depth, the LLM client reports
+token usage, the flow engine reports dispatch counts.  Everything lands
+in ``summary.json`` via :meth:`MetricRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "MetricRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A point-in-time level (last write wins; ``set_max`` tracks peaks)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self.value = v
+
+    def set_max(self, v: float) -> None:
+        """High-water mark: keep the largest value ever seen."""
+        with self._lock:
+            if v > self.value:
+                self.value = v
+
+
+class MetricRegistry:
+    """Named counters and gauges, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                if name in self._gauges:
+                    raise ValueError(f"{name!r} is already a gauge")
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                if name in self._counters:
+                    raise ValueError(f"{name!r} is already a counter")
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def snapshot(self) -> dict[str, float]:
+        """All metric values, sorted by name (manifest-stable)."""
+        with self._lock:
+            pairs = [(c.name, c.value) for c in self._counters.values()]
+            pairs += [(g.name, g.value) for g in self._gauges.values()]
+        return dict(sorted(pairs))

@@ -1,0 +1,114 @@
+"""The provenance ledger: what file came from what, verified by hash.
+
+Every artifact a workflow produces gets one record: its path (relative
+to the run root when inside it), a SHA-256 content fingerprint, its
+size, the producing task, and the declared input paths.  The ledger is
+what makes a run *auditable*: re-running a stage and getting a
+different hash for the same declared inputs is a reproducibility bug,
+not an opinion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+
+__all__ = ["ArtifactRecord", "ProvenanceLedger", "file_sha256"]
+
+
+def file_sha256(path: str, chunk: int = 1 << 20) -> str:
+    """Streaming SHA-256 of a file's content (mtime-independent)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One produced file."""
+
+    path: str                 # run-root-relative (posix separators)
+    sha256: str
+    bytes: int
+    producer: str             # task/stage that wrote it
+    inputs: tuple[str, ...]   # declared input paths, same normalization
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "sha256": self.sha256,
+                "bytes": self.bytes, "producer": self.producer,
+                "inputs": list(self.inputs)}
+
+
+class ProvenanceLedger:
+    """Thread-safe collection of artifact records, keyed by path.
+
+    Re-recording a path replaces its entry (stages may rewrite a file;
+    the ledger keeps the final state of the run).
+    """
+
+    def __init__(self, root: str | None = None) -> None:
+        self.root = os.path.abspath(root) if root else None
+        self._lock = threading.Lock()
+        self._records: dict[str, ArtifactRecord] = {}
+
+    # -- paths -----------------------------------------------------------------
+
+    def _rel(self, path: str) -> str:
+        """Run-root-relative posix path; absolute paths outside the
+        root (or with no root set) pass through normalized."""
+        p = os.path.normpath(path)
+        if self.root:
+            ap = os.path.abspath(p)
+            if ap == self.root or ap.startswith(self.root + os.sep):
+                p = os.path.relpath(ap, self.root)
+        return p.replace(os.sep, "/")
+
+    # -- recording --------------------------------------------------------------
+
+    def record(self, path: str, producer: str,
+               inputs: tuple[str, ...] | list[str] = ()) -> ArtifactRecord:
+        """Fingerprint ``path`` and store its record."""
+        rec = ArtifactRecord(
+            path=self._rel(path),
+            sha256=file_sha256(path),
+            bytes=os.path.getsize(path),
+            producer=producer,
+            inputs=tuple(self._rel(p) for p in inputs))
+        with self._lock:
+            self._records[rec.path] = rec
+        return rec
+
+    def has(self, path: str) -> bool:
+        with self._lock:
+            return self._rel(path) in self._records
+
+    def get(self, path: str) -> ArtifactRecord:
+        with self._lock:
+            return self._records[self._rel(path)]
+
+    def records(self) -> list[ArtifactRecord]:
+        """All records, path-sorted (manifest-stable)."""
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.path)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- lineage ----------------------------------------------------------------
+
+    def lineage_edges(self) -> list[tuple[str, str]]:
+        """``(input_path, artifact_path)`` pairs over recorded artifacts."""
+        return [(inp, rec.path)
+                for rec in self.records() for inp in rec.inputs]
+
+    def to_manifest(self) -> dict:
+        """The ``provenance.json`` payload."""
+        return {"version": 1,
+                "artifacts": [r.to_dict() for r in self.records()]}

@@ -61,8 +61,12 @@ class CurateReport:
 class CurateStage:
     """Turn one sacct pipe file into jobs.csv + steps.csv."""
 
-    def __init__(self, out_dir: str) -> None:
+    def __init__(self, out_dir: str, obs=None) -> None:
         self.out_dir = out_dir
+        #: optional repro.obs.RunContext — both output CSVs are
+        #: registered in the provenance ledger, fingerprinted, with the
+        #: source pipe file as their declared input
+        self.obs = obs
 
     def run(self, pipe_path: str, tag: str | None = None
             ) -> tuple[str, str, CurateReport]:
@@ -98,6 +102,10 @@ class CurateStage:
                   jobs_csv)
         write_csv(Frame.from_records(step_rows, columns=STEP_CSV_COLUMNS),
                   steps_csv)
+        if self.obs is not None:
+            for out in (jobs_csv, steps_csv):
+                self.obs.record_artifact(out, producer=f"curate:{tag}",
+                                         inputs=(pipe_path,))
         return jobs_csv, steps_csv, report
 
     @staticmethod

@@ -87,9 +87,14 @@ class ObtainReport:
 class ObtainStage:
     """Pull sacct text for each window of a date range, with caching."""
 
-    def __init__(self, db: AccountingDB, config: ObtainConfig) -> None:
+    def __init__(self, db: AccountingDB, config: ObtainConfig,
+                 obs=None) -> None:
         self.db = db
         self.config = config
+        #: optional repro.obs.RunContext — every produced (or cache-hit)
+        #: sacct window file is registered in the provenance ledger with
+        #: a content fingerprint
+        self.obs = obs
 
     def _window_path(self, name: str) -> str:
         return os.path.join(self.config.cache_dir,
@@ -115,6 +120,7 @@ class ObtainStage:
             if self.config.use_cache and os.path.exists(path):
                 report.cached.append(name)
                 report.files.append(path)
+                self._record_provenance(name, path, cached=True)
             else:
                 todo.append((name, months))
         if todo:
@@ -130,5 +136,16 @@ class ObtainStage:
                 report.fetched.append(name)
                 report.files.append(path)
                 report.rows += rows
+                self._record_provenance(name, path, cached=False)
         report.files.sort()
         return report
+
+    def _record_provenance(self, name: str, path: str,
+                           cached: bool) -> None:
+        """Register a window file in the run's provenance ledger.  A
+        cache hit is re-fingerprinted: the ledger states what this run
+        actually consumed, whoever produced the bytes."""
+        if self.obs is None:
+            return
+        producer = f"obtain:{name}" + (":cached" if cached else "")
+        self.obs.record_artifact(path, producer=producer)

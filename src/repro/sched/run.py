@@ -18,22 +18,33 @@ __all__ = ["simulate_range", "simulate_month", "build_database"]
 
 def simulate_range(system_name: str, start: int, end: int, *,
                    seed: int = 0, rate_scale: float = 1.0,
-                   config: SimConfig | None = None) -> SimResult:
-    """Generate and schedule the submission stream for ``[start, end)``."""
+                   config: SimConfig | None = None,
+                   obs=None) -> SimResult:
+    """Generate and schedule the submission stream for ``[start, end)``.
+
+    ``obs`` is an optional :class:`repro.obs.RunContext`; the simulator
+    reports its counters (passes, backfill hits, queue high-water) into
+    it, and the whole simulation runs under a timing span.
+    """
     profile = workload_for(system_name)
     gen = WorkloadGenerator(profile, seed=seed, rate_scale=rate_scale)
     requests = gen.generate(start, end)
-    sim = Simulator(profile.system, config or SimConfig(seed=seed))
-    return sim.run(requests)
+    sim = Simulator(profile.system, config or SimConfig(seed=seed),
+                    obs=obs)
+    if obs is None:
+        return sim.run(requests)
+    with obs.span(f"sim:{system_name}:{start}", jobs=len(requests)):
+        return sim.run(requests)
 
 
 def simulate_month(system_name: str, month: str, *,
                    seed: int = 0, rate_scale: float = 1.0,
-                   config: SimConfig | None = None) -> SimResult:
+                   config: SimConfig | None = None,
+                   obs=None) -> SimResult:
     """Generate and schedule one ``YYYY-MM`` month."""
     start, end = month_bounds(month)
     return simulate_range(system_name, start, end, seed=seed,
-                          rate_scale=rate_scale, config=config)
+                          rate_scale=rate_scale, config=config, obs=obs)
 
 
 def build_database(system_name: str, months: list[str], *,

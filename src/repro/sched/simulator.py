@@ -161,10 +161,14 @@ class _SimJob:
 class Simulator:
     """Run a submission stream through the scheduler on one system."""
 
-    def __init__(self, system: SystemProfile, config: SimConfig | None = None
-                 ) -> None:
+    def __init__(self, system: SystemProfile, config: SimConfig | None = None,
+                 obs: "RunContext | None" = None) -> None:
         self.system = system
         self.config = config or SimConfig()
+        #: optional observability context (repro.obs.RunContext); the
+        #: simulator reports pass/backfill counters and the pending
+        #: queue's high-water mark into it after each run
+        self.obs = obs
         self._rng = RngStreams(self.config.seed).child(
             f"sim:{system.name}").fresh("usage")
 
@@ -489,9 +493,25 @@ class Simulator:
 
         # -- finalize accounting records ---------------------------------------
         records = self._finalize(jobs, finished)
-        return SimResult(jobs=records, n_backfilled=n_backfilled,
-                         n_sched_passes=n_passes, max_queue_depth=max_depth,
-                         n_preempted=n_preempted_box[0])
+        result = SimResult(jobs=records, n_backfilled=n_backfilled,
+                           n_sched_passes=n_passes,
+                           max_queue_depth=max_depth,
+                           n_preempted=n_preempted_box[0])
+        self._report_obs(result)
+        return result
+
+    def _report_obs(self, result: SimResult) -> None:
+        """Expose scheduler counters on the run context (additive
+        across months simulated into one database; the queue-depth
+        gauge keeps the high-water mark over all of them)."""
+        if self.obs is None:
+            return
+        m = self.obs.metrics
+        m.counter("sched.passes").inc(result.n_sched_passes)
+        m.counter("sched.backfill_hits").inc(result.n_backfilled)
+        m.counter("sched.preemptions").inc(result.n_preempted)
+        m.counter("sched.jobs").inc(len(result.jobs))
+        m.gauge("sched.queue_depth_hwm").set_max(result.max_queue_depth)
 
     # -- internals ------------------------------------------------------------
 

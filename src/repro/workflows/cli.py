@@ -89,6 +89,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"tasks: {len(report.results)}   wall: {report.wall_s:.1f}s   "
           f"peak concurrency: {peak}   avg: {avg:.2f}")
     print(f"dashboard: {result.dashboard_path}")
+    if result.manifest:
+        print(f"run manifest: {result.manifest['events']}  "
+              f"{result.manifest['provenance']}")
+        print(f"trace page: {result.trace_page}")
     if result.insights:
         print(f"LLM insights: {len(result.insights)}   "
               f"compares: {len(result.compares)}")

@@ -5,7 +5,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro._util.errors import ConfigError
+from repro._util.errors import ConfigError, WorkflowError
 from repro._util.timefmt import iter_months
 from repro.advisor import PolicyAdvisor
 from repro.analytics import (
@@ -30,9 +30,10 @@ from repro.charts.figures import (
     occupancy_chart,
 )
 from repro.charts.spec import ChartSpec
-from repro.dashboard import DashboardBuilder
+from repro.dashboard import DashboardBuilder, write_trace_page
 from repro.flow import FlowEngine, FlowReport
 from repro.llm import LLMClient
+from repro.obs import RunContext
 from repro.pipeline import CurateStage, ObtainConfig, ObtainStage
 from repro.raster import html_to_png, save_primitives
 from repro.sched import SimConfig, simulate_month
@@ -90,6 +91,13 @@ class WorkflowResult:
     n_jobs: int = 0
     n_steps: int = 0
     flow_report: FlowReport | None = None
+    #: the run's observability context (events, metrics, provenance)
+    run_context: RunContext | None = None
+    #: manifest name → path (events.jsonl / provenance.json /
+    #: summary.json in the workdir)
+    manifest: dict[str, str] = field(default_factory=dict)
+    #: the dashboard's trace & provenance page
+    trace_page: str = ""
 
 
 class SchedulingAnalysisWorkflow:
@@ -98,6 +106,11 @@ class SchedulingAnalysisWorkflow:
     def __init__(self, config: WorkflowConfig) -> None:
         self.config = config
         self.result = WorkflowResult(config=config)
+        #: one observability context per invocation: every layer below
+        #: (engine, pipeline stages, scheduler, LLM client) reports
+        #: through it, and run() serializes it as the run manifest
+        self.obs = RunContext(root=config.workdir)
+        self.result.run_context = self.obs
         self._specs: dict[str, ChartSpec] = {}
         self._db = config.db
         self._lock = __import__("threading").Lock()
@@ -129,7 +142,8 @@ class SchedulingAnalysisWorkflow:
                     self.config.system, month, seed=self.config.seed + i,
                     rate_scale=self.config.rate_scale,
                     config=SimConfig(seed=self.config.seed + i,
-                                     first_jobid=400_000 + 1_000_000 * i))
+                                     first_jobid=400_000 + 1_000_000 * i),
+                    obs=self.obs)
                 db.extend(res.jobs)
             self._db = db
         return self._db
@@ -139,10 +153,10 @@ class SchedulingAnalysisWorkflow:
                            use_cache=self.config.use_cache,
                            malformed_rate=self.config.malformed_rate,
                            seed=self.config.seed, workers=1)
-        ObtainStage(self._ensure_db(), cfg).run()
+        ObtainStage(self._ensure_db(), cfg, obs=self.obs).run()
 
     def _curate(self, month: str) -> None:
-        stage = CurateStage(self._path("data"))
+        stage = CurateStage(self._path("data"), obs=self.obs)
         pipe = os.path.join(self._cache_dir(),
                             f"{self.config.system}-{month}.txt")
         _, _, report = stage.run(pipe, tag=month)
@@ -214,7 +228,8 @@ class SchedulingAnalysisWorkflow:
         self.result.chart_png[key] = png
 
     def _insight(self, key: str) -> None:
-        client = LLMClient(backend=self.config.llm_backend)
+        client = LLMClient(backend=self.config.llm_backend,
+                           context=self.obs)
         resp = client.insight(self.result.chart_png[key])
         self.result.insights[key] = resp.text
         out = self._path("llm", f"insight-{key}.md")
@@ -223,7 +238,8 @@ class SchedulingAnalysisWorkflow:
             fh.write(f"# LLM insight — {key}\n\n{resp.text}\n")
 
     def _compare(self, key_a: str, key_b: str) -> None:
-        client = LLMClient(backend=self.config.llm_backend)
+        client = LLMClient(backend=self.config.llm_backend,
+                           context=self.obs)
         resp = client.compare(self.result.chart_png[key_a],
                               self.result.chart_png[key_b])
         name = f"{key_a}-vs-{key_b}"
@@ -299,7 +315,7 @@ class SchedulingAnalysisWorkflow:
 
     def build_engine(self) -> FlowEngine:
         cfg = self.config
-        eng = FlowEngine(workers=cfg.workers)
+        eng = FlowEngine(workers=cfg.workers, context=self.obs)
         cache = self._cache_dir()
         for month in cfg.months:
             pipe = os.path.join(cache, f"{cfg.system}-{month}.txt")
@@ -379,8 +395,38 @@ class SchedulingAnalysisWorkflow:
                         for k in _PLOT_KINDS])
         return eng
 
+    def _register_outputs(self, engine: FlowEngine) -> None:
+        """Provenance sweep: every declared output artifact that exists
+        on disk gets a ledger record (the Obtain/Curate stages already
+        registered theirs inline; this covers charts, PNGs, LLM
+        reports, and the dashboard, with the task's declared inputs as
+        lineage)."""
+        for name, task in engine.tasks.items():
+            for out in task.outputs:
+                if os.path.exists(out) and not self.obs.ledger.has(out):
+                    self.obs.record_artifact(out, producer=name,
+                                             inputs=task.inputs)
+
     def run(self) -> WorkflowResult:
-        """Execute the workflow; raises on any stage failure."""
+        """Execute the workflow; raises on any stage failure.
+
+        Whatever happens, the run manifest (``events.jsonl``,
+        ``provenance.json``, ``summary.json``) and the trace page land
+        in the workdir — a failed run is exactly when the provenance
+        record matters most.
+        """
         engine = self.build_engine()
-        self.result.flow_report = engine.run_or_raise()
+        with self.obs.span("workflow", system=self.config.system,
+                           months=len(self.config.months)):
+            report = engine.run()
+        self.result.flow_report = report
+        self._register_outputs(engine)
+        self.result.manifest = self.obs.write_manifest(self.config.workdir)
+        self.result.trace_page = write_trace_page(
+            self.obs, self._path("dashboard", "trace.html"))
+        bad = report.failed()
+        if bad:
+            raise WorkflowError(
+                f"{len(bad)} task(s) failed; first: {bad[0].name}\n"
+                f"{bad[0].error}")
         return self.result

@@ -11,6 +11,7 @@ from repro._util.errors import RenderError
 from repro.charts import Axis, ChartSpec, ScatterSeries
 from repro.dashboard import DashboardBuilder
 from repro.flow import concurrency_profile
+from repro.obs import load_events
 from repro.workflows import SchedulingAnalysisWorkflow, WorkflowConfig
 
 
@@ -150,6 +151,75 @@ class TestEndToEndWorkflow:
     def test_months_must_be_sorted(self):
         with pytest.raises(Exception):
             WorkflowConfig(months=("2024-02", "2024-01"))
+
+    # -- observability & provenance (the run manifest) -----------------------
+
+    def test_manifest_files_written(self, workflow_result):
+        m = workflow_result.manifest
+        assert set(m) == {"events", "provenance", "summary"}
+        for path in m.values():
+            assert os.path.exists(path)
+            assert os.path.dirname(path) == workflow_result.config.workdir
+
+    def test_every_task_has_a_lifecycle_record(self, workflow_result):
+        events = load_events(workflow_result.manifest["events"])
+        terminal = {e.name for e in events
+                    if e.kind in ("task_finished", "task_skipped")}
+        assert terminal == set(workflow_result.flow_report.results)
+
+    def test_every_declared_output_has_provenance(self, workflow_result):
+        prov = json.load(open(workflow_result.manifest["provenance"]))
+        recorded = {a["path"] for a in prov["artifacts"]}
+        # rebuild the (unexecuted) engine to enumerate declared outputs
+        eng = SchedulingAnalysisWorkflow(
+            workflow_result.config).build_engine()
+        root = workflow_result.config.workdir
+        declared = {
+            os.path.relpath(out, root).replace(os.sep, "/")
+            for task in eng.tasks.values() for out in task.outputs
+            if os.path.exists(out)}
+        assert declared and declared <= recorded
+        for a in prov["artifacts"]:
+            assert len(a["sha256"]) == 64
+            assert a["bytes"] > 0
+
+    def test_curate_lineage_points_at_obtain(self, workflow_result):
+        prov = json.load(open(workflow_result.manifest["provenance"]))
+        by_path = {a["path"]: a for a in prov["artifacts"]}
+        jobs = by_path["data/2024-01-jobs.csv"]
+        assert jobs["inputs"] == ["cache/testsys-2024-01.txt"]
+        # first run: the stage records "curate:<tag>"; if a later run
+        # in the same workdir re-wrote the manifest with curate cached,
+        # the post-run sweep records the task name "curate-<month>"
+        assert jobs["producer"].startswith("curate")
+
+    def test_summary_metrics(self, workflow_result):
+        summary = json.load(open(workflow_result.manifest["summary"]))
+        m = summary["metrics"]
+        assert m["sched.passes"] > 0
+        assert m["sched.jobs"] >= workflow_result.n_jobs
+        assert m["sched.queue_depth_hwm"] >= 0
+        assert m["llm.calls"] == len(workflow_result.insights) \
+            + len(workflow_result.compares)
+        assert m["llm.prompt_tokens"] > 0
+        assert summary["n_events"] == len(
+            load_events(workflow_result.manifest["events"]))
+        span_names = [s["name"] for s in summary["spans"]]
+        assert "workflow" in span_names
+        assert any(n.startswith("sim:") for n in span_names)
+        assert any(n.startswith("llm:") for n in span_names)
+
+    def test_trace_page_written(self, workflow_result):
+        assert os.path.exists(workflow_result.trace_page)
+        html = open(workflow_result.trace_page).read()
+        assert "Artifact lineage" in html
+        assert "Task &amp; span timeline" in html
+        assert "sched.passes" in html
+
+    def test_run_context_on_result(self, workflow_result):
+        ctx = workflow_result.run_context
+        assert ctx is not None
+        assert not ctx.bus.errors        # no observer ever raised
 
     def test_calibration_sidecars_valid_json(self, workflow_result):
         for png in workflow_result.chart_png.values():

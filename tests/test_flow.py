@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro._util.errors import WorkflowError
 from repro.flow import FlowEngine, concurrency_profile
+from repro.obs import RunContext
 
 
 def sleep_task(duration=0.02, value=None, log=None, name=None):
@@ -288,6 +289,127 @@ class TestRetriesAndCache:
         assert calls["n"] == 2
         build()                          # now genuinely fresh
         assert calls["n"] == 2
+
+
+class TestCachedTraceOk:
+    def test_cached_task_traced_as_success(self, tmp_path):
+        """Regression: a cached task is a success per FlowReport.ok,
+        so its trace event must say ok=True (it used to record
+        ``status == "ok"`` and show cached runs as failures)."""
+        out = tmp_path / "result.txt"
+
+        def build():
+            eng = FlowEngine()
+            eng.task("a", lambda: out.write_text("v1"),
+                     outputs=[str(out)], cache=True)
+            return eng.run()
+
+        build()
+        r2 = build()
+        assert r2.results["a"].status == "cached"
+        assert r2.ok
+        assert r2.trace.event("a").ok      # was False before the fix
+
+
+class TestRetryBackoff:
+    def _flaky(self, fail_times):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise RuntimeError("transient")
+            return calls["n"]
+        return fn, calls
+
+    def test_backoff_doubles_per_attempt(self):
+        slept = []
+        fn, _ = self._flaky(fail_times=2)
+        eng = FlowEngine(sleep=slept.append)
+        eng.task("a", fn, retries=3, retry_backoff_s=0.05)
+        report = eng.run()
+        assert report.ok
+        assert slept == [0.05, 0.1]        # deterministic: b, 2b, 4b...
+        assert report.results["a"].attempts == 3
+
+    def test_no_sleep_after_final_failure(self):
+        slept = []
+
+        def dead():
+            raise RuntimeError("permanent")
+        eng = FlowEngine(sleep=slept.append)
+        eng.task("a", dead, retries=1, retry_backoff_s=0.2)
+        report = eng.run()
+        assert report.results["a"].status == "failed"
+        assert report.results["a"].attempts == 2
+        assert slept == [0.2]              # only between attempts
+
+    def test_zero_backoff_never_sleeps(self):
+        slept = []
+        fn, _ = self._flaky(fail_times=1)
+        eng = FlowEngine(sleep=slept.append)
+        eng.task("a", fn, retries=1)
+        assert eng.run().ok
+        assert slept == []
+
+    def test_negative_backoff_rejected(self):
+        eng = FlowEngine()
+        with pytest.raises(WorkflowError, match="backoff"):
+            eng.task("a", sleep_task(), retry_backoff_s=-0.1)
+
+    def test_attempts_accounting(self, tmp_path):
+        out = tmp_path / "c.txt"
+        out.write_text("fresh")
+
+        def boom():
+            raise RuntimeError("x")
+        eng = FlowEngine()
+        eng.task("ok", sleep_task(0))
+        eng.task("cached", sleep_task(0), outputs=[str(out)], cache=True)
+        eng.task("fail", boom, retries=2, outputs=["f.out"])
+        eng.task("skipped", sleep_task(0), inputs=["f.out"])
+        report = eng.run()
+        assert report.results["ok"].attempts == 1
+        assert report.results["cached"].attempts == 0
+        assert report.results["fail"].attempts == 3
+        assert report.results["skipped"].attempts == 0
+
+
+class TestLifecycleEvents:
+    def test_engine_emits_through_attached_context(self):
+        ctx = RunContext(run_id="t")
+        eng = FlowEngine(workers=2, context=ctx)
+        eng.task("a", sleep_task(0), outputs=["x"])
+        eng.task("b", sleep_task(0), inputs=["x"])
+        report = eng.run()
+        assert report.ok
+        kinds = [(e.kind, e.name) for e in ctx.events]
+        assert kinds[0] == ("run_started", "flow")
+        assert kinds[-1] == ("run_finished", "flow")
+        for name in ("a", "b"):
+            assert ("task_ready", name) in kinds
+            assert ("task_started", name) in kinds
+            assert ("task_finished", name) in kinds
+        # the legacy trace is reconstructed via the bus subscriber
+        assert report.trace.event("a").ok
+        # ... and the recorder is detached afterwards
+        assert ctx.bus.n_subscribers == 1  # the context's own recorder
+
+    def test_failure_and_skip_events(self):
+        ctx = RunContext(run_id="t")
+
+        def boom():
+            raise ValueError("kapow")
+        eng = FlowEngine(context=ctx)
+        eng.task("a", boom, outputs=["x"])
+        eng.task("b", sleep_task(0), inputs=["x"])
+        eng.run()
+        (fin,) = [e for e in ctx.events
+                  if e.kind == "task_finished" and e.name == "a"]
+        assert fin.attrs["status"] == "failed"
+        (skip,) = [e for e in ctx.events if e.kind == "task_skipped"]
+        assert skip.name == "b"
+        assert skip.attrs["reason"] == "upstream failure"
 
 
 class TestDispatchOrderAndFailFast:

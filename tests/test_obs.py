@@ -1,0 +1,238 @@
+"""Tests for the observability & provenance core (repro.obs)."""
+
+import hashlib
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import (
+    Event,
+    EventBus,
+    MetricRegistry,
+    ProvenanceLedger,
+    RunContext,
+    file_sha256,
+    load_events,
+)
+
+
+class TestEventBus:
+    def test_seq_is_a_total_order(self):
+        bus = EventBus()
+        events = [bus.emit("k", f"e{i}") for i in range(5)]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+
+    def test_subscribers_receive_synchronously(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        ev = bus.emit("task_started", "t1", foo=1)
+        assert seen == [ev]
+        assert seen[0].attrs == {"foo": 1}
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        fn = bus.subscribe(seen.append)
+        bus.emit("k", "a")
+        bus.unsubscribe(fn)
+        bus.emit("k", "b")
+        assert [e.name for e in seen] == ["a"]
+
+    def test_subscriber_error_is_isolated(self):
+        """An observer bug must not kill the emitting layer."""
+        bus = EventBus()
+        def bad(event):
+            raise RuntimeError("observer bug")
+        seen = []
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        ev = bus.emit("k", "a")
+        assert seen == [ev]             # later subscribers still ran
+        assert len(bus.errors) == 1
+        assert isinstance(bus.errors[0][2], RuntimeError)
+
+    def test_concurrent_emit_unique_seq(self):
+        bus = EventBus()
+        out = []
+        lock = threading.Lock()
+        def emitter():
+            for _ in range(200):
+                e = bus.emit("k", "x")
+                with lock:
+                    out.append(e.seq)
+        threads = [threading.Thread(target=emitter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == 800
+
+    def test_event_json_round_trip(self):
+        e = Event(seq=3, t_s=1.25, kind="task_finished", name="a",
+                  attrs={"status": "ok", "attempts": 1})
+        assert Event.from_dict(json.loads(e.to_json())) == e
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        m = MetricRegistry()
+        m.counter("c").inc()
+        m.counter("c").inc(4)
+        m.gauge("g").set(2.0)
+        m.gauge("g").set_max(1.0)   # lower: ignored
+        m.gauge("g").set_max(7.0)
+        assert m.snapshot() == {"c": 5, "g": 7.0}
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("c").inc(-1)
+
+    def test_kind_collision_rejected(self):
+        m = MetricRegistry()
+        m.counter("x")
+        with pytest.raises(ValueError):
+            m.gauge("x")
+
+    def test_snapshot_sorted(self):
+        m = MetricRegistry()
+        m.counter("z").inc()
+        m.gauge("a").set(1)
+        assert list(m.snapshot()) == ["a", "z"]
+
+
+class TestSpans:
+    def test_nesting_depth_and_parent(self):
+        ctx = RunContext(run_id="r")
+        with ctx.span("outer"):
+            with ctx.span("inner", tag="x"):
+                pass
+        spans = {s.name: s for s in ctx.spans}
+        assert spans["inner"].depth == 1
+        assert spans["inner"].parent == "outer"
+        assert spans["inner"].attrs == {"tag": "x"}
+        assert spans["outer"].depth == 0
+        assert spans["outer"].parent is None
+        assert spans["outer"].end_s >= spans["inner"].end_s
+
+    def test_span_emits_events(self):
+        ctx = RunContext(run_id="r")
+        with ctx.span("s"):
+            pass
+        kinds = [e.kind for e in ctx.events]
+        assert kinds == ["span_started", "span_finished"]
+
+    def test_span_closed_on_exception(self):
+        ctx = RunContext(run_id="r")
+        with pytest.raises(ValueError):
+            with ctx.span("s"):
+                raise ValueError("boom")
+        assert [s.name for s in ctx.spans] == ["s"]
+
+    def test_span_nesting_is_per_thread(self):
+        ctx = RunContext(run_id="r")
+        done = threading.Event()
+        def worker():
+            with ctx.span("threaded"):
+                pass
+            done.set()
+        with ctx.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        spans = {s.name: s for s in ctx.spans}
+        # the worker's span must not inherit the main thread's stack
+        assert spans["threaded"].parent is None
+        assert spans["threaded"].depth == 0
+
+
+class TestProvenance:
+    def test_hash_stability_across_path_and_mtime(self, tmp_path):
+        """The artifact fingerprint depends on *content only*: two
+        files with identical bytes but different names and mtimes get
+        the same sha256, and it matches hashlib directly."""
+        content = b"NodeList|State|Elapsed\n1|COMPLETED|60\n"
+        a = tmp_path / "a.txt"
+        b = tmp_path / "sub" / "b.txt"
+        b.parent.mkdir()
+        a.write_bytes(content)
+        b.write_bytes(content)
+        os.utime(a, (1_000_000, 1_000_000))
+        os.utime(b, (2_000_000, 2_000_000))
+        assert file_sha256(str(a)) == file_sha256(str(b)) \
+            == hashlib.sha256(content).hexdigest()
+        b.write_bytes(content + b"x")
+        assert file_sha256(str(a)) != file_sha256(str(b))
+
+    def test_record_relativizes_under_root(self, tmp_path):
+        led = ProvenanceLedger(root=str(tmp_path))
+        f = tmp_path / "data" / "x.csv"
+        f.parent.mkdir()
+        f.write_text("1,2\n")
+        rec = led.record(str(f), producer="curate",
+                         inputs=[str(tmp_path / "cache" / "x.txt")])
+        assert rec.path == "data/x.csv"
+        assert rec.inputs == ("cache/x.txt",)
+        assert rec.bytes == 4
+        assert led.has(str(f)) and led.get(str(f)) == rec
+
+    def test_rerecord_replaces(self, tmp_path):
+        led = ProvenanceLedger(root=str(tmp_path))
+        f = tmp_path / "x.txt"
+        f.write_text("v1")
+        h1 = led.record(str(f), producer="p").sha256
+        f.write_text("v2")
+        h2 = led.record(str(f), producer="p").sha256
+        assert h1 != h2
+        assert len(led) == 1
+        assert led.get(str(f)).sha256 == h2
+
+    def test_lineage_edges(self, tmp_path):
+        led = ProvenanceLedger(root=str(tmp_path))
+        for name in ("raw.txt", "out.csv"):
+            (tmp_path / name).write_text(name)
+        led.record(str(tmp_path / "raw.txt"), producer="obtain")
+        led.record(str(tmp_path / "out.csv"), producer="curate",
+                   inputs=[str(tmp_path / "raw.txt")])
+        assert led.lineage_edges() == [("raw.txt", "out.csv")]
+
+
+class TestRunContext:
+    def test_records_every_emitted_event(self):
+        ctx = RunContext(run_id="r")
+        ctx.bus.emit("task_ready", "a")
+        ctx.bus.emit("task_finished", "a", status="ok")
+        assert [e.kind for e in ctx.events] == ["task_ready",
+                                                "task_finished"]
+        assert ctx.event_counts() == {"task_finished": 1, "task_ready": 1}
+
+    def test_record_artifact_emits_event(self, tmp_path):
+        ctx = RunContext(run_id="r", root=str(tmp_path))
+        f = tmp_path / "x.txt"
+        f.write_text("hi")
+        rec = ctx.record_artifact(str(f), producer="stage")
+        (ev,) = [e for e in ctx.events if e.kind == "artifact"]
+        assert ev.name == "x.txt"
+        assert ev.attrs["sha256"] == rec.sha256
+
+    def test_write_manifest_and_events_round_trip(self, tmp_path):
+        ctx = RunContext(run_id="r", root=str(tmp_path))
+        (tmp_path / "x.txt").write_text("hi")
+        with ctx.span("work"):
+            ctx.record_artifact(str(tmp_path / "x.txt"), producer="p")
+        ctx.counter("n").inc(3)
+        paths = ctx.write_manifest(str(tmp_path))
+        for p in paths.values():
+            assert os.path.exists(p)
+        assert load_events(paths["events"]) == ctx.events
+        summary = json.load(open(paths["summary"]))
+        assert summary["run_id"] == "r"
+        assert summary["metrics"] == {"n": 3}
+        assert summary["n_artifacts"] == 1
+        assert [s["name"] for s in summary["spans"]] == ["work"]
+        prov = json.load(open(paths["provenance"]))
+        assert prov["version"] == 1
+        assert [a["path"] for a in prov["artifacts"]] == ["x.txt"]

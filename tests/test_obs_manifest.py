@@ -1,0 +1,136 @@
+"""Manifest-level tests: event-ordering determinism across worker
+counts, and the provenance manifest checked against a golden file."""
+
+import json
+import os
+
+from repro.flow import FlowEngine
+from repro.obs import RunContext, load_events
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "provenance_golden.json")
+
+#: lifecycle attrs that are logically determined by the DAG (timing
+#: attrs like start_s/end_s/wall_s legitimately vary run to run)
+_LOGICAL_ATTRS = ("status", "attempts", "reason", "ok", "tasks")
+
+
+def _logical(events):
+    """The run's logical event set: kind/name plus deterministic attrs,
+    order-insensitive (physical interleaving differs across worker
+    counts; the *set* of lifecycle facts must not)."""
+    keep = []
+    for e in events:
+        if e.kind.startswith(("task_", "run_")):
+            attrs = tuple(sorted((k, v) for k, v in e.attrs.items()
+                                 if k in _LOGICAL_ATTRS))
+            keep.append((e.kind, e.name, attrs))
+    return sorted(keep)
+
+
+def _diamonds(engine):
+    """Two interleaved diamond DAGs plus one flaky retried task."""
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient")
+        return "ok"
+
+    for side in ("a", "b"):
+        engine.task(f"{side}-src", lambda: None)
+        for i in range(3):
+            engine.task(f"{side}-mid{i}", lambda: None,
+                        after=[f"{side}-src"])
+        engine.task(f"{side}-join", lambda: None,
+                    after=[f"{side}-mid{i}" for i in range(3)])
+    engine.task("flaky", flaky, retries=2)
+
+
+class TestEventDeterminism:
+    def _run(self, workers):
+        ctx = RunContext(run_id=f"w{workers}")
+        eng = FlowEngine(workers=workers, context=ctx)
+        _diamonds(eng)
+        report = eng.run()
+        assert report.ok
+        return ctx
+
+    def test_same_logical_event_set_workers_1_vs_4(self):
+        one = self._run(1)
+        four = self._run(4)
+        assert _logical(one.events) == _logical(four.events)
+
+    def test_per_task_lifecycle_order(self):
+        """Within one task, ready → started → finished in seq order,
+        regardless of physical concurrency."""
+        ctx = self._run(4)
+        seqs = {}
+        for e in ctx.events:
+            if e.kind in ("task_ready", "task_started", "task_finished"):
+                seqs.setdefault(e.name, {})[e.kind] = e.seq
+        for name, s in seqs.items():
+            assert s["task_ready"] < s["task_started"] \
+                < s["task_finished"], name
+
+    def test_retry_visible_in_events(self):
+        ctx = self._run(2)
+        retried = [e for e in ctx.events if e.kind == "task_retried"]
+        assert [e.name for e in retried] == ["flaky"]
+        (fin,) = [e for e in ctx.events
+                  if e.kind == "task_finished" and e.name == "flaky"]
+        assert fin.attrs["attempts"] == 2
+
+
+def _golden_run(workdir):
+    """A fixed mini-pipeline with byte-stable artifacts."""
+    ctx = RunContext(run_id="golden", root=workdir)
+    raw = os.path.join(workdir, "cache", "raw.txt")
+    jobs = os.path.join(workdir, "data", "jobs.csv")
+    steps = os.path.join(workdir, "data", "steps.csv")
+    os.makedirs(os.path.dirname(raw))
+    os.makedirs(os.path.dirname(jobs))
+
+    def obtain():
+        with open(raw, "w", encoding="utf-8") as fh:
+            fh.write("JobID|State|Elapsed\n1|COMPLETED|60\n2|FAILED|5\n")
+        ctx.record_artifact(raw, producer="obtain")
+
+    def curate():
+        with open(jobs, "w", encoding="utf-8") as fh:
+            fh.write("JobID,State,Elapsed\n1,COMPLETED,60\n")
+        with open(steps, "w", encoding="utf-8") as fh:
+            fh.write("StepID,State\n1.0,COMPLETED\n")
+        for out in (jobs, steps):
+            ctx.record_artifact(out, producer="curate", inputs=(raw,))
+
+    eng = FlowEngine(workers=2, context=ctx)
+    eng.task("obtain", obtain, outputs=[raw])
+    eng.task("curate", curate, inputs=[raw], outputs=[jobs, steps])
+    assert eng.run().ok
+    return ctx
+
+
+class TestGoldenManifest:
+    def test_provenance_matches_golden_file(self, tmp_path):
+        """The provenance manifest of a byte-stable run is itself
+        byte-stable: relative paths, content hashes, producers, and
+        lineage must match the checked-in golden file exactly."""
+        ctx = _golden_run(str(tmp_path))
+        paths = ctx.write_manifest(str(tmp_path))
+        got = json.load(open(paths["provenance"]))
+        want = json.load(open(GOLDEN))
+        assert got == want
+
+    def test_events_jsonl_round_trip(self, tmp_path):
+        ctx = _golden_run(str(tmp_path))
+        paths = ctx.write_manifest(str(tmp_path))
+        assert load_events(paths["events"]) == ctx.events
+        # and the logical content is the fixed pipeline's
+        names = {e.name for e in ctx.events
+                 if e.kind == "task_finished"}
+        assert names == {"obtain", "curate"}
+        arts = [e.name for e in ctx.events if e.kind == "artifact"]
+        assert arts == ["cache/raw.txt", "data/jobs.csv",
+                        "data/steps.csv"]
