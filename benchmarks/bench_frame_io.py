@@ -1,0 +1,187 @@
+"""Frame I/O: CSV parse vs binary columnar ``.npf`` reload.
+
+The PR-4 acceptance bar: reading a curated table back through its
+``.npf`` twin must be at least 5x faster than re-parsing the CSV at the
+1M-row scale.  The bench synthesizes a jobs-like table (integer IDs and
+node counts, float waits, string users/states — the exact dtype mix the
+Curate stage emits), writes it as CSV and as the CSV's parse-result
+twin, and times three read paths per size:
+
+``csv``
+    :func:`repro.frame.read_csv` with dtype inference — the historical
+    hot path every chart/advisor stage used to pay.
+``npf``
+    :func:`repro.frame.read_npf` materializing writable arrays.
+``npf-mmap``
+    :func:`repro.frame.read_npf` with ``mmap=True`` — zero-copy numeric
+    columns straight off the page cache.
+
+Write costs are reported too (the twin is written once per curate; reads
+happen once per downstream stage per run).  Minimum-of-N timing:
+scheduling noise only ever adds time.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_frame_io.py          # full
+    PYTHONPATH=src python benchmarks/bench_frame_io.py --quick  # CI smoke
+
+or under pytest (quick shape only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_frame_io.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.tables import TextTable
+from repro.frame import Frame, read_csv, read_npf, write_csv, write_npf
+
+FULL_ROWS = (10_000, 100_000, 1_000_000)
+QUICK_ROWS = (1_000, 10_000)
+
+_STATES = np.array(["COMPLETED", "FAILED", "CANCELLED", "TIMEOUT",
+                    "OUT_OF_MEMORY"], dtype=object)
+
+
+def synth_jobs(rows: int, seed: int = 7) -> Frame:
+    """A curated-jobs-shaped table: the Curate stage's dtype mix."""
+    rng = np.random.default_rng(seed)
+    users = np.array([f"user{i:03d}" for i in range(200)], dtype=object)
+    return Frame({
+        "JobID": np.arange(400_000, 400_000 + rows, dtype=np.int64),
+        "User": users[rng.integers(0, len(users), rows)],
+        "State": _STATES[rng.integers(0, len(_STATES), rows)],
+        "SubmitTime": rng.integers(1_700_000_000, 1_710_000_000, rows),
+        "WaitS": np.round(rng.exponential(900.0, rows), 2),
+        "ElapsedMin": np.round(rng.exponential(40.0, rows), 2),
+        "NNodes": rng.integers(1, 9409, rows),
+        "NCPUs": rng.integers(1, 64, rows) * 8,
+    })
+
+
+@dataclass
+class Measurement:
+    """Best-of-N timings for one table size."""
+
+    rows: int
+    csv_bytes: int
+    npf_bytes: int
+    write_csv_s: float
+    write_npf_s: float
+    read_csv_s: float
+    read_npf_s: float
+    read_mmap_s: float
+
+    @property
+    def read_speedup(self) -> float:
+        return self.read_csv_s / self.read_npf_s
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(rows: int, repeats: int, workdir: str) -> Measurement:
+    frame = synth_jobs(rows)
+    csv_path = os.path.join(workdir, f"jobs-{rows}.csv")
+    npf_path = os.path.join(workdir, f"jobs-{rows}.npf")
+    w_csv = _best(lambda: write_csv(frame, csv_path), repeats)
+    # the twin holds the CSV's parse result, exactly as Curate writes it
+    parsed = read_csv(csv_path)
+    w_npf = _best(lambda: write_npf(parsed, npf_path), repeats)
+    r_csv = _best(lambda: read_csv(csv_path), repeats)
+    r_npf = _best(lambda: read_npf(npf_path), repeats)
+    r_mmap = _best(lambda: read_npf(npf_path, mmap=True), repeats)
+    assert read_npf(npf_path) == parsed
+    return Measurement(
+        rows=rows,
+        csv_bytes=os.path.getsize(csv_path),
+        npf_bytes=os.path.getsize(npf_path),
+        write_csv_s=w_csv, write_npf_s=w_npf,
+        read_csv_s=r_csv, read_npf_s=r_npf, read_mmap_s=r_mmap)
+
+
+def sweep(sizes: tuple[int, ...], repeats: int,
+          workdir: str | None = None) -> list[Measurement]:
+    workdir = workdir or tempfile.mkdtemp(prefix="bench-frame-io-")
+    os.makedirs(workdir, exist_ok=True)
+    return [measure(rows, repeats, workdir) for rows in sizes]
+
+
+def render(results: list[Measurement]) -> str:
+    table = TextTable(
+        ["rows", "csv MB", "npf MB", "read csv", "read npf",
+         "read mmap", "speedup"],
+        title="Frame I/O — CSV parse vs .npf reload (best-of-N)")
+    for m in results:
+        table.add_row([
+            f"{m.rows:,}",
+            f"{m.csv_bytes / 1e6:.1f}",
+            f"{m.npf_bytes / 1e6:.1f}",
+            f"{m.read_csv_s * 1e3:.1f} ms",
+            f"{m.read_npf_s * 1e3:.1f} ms",
+            f"{m.read_mmap_s * 1e3:.1f} ms",
+            f"{m.read_speedup:.1f}x",
+        ])
+    return table.render()
+
+
+def test_frame_io_quick(tmp_path):
+    """Pytest smoke: both formats round-trip and npf reads are not
+    slower than CSV parses even at small scale."""
+    results = sweep(QUICK_ROWS, repeats=2, workdir=str(tmp_path))
+    print()
+    print(render(results))
+    assert all(m.read_speedup > 1.0 for m in results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small tables, fewer repeats (CI smoke)")
+    ap.add_argument("--out", default=None,
+                    help="write bench_frame_io.json results here")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail unless the largest table's npf read is "
+                         "at least this many times faster than CSV")
+    args = ap.parse_args(argv)
+    sizes = QUICK_ROWS if args.quick else FULL_ROWS
+    repeats = 2 if args.quick else 3
+    results = sweep(sizes, repeats)
+    print(render(results))
+    largest = results[-1]
+    print(f"{largest.rows:,} rows: npf reload {largest.read_speedup:.1f}x "
+          f"faster than CSV parse ({largest.read_csv_s * 1e3:.0f} ms -> "
+          f"{largest.read_npf_s * 1e3:.0f} ms)")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "bench_frame_io.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump({"results": [vars(m) for m in results],
+                       "read_speedup_largest":
+                           round(largest.read_speedup, 2)},
+                      fh, indent=2)
+        print(f"results kept in {args.out}/")
+    if args.min_speedup is not None and \
+            largest.read_speedup < args.min_speedup:
+        print(f"FAIL: speedup {largest.read_speedup:.1f}x < required "
+              f"{args.min_speedup:.1f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

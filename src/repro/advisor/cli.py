@@ -1,8 +1,9 @@
 """The ``repro-advisor`` command: policy advice over any trace file.
 
-Accepts a curated jobs CSV (as written by the Curate stage) or an SWF
-trace, runs the analytic battery, and prints the advisor's report — or
-answers one question with ``--ask``.
+Accepts a curated jobs table (CSV or binary ``.npf``, as written by the
+Curate stage) or an SWF trace, runs the analytic battery, and prints
+the advisor's report — or answers one question with ``--ask``.  A CSV
+whose ``.npf`` twin is hash-valid is loaded from the twin.
 """
 
 from __future__ import annotations
@@ -21,7 +22,7 @@ from repro.analytics import (
     wait_times,
     walltime_accuracy,
 )
-from repro.frame import read_csv
+from repro.store import read_table_fast
 
 __all__ = ["main", "build_parser"]
 
@@ -30,7 +31,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-advisor",
         description="scheduling-policy advice from a job trace")
-    p.add_argument("input", help="curated jobs CSV or SWF trace file")
+    p.add_argument("input",
+                   help="curated jobs table (.csv or .npf) or SWF trace")
     p.add_argument("--cpus-per-node", type=int, default=1,
                    help="cores per node for SWF processor counts")
     p.add_argument("--total-nodes", type=int, default=None,
@@ -45,7 +47,7 @@ def _load(path: str, cpus_per_node: int):
     if path.endswith(".swf"):
         from repro.interop import swf_to_frame
         return swf_to_frame(path, cpus_per_node=cpus_per_node)
-    return read_csv(path)
+    return read_table_fast(path)
 
 
 def main(argv: list[str] | None = None) -> int:

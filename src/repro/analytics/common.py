@@ -1,34 +1,46 @@
-"""Shared analytics helpers: loading curated CSVs, time bucketing."""
+"""Shared analytics helpers: loading curated tables, time bucketing.
+
+Loaders accept curated CSVs, their binary ``.npf`` twins, or typed
+:class:`repro.store.Artifact` handles interchangeably; a CSV whose twin
+is hash-valid is served from the twin (no parse, no dtype inference).
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro._util.errors import DataError
-from repro.frame import Frame, concat, read_csv
+from repro.frame import Frame, concat
 from repro.slurm.records import JOB_STATES
+from repro.store import read_table_fast
 
 __all__ = ["load_jobs", "load_steps", "epoch_to_month", "epoch_to_year",
            "filter_states", "iqr_bounds"]
 
 
-def load_jobs(paths: list[str] | str) -> Frame:
-    """Load one or more curated ``*-jobs.csv`` files into a single frame."""
-    if isinstance(paths, str):
-        paths = [paths]
-    if not paths:
-        raise DataError("no job CSVs given")
-    frames = [read_csv(p) for p in paths]
-    return concat(frames)
+def _as_path_list(paths) -> list:
+    if isinstance(paths, (str, os.PathLike)):
+        return [paths]
+    return list(paths)
 
 
-def load_steps(paths: list[str] | str) -> Frame:
-    """Load one or more curated ``*-steps.csv`` files."""
-    if isinstance(paths, str):
-        paths = [paths]
+def load_jobs(paths) -> Frame:
+    """Load one or more curated jobs tables (``.csv`` or ``.npf``, path
+    or artifact handle) into a single frame."""
+    paths = _as_path_list(paths)
     if not paths:
-        raise DataError("no step CSVs given")
-    return concat([read_csv(p) for p in paths])
+        raise DataError("no job tables given")
+    return concat([read_table_fast(p) for p in paths])
+
+
+def load_steps(paths) -> Frame:
+    """Load one or more curated steps tables."""
+    paths = _as_path_list(paths)
+    if not paths:
+        raise DataError("no step tables given")
+    return concat([read_table_fast(p) for p in paths])
 
 
 def epoch_to_month(epochs: np.ndarray) -> np.ndarray:

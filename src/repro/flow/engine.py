@@ -101,8 +101,11 @@ class FlowReport:
         return [r for r in self.results.values() if r.status == "failed"]
 
 
-def _norm(path: str) -> str:
-    return os.path.normpath(path)
+def _norm(path: str | os.PathLike) -> str:
+    # accepts plain strings and typed handles (repro.store.Artifact or
+    # anything os.PathLike); the engine's dataflow inference runs on
+    # the normalized path either way
+    return os.path.normpath(os.fspath(path))
 
 
 class FlowEngine:
@@ -119,6 +122,7 @@ class FlowEngine:
 
     def __init__(self, workers: int = 4, fail_fast: bool = False,
                  context: RunContext | None = None,
+                 store=None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if workers < 1:
             raise WorkflowError("workers must be >= 1")
@@ -127,16 +131,26 @@ class FlowEngine:
         #: observability context; when absent the engine runs on a
         #: private bus whose only subscriber is the trace recorder
         self.context = context
+        #: optional repro.store.ArtifactStore: with one attached,
+        #: cached-task freshness is verified by content hash against
+        #: the store's persisted stamps (mtime ordering alone cannot
+        #: catch a rewritten-in-place input), and completed cached
+        #: tasks are re-stamped
+        self.store = store
         self._sleep = sleep
         self._tasks: dict[str, Task] = {}
 
     # -- construction -----------------------------------------------------------
 
     def task(self, name: str, fn: Callable[[], object], *,
-             inputs: Sequence[str] = (), outputs: Sequence[str] = (),
+             inputs: Sequence[str | os.PathLike] = (),
+             outputs: Sequence[str | os.PathLike] = (),
              after: Sequence[str] = (), retries: int = 0,
              retry_backoff_s: float = 0.0, cache: bool = False) -> Task:
-        """Register a task; returns it for reference."""
+        """Register a task; returns it for reference.
+
+        ``inputs``/``outputs`` accept path strings or artifact handles
+        (any ``os.PathLike``, e.g. :class:`repro.store.Artifact`)."""
         if name in self._tasks:
             raise WorkflowError(f"duplicate task name {name!r}")
         if retries < 0:
@@ -182,6 +196,31 @@ class FlowEngine:
             cycle = nx.find_cycle(g)
             raise WorkflowError(f"dependency cycle: {cycle}")
         return g
+
+    # -- freshness ---------------------------------------------------------------
+
+    def _is_fresh(self, task: Task) -> bool:
+        """Cached-task freshness: content hashes against the store's
+        stamp when one is attached and covers this task; the historical
+        mtime comparison otherwise."""
+        if not task.cache or not task.outputs:
+            return False
+        if self.store is not None:
+            verdict = self.store.task_is_fresh(task.name, task.inputs,
+                                               task.outputs)
+            if verdict is not None:
+                return verdict
+        return task.is_fresh()
+
+    def _stamp(self, task: Task) -> None:
+        """Record the content hashes a just-completed cached task read
+        and wrote, so the next run's freshness check is hash-verified."""
+        if self.store is None or not task.cache or not task.outputs:
+            return
+        try:
+            self.store.record_stamp(task.name, task.inputs, task.outputs)
+        except OSError:
+            pass        # an unstampable task just re-runs next time
 
     # -- execution ----------------------------------------------------------------
 
@@ -230,7 +269,7 @@ class FlowEngine:
 
             def call():
                 t0 = time.perf_counter()
-                if task.is_fresh():
+                if self._is_fresh(task):
                     return ("cached", None, "", t0, time.perf_counter(), 0)
                 bus.emit("task_started", name)
                 last_tb = ""
@@ -239,6 +278,7 @@ class FlowEngine:
                     attempts += 1
                     try:
                         value = task.fn()
+                        self._stamp(task)
                         return ("ok", value, "", t0,
                                 time.perf_counter(), attempts)
                     except Exception:

@@ -9,7 +9,8 @@ hash the key column.
 
 The API is deliberately tiny but complete for the analytics in this
 repository: ``select/filter/sort/head/assign/group_by/join/concat`` plus
-CSV and pipe-separated I/O (:mod:`repro.frame.io`).
+CSV, pipe-separated, and binary columnar ``.npf`` I/O
+(:mod:`repro.frame.io`).
 """
 
 from repro.frame.frame import Frame, GroupBy, concat
@@ -18,6 +19,10 @@ from repro.frame.io import (
     write_csv,
     read_pipe,
     write_pipe,
+    read_npf,
+    write_npf,
+    sniff_npf,
+    read_table,
     sniff_columns,
 )
 
@@ -29,5 +34,9 @@ __all__ = [
     "write_csv",
     "read_pipe",
     "write_pipe",
+    "read_npf",
+    "write_npf",
+    "sniff_npf",
+    "read_table",
     "sniff_columns",
 ]

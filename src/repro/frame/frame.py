@@ -94,8 +94,7 @@ class Frame:
         if self.columns != other.columns or len(self) != len(other):
             return False
         return all(
-            np.array_equal(self._cols[c], other._cols[c], equal_nan=False)
-            or _object_equal(self._cols[c], other._cols[c])
+            _column_equal(self._cols[c], other._cols[c])
             for c in self.columns
         )
 
@@ -334,6 +333,14 @@ class Frame:
         out._cols = out_cols
         out._len = n_match + n_un
         return out
+
+
+def _column_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Column equality with NaN == NaN in float columns (so a frame
+    round-tripped through I/O equals its source)."""
+    if a.dtype.kind == "f" and b.dtype.kind == "f":
+        return np.array_equal(a, b, equal_nan=True)
+    return np.array_equal(a, b) or _object_equal(a, b)
 
 
 def _object_equal(a: np.ndarray, b: np.ndarray) -> bool:

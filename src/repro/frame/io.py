@@ -1,17 +1,40 @@
-"""Frame I/O: CSV and Slurm pipe-separated text.
+"""Frame I/O: CSV, Slurm pipe-separated text, and binary columnar ``.npf``.
 
 The paper's *Curate Data* stage "reformats the dataset from pipe-separated
 text to CSV for compatibility with Python-based analysis libraries"; both
-shapes are supported here.  Readers infer column dtypes by attempting an
-integer parse, then a float parse, then falling back to strings — matching
-what the analytics layer expects from sacct fields.
+text shapes are supported here.  Readers infer column dtypes by attempting
+an integer parse, then a float parse, then falling back to strings —
+matching what the analytics layer expects from sacct fields.
+
+The third format, ``.npf`` ("numpy frame"), is the hot-path companion:
+a binary columnar layout whose numeric columns are raw little-endian
+numpy buffers, 64-byte aligned so readers can map them straight off disk
+(``read_npf(..., mmap=True)``) with no parsing or dtype inference.
+
+``.npf`` on-disk layout (version 1)::
+
+    bytes 0..3    magic  b"NPF1"
+    bytes 4..7    uint32 LE header length H
+    bytes 8..8+H  UTF-8 JSON header
+    ...padding to the next 64-byte boundary...
+    payload       concatenated 64-byte-aligned buffers
+
+The header carries ``nrows``, a free-form ``meta`` dict (the artifact
+store records the source CSV's SHA-256 there), and one entry per column.
+Numeric columns store ``{"dtype", "data": [offset, nbytes]}`` with
+offsets relative to the payload base.  Object columns store three
+buffers: ``tags`` (uint8 per value: 0=None 1=str 2=int 3=float 4=bool),
+``offsets`` (int64, n+1 cumulative byte offsets), and ``data`` (the
+concatenated UTF-8 text of each value).
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 import os
+import struct
 from typing import Sequence
 
 import numpy as np
@@ -19,7 +42,9 @@ import numpy as np
 from repro._util.errors import DataError
 from repro.frame.frame import Frame
 
-__all__ = ["read_csv", "write_csv", "read_pipe", "write_pipe", "sniff_columns"]
+__all__ = ["read_csv", "write_csv", "read_pipe", "write_pipe",
+           "read_npf", "write_npf", "sniff_npf", "read_table",
+           "sniff_columns"]
 
 
 def _infer_column(values: list[str]) -> np.ndarray:
@@ -88,8 +113,11 @@ def write_csv(frame: Frame, path: str | os.PathLike) -> None:
 
 
 def _cell(value) -> str:
-    if isinstance(value, float) and value == int(value) and abs(value) < 2**53:
-        return str(int(value))
+    if isinstance(value, float):
+        if value != value:          # NaN: blank cell, read back as nan
+            return ""
+        if abs(value) < 2**53 and value == int(value):
+            return str(int(value))
     return "" if value is None else str(value)
 
 
@@ -136,8 +164,218 @@ def write_pipe(frame: Frame, path: str | os.PathLike) -> None:
         fh.write(buf.getvalue())
 
 
+_NPF_MAGIC = b"NPF1"
+_NPF_ALIGN = 64
+_TAG_NONE, _TAG_STR, _TAG_INT, _TAG_FLOAT, _TAG_BOOL = 0, 1, 2, 3, 4
+
+
+def _align_up(n: int) -> int:
+    return (n + _NPF_ALIGN - 1) // _NPF_ALIGN * _NPF_ALIGN
+
+
+def _encode_object_column(col: np.ndarray
+                          ) -> tuple[bytes, bytes, bytes]:
+    """(tags, offsets, data) buffers for an object column."""
+    n = len(col)
+    tags = np.zeros(n, dtype=np.uint8)
+    offsets = np.zeros(n + 1, dtype="<i8")
+    chunks: list[bytes] = []
+    total = 0
+    for i, value in enumerate(col):
+        if value is None:
+            tag, raw = _TAG_NONE, b""
+        elif isinstance(value, str):
+            tag, raw = _TAG_STR, value.encode("utf-8")
+        elif isinstance(value, (bool, np.bool_)):
+            tag, raw = _TAG_BOOL, (b"1" if value else b"0")
+        elif isinstance(value, (int, np.integer)):
+            tag, raw = _TAG_INT, str(int(value)).encode("ascii")
+        elif isinstance(value, (float, np.floating)):
+            tag, raw = _TAG_FLOAT, repr(float(value)).encode("ascii")
+        else:
+            raise DataError(
+                f"npf object columns hold None/str/int/float/bool; "
+                f"got {type(value).__name__} at row {i}")
+        tags[i] = tag
+        chunks.append(raw)
+        total += len(raw)
+        offsets[i + 1] = total
+    return tags.tobytes(), offsets.tobytes(), b"".join(chunks)
+
+
+def _decode_object_column(tags: np.ndarray, offsets: np.ndarray,
+                          data: bytes) -> np.ndarray:
+    n = len(tags)
+    if n and (tags == _TAG_STR).all():
+        # all-string columns (User, State, ...) are the overwhelmingly
+        # common case: decode the buffer once and slice the text — for
+        # ASCII, byte offsets and character offsets coincide
+        try:
+            text = data.decode("ascii")
+        except UnicodeDecodeError:
+            pass
+        else:
+            offs = offsets.tolist()
+            out = np.empty(n, dtype=object)
+            out[:] = [text[a:b] for a, b in zip(offs, offs[1:])]
+            return out
+    out = np.empty(len(tags), dtype=object)
+    for i, tag in enumerate(tags):
+        raw = data[offsets[i]:offsets[i + 1]]
+        if tag == _TAG_NONE:
+            out[i] = None
+        elif tag == _TAG_STR:
+            out[i] = raw.decode("utf-8")
+        elif tag == _TAG_INT:
+            out[i] = int(raw)
+        elif tag == _TAG_FLOAT:
+            out[i] = float(raw)
+        elif tag == _TAG_BOOL:
+            out[i] = raw == b"1"
+        else:
+            raise DataError(f"npf: unknown value tag {tag} at row {i}")
+    return out
+
+
+def write_npf(frame: Frame, path: str | os.PathLike,
+              meta: dict | None = None) -> None:
+    """Write a Frame as binary columnar ``.npf``.
+
+    ``meta`` is stored verbatim in the header (must be JSON-encodable);
+    the artifact store uses it to tie a ``.npf`` twin to its source CSV
+    by content hash.
+    """
+    buffers: list[bytes] = []
+    offset = 0
+
+    def add(buf: bytes) -> list[int]:
+        nonlocal offset
+        start = offset
+        buffers.append(buf)
+        pad = _align_up(len(buf)) - len(buf)
+        if pad:
+            buffers.append(b"\0" * pad)
+        offset = start + _align_up(len(buf))
+        return [start, len(buf)]
+
+    columns = []
+    for name in frame.columns:
+        col = frame[name]
+        if col.dtype == object:
+            tags, offs, data = _encode_object_column(col)
+            columns.append({"name": name, "kind": "object",
+                            "tags": add(tags), "offsets": add(offs),
+                            "data": add(data)})
+        else:
+            le = col.astype(col.dtype.newbyteorder("<"), copy=False)
+            columns.append({"name": name, "kind": "numeric",
+                            "dtype": le.dtype.str,
+                            "data": add(le.tobytes())})
+    header = json.dumps({"version": 1, "nrows": len(frame),
+                         "meta": meta or {}, "columns": columns},
+                        separators=(",", ":")).encode("utf-8")
+    base = _align_up(8 + len(header))
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(_NPF_MAGIC)
+        fh.write(struct.pack("<I", len(header)))
+        fh.write(header)
+        fh.write(b"\0" * (base - 8 - len(header)))
+        for buf in buffers:
+            fh.write(buf)
+
+
+def _npf_header(fh) -> tuple[dict, int]:
+    """(header dict, payload base offset) from an open binary file."""
+    head = fh.read(8)
+    if len(head) < 8 or head[:4] != _NPF_MAGIC:
+        raise DataError(f"not an npf file: {getattr(fh, 'name', fh)!r}")
+    hlen = struct.unpack("<I", head[4:8])[0]
+    raw = fh.read(hlen)
+    if len(raw) != hlen:
+        raise DataError("npf: truncated header")
+    header = json.loads(raw.decode("utf-8"))
+    if header.get("version") != 1:
+        raise DataError(f"npf: unsupported version {header.get('version')}")
+    return header, _align_up(8 + hlen)
+
+
+def sniff_npf(path: str | os.PathLike) -> dict:
+    """Return the ``.npf`` header (nrows, meta, column descriptors)
+    without touching the payload."""
+    with open(path, "rb") as fh:
+        header, _ = _npf_header(fh)
+    return header
+
+
+def read_npf(path: str | os.PathLike, mmap: bool = False) -> Frame:
+    """Read an ``.npf`` file into a Frame.
+
+    With ``mmap=True`` numeric columns are zero-copy read-only views
+    over a memory map (cheapest possible reload; fine for analytics,
+    which never mutates columns in place).  The default materializes
+    writable arrays.
+    """
+    with open(path, "rb") as fh:
+        header, base = _npf_header(fh)
+        if mmap:
+            payload: np.ndarray | bytearray = np.memmap(
+                path, dtype=np.uint8, mode="r", offset=base)
+        else:
+            fh.seek(base)
+            payload = bytearray(fh.read())
+
+    n = header["nrows"]
+
+    def arr(span: list[int], dtype) -> np.ndarray:
+        off, nbytes = span
+        dt = np.dtype(dtype)
+        return np.frombuffer(payload, dtype=dt,
+                             count=nbytes // dt.itemsize, offset=off)
+
+    def raw(span: list[int]) -> bytes:
+        off, nbytes = span
+        return bytes(memoryview(payload)[off:off + nbytes])
+
+    cols: dict[str, np.ndarray] = {}
+    for desc in header["columns"]:
+        if desc["kind"] == "numeric":
+            col = arr(desc["data"], desc["dtype"])
+        elif desc["kind"] == "object":
+            col = _decode_object_column(arr(desc["tags"], np.uint8),
+                                        arr(desc["offsets"], "<i8"),
+                                        raw(desc["data"]))
+        else:
+            raise DataError(f"npf: unknown column kind {desc['kind']!r}")
+        if len(col) != n:
+            raise DataError(
+                f"npf: column {desc['name']!r} has {len(col)} rows, "
+                f"header says {n}")
+        cols[desc["name"]] = col
+    frame = Frame(cols)
+    if not cols and n:
+        raise DataError("npf: rows without columns")
+    return frame
+
+
+def read_table(path: str | os.PathLike, infer: bool = True) -> Frame:
+    """Read a tabular artifact, dispatching on its extension:
+    ``.npf`` binary, ``.csv`` text, anything else sacct pipe text."""
+    p = os.fspath(path)
+    ext = os.path.splitext(p)[1].lower()
+    if ext == ".npf":
+        return read_npf(p)
+    if ext == ".csv":
+        return read_csv(p, infer=infer)
+    return read_pipe(p, infer=infer, strict=False)
+
+
 def sniff_columns(path: str | os.PathLike) -> list[str]:
-    """Return the header columns of a CSV or pipe file without loading it."""
+    """Return the header columns of a CSV, pipe, or npf file without
+    loading it."""
+    with open(path, "rb") as bfh:
+        if bfh.read(4) == _NPF_MAGIC:
+            return [c["name"] for c in sniff_npf(path)["columns"]]
     with open(path, encoding="utf-8") as fh:
         first = fh.readline().rstrip("\n")
     if not first:

@@ -10,24 +10,18 @@ not an opinion.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import threading
 from dataclasses import dataclass
+from typing import Callable
+
+# the ledger shares the artifact store's streaming SHA-256 (and its
+# stat-keyed digest memo) instead of maintaining its own hasher: a file
+# Curate writes, the engine stamps, and the ledger records is read from
+# disk exactly once per run
+from repro.store.hashing import file_sha256, default_hash_cache
 
 __all__ = ["ArtifactRecord", "ProvenanceLedger", "file_sha256"]
-
-
-def file_sha256(path: str, chunk: int = 1 << 20) -> str:
-    """Streaming SHA-256 of a file's content (mtime-independent)."""
-    h = hashlib.sha256()
-    with open(path, "rb") as fh:
-        while True:
-            block = fh.read(chunk)
-            if not block:
-                break
-            h.update(block)
-    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -53,10 +47,14 @@ class ProvenanceLedger:
     the ledger keeps the final state of the run).
     """
 
-    def __init__(self, root: str | None = None) -> None:
+    def __init__(self, root: str | None = None,
+                 hasher: Callable[[str], str] | None = None) -> None:
         self.root = os.path.abspath(root) if root else None
         self._lock = threading.Lock()
         self._records: dict[str, ArtifactRecord] = {}
+        #: content-hash function; defaults to the process-wide memoized
+        #: store hasher (repro.store.hashing.default_hash_cache)
+        self._hash = hasher or default_hash_cache().sha256
 
     # -- paths -----------------------------------------------------------------
 
@@ -77,7 +75,7 @@ class ProvenanceLedger:
         """Fingerprint ``path`` and store its record."""
         rec = ArtifactRecord(
             path=self._rel(path),
-            sha256=file_sha256(path),
+            sha256=self._hash(path),
             bytes=os.path.getsize(path),
             producer=producer,
             inputs=tuple(self._rel(p) for p in inputs))

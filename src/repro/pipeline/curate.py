@@ -10,6 +10,13 @@ minutes for readability)".
 Output is two typed CSVs per input: one with job rows, one with step
 rows.  All Slurm text quirks are resolved here; downstream analytics see
 plain integers/floats/strings.
+
+Each CSV also gets a binary columnar ``.npf`` twin holding the *parsed*
+shape of the CSV (written from a re-read, so ``read_npf(twin) ==
+read_csv(csv)`` exactly).  The twin's header records the CSV's SHA-256;
+:func:`repro.store.read_table_fast` serves the twin while that hash
+still matches, which is what lets every downstream chart skip CSV
+parsing and dtype inference on the hot path.
 """
 
 from __future__ import annotations
@@ -18,8 +25,9 @@ import os
 from dataclasses import dataclass
 
 from repro._util.errors import DataError
-from repro.frame import Frame, write_csv
+from repro.frame import Frame, read_csv, write_csv, write_npf
 from repro.slurm.parse import is_step_jobid, record_from_row
+from repro.store import Artifact, default_hash_cache
 
 __all__ = ["CurateStage", "CurateReport", "JOB_CSV_COLUMNS",
            "STEP_CSV_COLUMNS"]
@@ -68,9 +76,13 @@ class CurateStage:
         #: source pipe file as their declared input
         self.obs = obs
 
-    def run(self, pipe_path: str, tag: str | None = None
-            ) -> tuple[str, str, CurateReport]:
-        """Curate ``pipe_path``; returns (jobs_csv, steps_csv, report)."""
+    def run(self, pipe_path: str | os.PathLike, tag: str | None = None
+            ) -> tuple[Artifact, Artifact, CurateReport]:
+        """Curate ``pipe_path``; returns (jobs, steps, report).
+
+        The first two elements are typed CSV :class:`Artifact` handles
+        (``os.PathLike`` — existing path consumers are unaffected);
+        their ``.npf`` twins land next to them."""
         tag = tag or os.path.splitext(os.path.basename(pipe_path))[0]
         report = CurateReport()
         with open(pipe_path, encoding="utf-8") as fh:
@@ -96,17 +108,38 @@ class CurateStage:
             else:
                 job_rows.append(self._job_row(typed))
                 report.job_rows += 1
-        jobs_csv = os.path.join(self.out_dir, f"{tag}-jobs.csv")
-        steps_csv = os.path.join(self.out_dir, f"{tag}-steps.csv")
+        jobs = Artifact(name=f"{tag}-jobs", fmt="csv",
+                        path=os.path.join(self.out_dir, f"{tag}-jobs.csv"),
+                        schema=tuple(JOB_CSV_COLUMNS))
+        steps = Artifact(name=f"{tag}-steps", fmt="csv",
+                         path=os.path.join(self.out_dir,
+                                           f"{tag}-steps.csv"),
+                         schema=tuple(STEP_CSV_COLUMNS))
         write_csv(Frame.from_records(job_rows, columns=JOB_CSV_COLUMNS),
-                  jobs_csv)
+                  jobs.path)
         write_csv(Frame.from_records(step_rows, columns=STEP_CSV_COLUMNS),
-                  steps_csv)
-        if self.obs is not None:
-            for out in (jobs_csv, steps_csv):
-                self.obs.record_artifact(out, producer=f"curate:{tag}",
+                  steps.path)
+        for art in (jobs, steps):
+            self._write_twin(art)
+            if self.obs is not None:
+                self.obs.record_artifact(art.path, producer=f"curate:{tag}",
                                          inputs=(pipe_path,))
-        return jobs_csv, steps_csv, report
+                self.obs.record_artifact(art.with_fmt("npf").path,
+                                         producer=f"curate:{tag}",
+                                         inputs=(art.path,))
+        return jobs, steps, report
+
+    @staticmethod
+    def _write_twin(csv_art: Artifact) -> None:
+        """The CSV's ``.npf`` twin: the *parse result* of the CSV (one
+        re-read here buys zero parses everywhere downstream), tied to
+        the exact CSV bytes by content hash."""
+        twin = csv_art.with_fmt("npf")
+        write_npf(read_csv(csv_art.path), twin.path,
+                  meta={"source": os.path.basename(csv_art.path),
+                        "source_sha256":
+                            default_hash_cache().sha256(csv_art.path),
+                        "infer": True})
 
     @staticmethod
     def _job_row(typed: dict) -> dict:

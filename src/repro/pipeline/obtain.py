@@ -26,6 +26,7 @@ from repro._util.errors import ConfigError
 from repro._util.timefmt import iter_months, month_bounds
 from repro.slurm.db import AccountingDB
 from repro.slurm.emit import DEFAULT_MALFORMED_RATE
+from repro.store import Artifact
 
 __all__ = ["ObtainConfig", "ObtainStage", "ObtainReport", "window_seed"]
 
@@ -76,9 +77,12 @@ class ObtainConfig:
 
 @dataclass
 class ObtainReport:
-    """What an Obtain run did."""
+    """What an Obtain run did.
 
-    files: list[str] = field(default_factory=list)
+    ``files`` holds typed :class:`~repro.store.Artifact` handles
+    (``os.PathLike``, so existing path consumers keep working)."""
+
+    files: list[Artifact] = field(default_factory=list)
     fetched: list[str] = field(default_factory=list)   # window names pulled
     cached: list[str] = field(default_factory=list)    # served from cache
     rows: int = 0
@@ -96,9 +100,14 @@ class ObtainStage:
         #: a content fingerprint
         self.obs = obs
 
+    def _window_artifact(self, name: str) -> Artifact:
+        return Artifact(name=f"{self.db.cluster}-{name}", fmt="pipe",
+                        path=os.path.join(
+                            self.config.cache_dir,
+                            f"{self.db.cluster}-{name}.txt"))
+
     def _window_path(self, name: str) -> str:
-        return os.path.join(self.config.cache_dir,
-                            f"{self.db.cluster}-{name}.txt")
+        return self._window_artifact(name).path
 
     def _fetch(self, name: str, months: list[str]) -> tuple[str, int]:
         start, _ = month_bounds(months[0])
@@ -116,11 +125,11 @@ class ObtainStage:
         report = ObtainReport()
         todo: list[tuple[str, list[str]]] = []
         for name, months in self.config.windows():
-            path = self._window_path(name)
-            if self.config.use_cache and os.path.exists(path):
+            art = self._window_artifact(name)
+            if self.config.use_cache and art.exists():
                 report.cached.append(name)
-                report.files.append(path)
-                self._record_provenance(name, path, cached=True)
+                report.files.append(art)
+                self._record_provenance(name, art.path, cached=True)
             else:
                 todo.append((name, months))
         if todo:
@@ -134,10 +143,10 @@ class ObtainStage:
             for name, _ in todo:   # keep window order deterministic
                 path, rows = results[name]
                 report.fetched.append(name)
-                report.files.append(path)
+                report.files.append(self._window_artifact(name))
                 report.rows += rows
                 self._record_provenance(name, path, cached=False)
-        report.files.sort()
+        report.files.sort(key=os.fspath)
         return report
 
     def _record_provenance(self, name: str, path: str,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import bisect
 import os
+import threading
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -37,6 +38,9 @@ class AccountingDB:
         self._jobs: list[JobRecord] = []
         self._submits: list[int] = []
         self._sorted = True
+        # the Obtain stage queries one shared DB from a worker pool;
+        # the lazy sort must not run under a concurrent bisect
+        self._sort_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -50,12 +54,13 @@ class AccountingDB:
             self.add(job)
 
     def _ensure_sorted(self) -> None:
-        if not self._sorted:
-            self._jobs.sort(key=lambda j: (j.submit, j.jobid))
-            self._submits = [j.submit for j in self._jobs]
-            self._sorted = True
-        elif len(self._submits) != len(self._jobs):
-            self._submits = [j.submit for j in self._jobs]
+        with self._sort_lock:
+            if not self._sorted:
+                self._jobs.sort(key=lambda j: (j.submit, j.jobid))
+                self._submits = [j.submit for j in self._jobs]
+                self._sorted = True
+            elif len(self._submits) != len(self._jobs):
+                self._submits = [j.submit for j in self._jobs]
 
     @property
     def jobs(self) -> list[JobRecord]:

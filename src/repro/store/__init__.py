@@ -1,0 +1,33 @@
+"""Typed, content-addressed workflow artifacts.
+
+The paper's Swift/T composition infers its dataflow graph from *file
+references*; this package makes those references first-class.  An
+:class:`Artifact` is a typed handle (logical name, format, schema hint)
+that still walks and quacks like a path (``os.PathLike``), and an
+:class:`ArtifactStore` owns the run root's layout, the in-run frame
+memo, ``.npf``-twin format negotiation, and the hash-based freshness
+stamps the flow engine uses for task caching.  The streaming SHA-256 in
+:mod:`repro.store.hashing` is the one implementation the provenance
+ledger shares.
+"""
+
+from repro.store.artifact import Artifact, FORMATS
+from repro.store.hashing import HashCache, default_hash_cache, file_sha256
+from repro.store.store import (
+    LAYOUT,
+    ArtifactStore,
+    read_table_fast,
+    resolve_table_path,
+)
+
+__all__ = [
+    "Artifact",
+    "FORMATS",
+    "LAYOUT",
+    "ArtifactStore",
+    "HashCache",
+    "default_hash_cache",
+    "file_sha256",
+    "read_table_fast",
+    "resolve_table_path",
+]

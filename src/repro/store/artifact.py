@@ -1,0 +1,71 @@
+"""The typed artifact handle.
+
+An :class:`Artifact` is what the workflow layers pass around instead of
+bare path strings: a logical name, a resolved location, a declared
+format, and an optional schema hint.  It implements ``os.PathLike`` so
+every existing consumer of paths — ``open``, ``os.path.*``, the flow
+engine's dataflow inference — accepts a handle unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = ["Artifact", "FORMATS"]
+
+#: known formats and their canonical file extension
+FORMATS = {
+    "pipe": ".txt",       # sacct -P interchange text
+    "csv": ".csv",        # curated interchange tables
+    "npf": ".npf",        # binary columnar Frame (hot-path reloads)
+    "html": ".html",
+    "png": ".png",
+    "md": ".md",
+    "json": ".json",
+}
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One logical workflow artifact.
+
+    ``schema`` is a column-name hint for tabular formats (``csv`` /
+    ``npf``); presentation formats leave it ``None``.
+    """
+
+    name: str                            # logical name ("2024-03-jobs")
+    path: str                            # resolved on-disk location
+    fmt: str                             # key of FORMATS
+    schema: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.fmt not in FORMATS:
+            raise ValueError(f"unknown artifact format {self.fmt!r}; "
+                             f"have {sorted(FORMATS)}")
+
+    def __fspath__(self) -> str:
+        return self.path
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def with_fmt(self, fmt: str) -> "Artifact":
+        """The sibling artifact in another format (same directory and
+        stem, the new format's extension) — e.g. a CSV's ``.npf`` twin."""
+        stem, _ = os.path.splitext(self.path)
+        return replace(self, fmt=fmt, path=stem + FORMATS[fmt],
+                       schema=self.schema)
+
+    @classmethod
+    def at(cls, path: str | os.PathLike, fmt: str | None = None,
+           name: str | None = None,
+           schema: tuple[str, ...] | None = None) -> "Artifact":
+        """Wrap an existing path; format inferred from the extension
+        when not given (unknown extensions become ``pipe`` text)."""
+        p = os.fspath(path)
+        if fmt is None:
+            ext = os.path.splitext(p)[1].lower()
+            fmt = next((k for k, v in FORMATS.items() if v == ext), "pipe")
+        stem = os.path.splitext(os.path.basename(p))[0]
+        return cls(name=name or stem, path=p, fmt=fmt, schema=schema)

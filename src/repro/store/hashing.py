@@ -1,0 +1,67 @@
+"""Content hashing shared by the artifact store and the provenance ledger.
+
+One streaming SHA-256 implementation serves every layer that needs a
+content fingerprint: the store's freshness stamps, the ``.npf`` twin
+validation, and :mod:`repro.obs.provenance`.  A :class:`HashCache`
+memoizes digests by ``(size, mtime_ns)`` so a file the pipeline touches
+several times per run — written by Curate, stamped by the engine,
+recorded by the ledger — is read from disk exactly once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+
+__all__ = ["file_sha256", "HashCache", "default_hash_cache"]
+
+
+def file_sha256(path: str | os.PathLike, chunk: int = 1 << 20) -> str:
+    """Streaming SHA-256 of a file's content (mtime-independent)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+class HashCache:
+    """Thread-safe digest memo keyed by the file's stat identity.
+
+    The cache key is ``(st_size, st_mtime_ns)``: any rewrite that
+    changes either re-hashes; an unchanged file costs one ``stat``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cache: dict[str, tuple[tuple[int, int], str]] = {}
+
+    def sha256(self, path: str | os.PathLike) -> str:
+        ap = os.path.abspath(os.fspath(path))
+        st = os.stat(ap)
+        key = (st.st_size, st.st_mtime_ns)
+        with self._lock:
+            hit = self._cache.get(ap)
+        if hit is not None and hit[0] == key:
+            return hit[1]
+        digest = file_sha256(ap)
+        with self._lock:
+            self._cache[ap] = (key, digest)
+        return digest
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+
+#: process-wide cache: the ledger, the store, and the transparent
+#: ``.npf``-twin reader all share one digest memo
+_DEFAULT = HashCache()
+
+
+def default_hash_cache() -> HashCache:
+    return _DEFAULT

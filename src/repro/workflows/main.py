@@ -1,16 +1,22 @@
-"""The end-to-end scheduling-analysis workflow."""
+"""The end-to-end scheduling-analysis workflow.
+
+Every file the workflow touches is a typed :class:`repro.store.Artifact`
+handed out by the run's :class:`repro.store.ArtifactStore`: stage wiring
+in :meth:`SchedulingAnalysisWorkflow.build_engine` declares artifact
+handles (not path strings), curated tables are loaded through the
+store's in-run memo (each month parses at most once per run, shared
+across every plot/advisor stage), and cached tasks are hash-stamped so
+re-runs skip on content, not just mtime ordering.
+"""
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro._util.errors import ConfigError, WorkflowError
-from repro._util.timefmt import iter_months
 from repro.advisor import PolicyAdvisor
 from repro.analytics import (
-    load_jobs,
-    load_steps,
     nodes_vs_elapsed,
     occupancy_timeline,
     states_per_user,
@@ -32,13 +38,21 @@ from repro.charts.figures import (
 from repro.charts.spec import ChartSpec
 from repro.dashboard import DashboardBuilder, write_trace_page
 from repro.flow import FlowEngine, FlowReport
+from repro.frame import Frame, concat
 from repro.llm import LLMClient
 from repro.obs import RunContext
-from repro.pipeline import CurateStage, ObtainConfig, ObtainStage
+from repro.pipeline import (
+    JOB_CSV_COLUMNS,
+    STEP_CSV_COLUMNS,
+    CurateStage,
+    ObtainConfig,
+    ObtainStage,
+)
 from repro.raster import html_to_png, save_primitives
 from repro.sched import SimConfig, simulate_month
 from repro.slurm.db import AccountingDB
 from repro.slurm.emit import DEFAULT_MALFORMED_RATE
+from repro.store import Artifact, ArtifactStore
 
 __all__ = ["WorkflowConfig", "WorkflowResult", "SchedulingAnalysisWorkflow"]
 
@@ -111,17 +125,47 @@ class SchedulingAnalysisWorkflow:
         #: through it, and run() serializes it as the run manifest
         self.obs = RunContext(root=config.workdir)
         self.result.run_context = self.obs
+        #: the run's artifact store: workdir layout, the in-run frame
+        #: memo, .npf-twin negotiation, and hash freshness stamps
+        self.store = ArtifactStore(config.workdir, obs=self.obs)
         self._specs: dict[str, ChartSpec] = {}
         self._db = config.db
         self._lock = __import__("threading").Lock()
 
-    # -- paths -----------------------------------------------------------------
+    # -- artifact handles ------------------------------------------------------
 
-    def _path(self, *parts: str) -> str:
-        return os.path.join(self.config.workdir, *parts)
+    def _pipe(self, month: str) -> Artifact:
+        """The month's raw sacct pull (``cache/<system>-<month>.txt``)."""
+        return self.store.declare(f"{self.config.system}-{month}", "pipe")
 
-    def _cache_dir(self) -> str:
-        return self._path("cache")
+    def _jobs(self, month: str) -> Artifact:
+        return self.store.declare(f"{month}-jobs", "csv",
+                                  schema=JOB_CSV_COLUMNS)
+
+    def _steps(self, month: str) -> Artifact:
+        return self.store.declare(f"{month}-steps", "csv",
+                                  schema=STEP_CSV_COLUMNS)
+
+    def _chart(self, key: str) -> Artifact:
+        return self.store.declare(key, "html")
+
+    def _png_art(self, key: str) -> Artifact:
+        return self.store.declare(key, "png")
+
+    def _report_md(self, name: str) -> Artifact:
+        return self.store.declare(name, "md")
+
+    # -- curated-table loading (store memo: one parse per month per run) -------
+
+    def _month_jobs(self, month: str) -> Frame:
+        return self.store.load_frame(self._jobs(month))
+
+    def _all_jobs(self) -> Frame:
+        return concat([self._month_jobs(m) for m in self.config.months])
+
+    def _all_steps(self) -> Frame:
+        return concat([self.store.load_frame(self._steps(m))
+                       for m in self.config.months])
 
     # -- stage bodies -------------------------------------------------------------
 
@@ -149,29 +193,23 @@ class SchedulingAnalysisWorkflow:
         return self._db
 
     def _obtain(self, month: str) -> None:
-        cfg = ObtainConfig(month, month, cache_dir=self._cache_dir(),
+        cfg = ObtainConfig(month, month,
+                           cache_dir=self.store.dir_for("pipe"),
                            use_cache=self.config.use_cache,
                            malformed_rate=self.config.malformed_rate,
-                           seed=self.config.seed, workers=1)
+                           seed=self.config.seed,
+                           workers=self.config.workers)
         ObtainStage(self._ensure_db(), cfg, obs=self.obs).run()
 
     def _curate(self, month: str) -> None:
-        stage = CurateStage(self._path("data"), obs=self.obs)
-        pipe = os.path.join(self._cache_dir(),
-                            f"{self.config.system}-{month}.txt")
-        _, _, report = stage.run(pipe, tag=month)
+        stage = CurateStage(self.store.dir_for("csv"), obs=self.obs)
+        _, _, report = stage.run(self._pipe(month), tag=month)
         with self._lock:
             self.result.curate_malformed += report.malformed
             self.result.curate_rows += report.input_rows
 
-    def _jobs_csv(self, month: str) -> str:
-        return self._path("data", f"{month}-jobs.csv")
-
-    def _steps_csv(self, month: str) -> str:
-        return self._path("data", f"{month}-steps.csv")
-
     def _plot(self, month: str, kind: str) -> None:
-        jobs = load_jobs(self._jobs_csv(month))
+        jobs = self._month_jobs(month)
         system = self.config.system
         if kind == "waits":
             spec = fig4_wait_times_chart(wait_times(jobs), system)
@@ -184,26 +222,28 @@ class SchedulingAnalysisWorkflow:
                                                system)
         else:
             raise ConfigError(f"unknown plot kind {kind!r}")
-        spec.title += f" — {month}"
-        spec.chart_id = f"{kind}-{month}"
-        html_path = self._path("charts", f"{month}-{kind}.html")
-        write_html(spec, html_path)
-        save_primitives(spec, html_path)
+        # a fresh spec per month: the figure builders may memoize, so
+        # the shared instance is never mutated in place
+        spec = replace(spec, title=f"{spec.title} — {month}",
+                       chart_id=f"{kind}-{month}")
+        html = self._chart(f"{month}-{kind}")
+        write_html(spec, html.path)
+        save_primitives(spec, html.path)
         self._specs[f"{month}-{kind}"] = spec
-        self.result.chart_html[f"{month}-{kind}"] = html_path
+        self.result.chart_html[f"{month}-{kind}"] = html.path
 
     def _plot_volume(self) -> None:
-        jobs = load_jobs([self._jobs_csv(m) for m in self.config.months])
-        steps = load_steps([self._steps_csv(m) for m in self.config.months])
+        jobs = self._all_jobs()
+        steps = self._all_steps()
         self.result.n_jobs = len(jobs)
         self.result.n_steps = len(steps)
         spec = fig1_volume_chart(volume_by_year(jobs, steps),
                                  self.config.system)
-        html_path = self._path("charts", "volume.html")
-        write_html(spec, html_path)
-        save_primitives(spec, html_path)
+        html = self._chart("volume")
+        write_html(spec, html.path)
+        save_primitives(spec, html.path)
         self._specs["volume"] = spec
-        self.result.chart_html["volume"] = html_path
+        self.result.chart_html["volume"] = html.path
 
     def _total_nodes(self, jobs) -> int:
         try:
@@ -212,19 +252,18 @@ class SchedulingAnalysisWorkflow:
             return int(jobs["NNodes"].max()) if len(jobs) else 1
 
     def _plot_occupancy(self) -> None:
-        jobs = load_jobs([self._jobs_csv(m) for m in self.config.months])
+        jobs = self._all_jobs()
         occ = occupancy_timeline(jobs, self._total_nodes(jobs))
         spec = occupancy_chart(occ, self.config.system)
-        html_path = self._path("charts", "occupancy.html")
-        write_html(spec, html_path)
-        save_primitives(spec, html_path)
+        html = self._chart("occupancy")
+        write_html(spec, html.path)
+        save_primitives(spec, html.path)
         self._specs["occupancy"] = spec
-        self.result.chart_html["occupancy"] = html_path
+        self.result.chart_html["occupancy"] = html.path
 
     def _html2png(self, key: str) -> None:
         html_path = self.result.chart_html[key]
-        png = html_to_png(html_path,
-                          self._path("png", f"{key}.png"))
+        png = html_to_png(html_path, self._png_art(key).path)
         self.result.chart_png[key] = png
 
     def _insight(self, key: str) -> None:
@@ -232,7 +271,7 @@ class SchedulingAnalysisWorkflow:
                            context=self.obs)
         resp = client.insight(self.result.chart_png[key])
         self.result.insights[key] = resp.text
-        out = self._path("llm", f"insight-{key}.md")
+        out = self._report_md(f"insight-{key}").path
         os.makedirs(os.path.dirname(out), exist_ok=True)
         with open(out, "w", encoding="utf-8") as fh:
             fh.write(f"# LLM insight — {key}\n\n{resp.text}\n")
@@ -244,7 +283,7 @@ class SchedulingAnalysisWorkflow:
                               self.result.chart_png[key_b])
         name = f"{key_a}-vs-{key_b}"
         self.result.compares[name] = resp.text
-        out = self._path("llm", f"compare-{name}.md")
+        out = self._report_md(f"compare-{name}").path
         os.makedirs(os.path.dirname(out), exist_ok=True)
         with open(out, "w", encoding="utf-8") as fh:
             fh.write(f"# LLM compare — {name}\n\n{resp.text}\n")
@@ -252,7 +291,7 @@ class SchedulingAnalysisWorkflow:
     def _aggregate_llm_reports(self) -> None:
         """Write the two aggregate markdown files the paper publishes:
         single-file (insight) and double-file (compare) analyses."""
-        single = self._path("llm", "llm_single_file_analysis.md")
+        single = self._report_md("llm_single_file_analysis").path
         os.makedirs(os.path.dirname(single), exist_ok=True)
         with open(single, "w", encoding="utf-8") as fh:
             fh.write("# Single-file LLM analyses\n\n")
@@ -261,7 +300,7 @@ class SchedulingAnalysisWorkflow:
                      f"charts.\n\n")
             for key in sorted(self.result.insights):
                 fh.write(f"## {key}\n\n{self.result.insights[key]}\n\n")
-        double = self._path("llm", "llm_double_file_analysis.md")
+        double = self._report_md("llm_double_file_analysis").path
         with open(double, "w", encoding="utf-8") as fh:
             fh.write("# Double-file LLM analyses\n\n")
             for name in sorted(self.result.compares):
@@ -269,7 +308,7 @@ class SchedulingAnalysisWorkflow:
 
     def _advise(self) -> None:
         """The policy-advisor stage (future-work extension)."""
-        jobs = load_jobs([self._jobs_csv(m) for m in self.config.months])
+        jobs = self._all_jobs()
         try:
             total_nodes = get_system(self.config.system).total_nodes
         except Exception:
@@ -282,7 +321,7 @@ class SchedulingAnalysisWorkflow:
             util=utilization(jobs, total_nodes=total_nodes),
         )
         self.result.advisor_report = advisor.report()
-        out = self._path("llm", "policy-advisor.md")
+        out = self._report_md("policy-advisor").path
         os.makedirs(os.path.dirname(out), exist_ok=True)
         with open(out, "w", encoding="utf-8") as fh:
             fh.write("# Policy advisor report\n\n"
@@ -309,54 +348,52 @@ class SchedulingAnalysisWorkflow:
             builder.add_text_section("Policy advisor",
                                      self.result.advisor_report)
         self.result.dashboard_path = builder.write(
-            self._path("dashboard", "index.html"))
+            self.store.declare("index", "html", subdir="dashboard").path)
 
     # -- composition (the linear task list of Section 3.3) -------------------------
 
     def build_engine(self) -> FlowEngine:
         cfg = self.config
-        eng = FlowEngine(workers=cfg.workers, context=self.obs)
-        cache = self._cache_dir()
+        eng = FlowEngine(workers=cfg.workers, context=self.obs,
+                         store=self.store)
         for month in cfg.months:
-            pipe = os.path.join(cache, f"{cfg.system}-{month}.txt")
-            jobs_csv = self._jobs_csv(month)
-            steps_csv = self._steps_csv(month)
+            pipe = self._pipe(month)
+            jobs, steps = self._jobs(month), self._steps(month)
             eng.task(f"obtain-{month}",
                      lambda m=month: self._obtain(m),
                      outputs=[pipe])
-            # curate is skipped on re-runs when its CSVs are newer than
-            # the cached sacct pull (incremental monthly updates)
+            # curate is skipped on re-runs when the hash stamp proves
+            # its tables still match the cached sacct pull's content
+            # (incremental monthly updates)
             eng.task(f"curate-{month}",
                      lambda m=month: self._curate(m),
-                     inputs=[pipe], outputs=[jobs_csv, steps_csv],
+                     inputs=[pipe],
+                     outputs=[jobs, steps, jobs.with_fmt("npf"),
+                              steps.with_fmt("npf")],
                      cache=cfg.use_cache)
             for kind in _PLOT_KINDS:
-                html = self._path("charts", f"{month}-{kind}.html")
                 eng.task(f"plot-{kind}-{month}",
                          lambda m=month, k=kind: self._plot(m, k),
-                         inputs=[jobs_csv], outputs=[html])
-        all_jobs = [self._jobs_csv(m) for m in cfg.months]
-        all_steps = [self._steps_csv(m) for m in cfg.months]
-        vol_html = self._path("charts", "volume.html")
+                         inputs=[jobs],
+                         outputs=[self._chart(f"{month}-{kind}")])
+        all_jobs = [self._jobs(m) for m in cfg.months]
+        all_steps = [self._steps(m) for m in cfg.months]
         eng.task("plot-volume", self._plot_volume,
-                 inputs=all_jobs + all_steps, outputs=[vol_html])
-        occ_html = self._path("charts", "occupancy.html")
+                 inputs=all_jobs + all_steps,
+                 outputs=[self._chart("volume")])
         eng.task("plot-occupancy", self._plot_occupancy,
-                 inputs=all_jobs, outputs=[occ_html])
+                 inputs=all_jobs, outputs=[self._chart("occupancy")])
 
         keys = ["volume", "occupancy"] + \
             [f"{m}-{k}" for m in cfg.months for k in _PLOT_KINDS]
-        overall_html = {"volume": vol_html, "occupancy": occ_html}
-        dash_inputs: list[str] = []
+        dash_inputs: list[Artifact] = []
         if cfg.enable_ai:
             for key in keys:
-                html = overall_html.get(
-                    key, self._path("charts", f"{key}.html"))
-                png = self._path("png", f"{key}.png")
-                md = self._path("llm", f"insight-{key}.md")
+                png = self._png_art(key)
+                md = self._report_md(f"insight-{key}")
                 eng.task(f"html2png-{key}",
                          lambda k=key: self._html2png(k),
-                         inputs=[html], outputs=[png])
+                         inputs=[self._chart(key)], outputs=[png])
                 eng.task(f"insight-{key}",
                          lambda k=key: self._insight(k),
                          inputs=[png], outputs=[md])
@@ -367,25 +404,22 @@ class SchedulingAnalysisWorkflow:
             compare_outs = []
             for a, b in zip(months, months[1:]):
                 ka, kb = f"{a}-waits", f"{b}-waits"
-                out = self._path("llm", f"compare-{ka}-vs-{kb}.md")
+                out = self._report_md(f"compare-{ka}-vs-{kb}")
                 compare_outs.append(out)
                 eng.task(f"compare-{a}-{b}",
                          lambda x=ka, y=kb: self._compare(x, y),
-                         inputs=[self._path("png", f"{ka}.png"),
-                                 self._path("png", f"{kb}.png")],
+                         inputs=[self._png_art(ka), self._png_art(kb)],
                          outputs=[out])
             # the paper's published aggregate markdown artifacts
             eng.task("llm-reports", self._aggregate_llm_reports,
                      inputs=dash_inputs + compare_outs,
                      outputs=[
-                         self._path("llm", "llm_single_file_analysis.md"),
-                         self._path("llm", "llm_double_file_analysis.md"),
+                         self._report_md("llm_single_file_analysis"),
+                         self._report_md("llm_double_file_analysis"),
                      ])
         else:
-            dash_inputs = [
-                overall_html.get(key, self._path("charts", f"{key}.html"))
-                for key in keys]
-        advisor_md = self._path("llm", "policy-advisor.md")
+            dash_inputs = [self._chart(key) for key in keys]
+        advisor_md = self._report_md("policy-advisor")
         eng.task("advisor", self._advise, inputs=all_jobs,
                  outputs=[advisor_md])
         eng.task("dashboard", self._dashboard,
@@ -423,7 +457,8 @@ class SchedulingAnalysisWorkflow:
         self._register_outputs(engine)
         self.result.manifest = self.obs.write_manifest(self.config.workdir)
         self.result.trace_page = write_trace_page(
-            self.obs, self._path("dashboard", "trace.html"))
+            self.obs, self.store.declare("trace", "html",
+                                         subdir="dashboard").path)
         bad = report.failed()
         if bad:
             raise WorkflowError(
