@@ -1,0 +1,224 @@
+"""repro.serve hot paths: cached vs uncached artifact and chart GETs.
+
+The service layer's performance story is its two caches: the
+content-hash memo (ETag computation without re-reading bytes) and the
+hash-keyed LRU holding rendered bodies (chart SVG/PNG pixels, tabular
+JSON conversions).  The bench runs one quick workflow, serves its
+workdir through :class:`repro.serve.ServeApp`, and times four GET
+endpoints two ways per request:
+
+``uncached``
+    :meth:`ServeApp.clear_caches` before every dispatch — each request
+    pays the full file read + hash + render/convert cost.
+``cached``
+    caches warmed once, then steady-state dispatches — ETag memo hit
+    plus LRU body reuse.
+
+Reported per endpoint: requests/sec plus p50/p99 latency for both
+modes.  The acceptance gate (``--min-speedup``, default 5) compares
+cached vs uncached p50 on the tabular-JSON artifact endpoint.  A
+socket round-trip measurement over a live ephemeral-port server is
+included so the numbers cover the real transport, not just dispatch.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # CI smoke
+
+or under pytest (quick shape only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from http.client import HTTPConnection
+
+from repro._util.tables import TextTable
+from repro.serve import Request, ServeApp, ServeServer
+from repro.workflows import SchedulingAnalysisWorkflow, WorkflowConfig
+
+#: (label, path, query) — the serve layer's cacheable GET surface
+ENDPOINTS = [
+    ("artifact raw csv", "/api/artifacts/2024-01-jobs", {}),
+    ("artifact json", "/api/artifacts/2024-01-jobs", {"format": "json"}),
+    ("chart svg", "/api/charts/volume.svg", {}),
+    ("chart png", "/api/charts/volume.png", {}),
+]
+
+QUICK_N = 20
+FULL_N = 100
+
+
+@dataclass
+class Measurement:
+    """Latency distribution for one endpoint in one cache mode."""
+
+    label: str
+    mode: str
+    n: int
+    p50_s: float
+    p99_s: float
+    rps: float
+
+
+def build_workdir(root: str, rate_scale: float = 0.05) -> str:
+    """One quick testsys month: the workdir every endpoint serves."""
+    workdir = os.path.join(root, "served")
+    cfg = WorkflowConfig(system="testsys", months=("2024-01",),
+                         workdir=workdir, workers=2, seed=11,
+                         rate_scale=rate_scale)
+    SchedulingAnalysisWorkflow(cfg).run()
+    return workdir
+
+
+def _percentile(sorted_s: list[float], frac: float) -> float:
+    idx = min(len(sorted_s) - 1, int(frac * len(sorted_s)))
+    return sorted_s[idx]
+
+
+def _measure(label: str, mode: str, n: int, dispatch_once) -> Measurement:
+    laps = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        status = dispatch_once()
+        laps.append(time.perf_counter() - t0)
+        assert status == 200, f"{label}: HTTP {status}"
+    laps.sort()
+    total = sum(laps)
+    return Measurement(label=label, mode=mode, n=n,
+                       p50_s=_percentile(laps, 0.50),
+                       p99_s=_percentile(laps, 0.99),
+                       rps=n / total if total else float("inf"))
+
+
+def measure_dispatch(app: ServeApp, n: int) -> list[Measurement]:
+    """Cached vs uncached timings through ``ServeApp.dispatch``."""
+    results = []
+    for label, path, query in ENDPOINTS:
+        request = Request(method="GET", path=path, query=query)
+
+        def once() -> int:
+            return app.dispatch(request).status
+
+        def once_cold() -> int:
+            app.clear_caches()
+            return app.dispatch(request).status
+
+        results.append(_measure(label, "uncached", n, once_cold))
+        once()                          # warm the LRU + hash memo
+        results.append(_measure(label, "cached", n, once))
+    return results
+
+
+def measure_socket(app: ServeApp, n: int) -> list[Measurement]:
+    """Steady-state (cached) round-trips over a real ephemeral port."""
+    server = ServeServer(app, port=0).start()
+    host, port = server.address
+    results = []
+    try:
+        for label, path, query in ENDPOINTS:
+            target = path
+            if query:
+                pairs = "&".join(f"{k}={v}" for k, v in query.items())
+                target = f"{path}?{pairs}"
+
+            def once() -> int:
+                conn = HTTPConnection(host, port, timeout=30)
+                try:
+                    conn.request("GET", target)
+                    resp = conn.getresponse()
+                    resp.read()
+                    return resp.status
+                finally:
+                    conn.close()
+
+            once()                      # warm caches + page cache
+            results.append(_measure(label, "socket", n, once))
+    finally:
+        server.close(graceful=True)
+    return results
+
+
+def render(results: list[Measurement]) -> str:
+    table = TextTable(
+        ["endpoint", "mode", "n", "p50", "p99", "req/s"],
+        title="repro.serve — cached vs uncached GETs (per-request)")
+    for m in results:
+        table.add_row([m.label, m.mode, m.n,
+                       f"{m.p50_s * 1e3:.2f} ms",
+                       f"{m.p99_s * 1e3:.2f} ms",
+                       f"{m.rps:,.0f}"])
+    return table.render()
+
+
+def gate_speedup(results: list[Measurement],
+                 label: str = "artifact json") -> float:
+    by_mode = {m.mode: m for m in results if m.label == label}
+    return by_mode["uncached"].p50_s / by_mode["cached"].p50_s
+
+
+def test_serve_bench_quick(tmp_path):
+    """Pytest smoke: caching must win on every endpoint at any scale."""
+    workdir = build_workdir(str(tmp_path), rate_scale=0.03)
+    app = ServeApp([workdir], job_workers=1, job_capacity=2)
+    try:
+        results = measure_dispatch(app, n=10)
+    finally:
+        app.close()
+    print()
+    print(render(results))
+    for label, _, _ in ENDPOINTS:
+        modes = {m.mode: m for m in results if m.label == label}
+        assert modes["cached"].p50_s < modes["uncached"].p50_s, label
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer requests, lighter workload (CI smoke)")
+    ap.add_argument("--out", default=None,
+                    help="write bench_serve.json results here")
+    ap.add_argument("--min-speedup", type=float, default=5.0,
+                    help="fail unless cached artifact-JSON GETs are at "
+                         "least this many times faster than uncached")
+    args = ap.parse_args(argv)
+    n = QUICK_N if args.quick else FULL_N
+    rate = 0.03 if args.quick else 0.1
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as root:
+        workdir = build_workdir(root, rate_scale=rate)
+        app = ServeApp([workdir], job_workers=1, job_capacity=2)
+        try:
+            results = measure_dispatch(app, n)
+            results += measure_socket(app, max(10, n // 2))
+        finally:
+            app.close()
+
+    print(render(results))
+    speedup = gate_speedup(results)
+    print(f"artifact-JSON GET: cached {speedup:.1f}x faster than "
+          f"uncached (p50)")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "bench_serve.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump({"results": [vars(m) for m in results],
+                       "artifact_json_speedup": round(speedup, 2)},
+                      fh, indent=2)
+        print(f"results kept in {args.out}/")
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x < required "
+              f"{args.min_speedup:.1f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ LLM path ships alongside the pixels.
 
 from __future__ import annotations
 
+import html as html_mod
 import json
 import os
 
@@ -96,13 +97,20 @@ double-click to reset</div>
 
 
 def to_html(spec: ChartSpec) -> str:
-    """Render a chart spec to a self-contained interactive HTML page."""
+    """Render a chart spec to a self-contained interactive HTML page.
+
+    Titles and labels are data-derived (user names, reason strings land
+    in them), so everything interpolated into markup is escaped, and
+    the embedded calibration JSON is hardened against a literal
+    ``</script>`` inside a label ending the block early.
+    """
+    calibration = json.dumps(spec.calibration()).replace("</", "<\\/")
     return _PAGE.format(
-        title=spec.title,
+        title=html_mod.escape(spec.title),
         width=spec.width,
         height=spec.height,
         svg=to_svg(spec),
-        calibration=json.dumps(spec.calibration()),
+        calibration=calibration,
     )
 
 

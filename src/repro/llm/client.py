@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -67,6 +69,11 @@ class _LogEntry:
     ok: bool
 
 
+#: request-log retention: old entries roll off so a long-lived server
+#: issuing insight jobs forever cannot grow the client without bound
+LOG_CAP = 256
+
+
 @dataclass
 class LLMClient:
     """Backend-agnostic client with retries and a request log.
@@ -75,12 +82,17 @@ class LLMClient:
     every completion runs under an ``llm:<backend>`` timing span, emits
     one ``llm_call`` event, and accumulates the run-level token/latency
     counters that land in the manifest's ``summary.json``.
+
+    Safe under concurrent :meth:`complete` calls: the request log is a
+    lock-guarded bounded deque (the backends themselves must be
+    thread-safe or stateless, as the offline analyst is).
     """
 
     backend: str = "chart-analyst"
     max_retries: int = 2
     backoff_s: float = 0.05
-    log: list[_LogEntry] = field(default_factory=list)
+    log: deque[_LogEntry] = field(
+        default_factory=lambda: deque(maxlen=LOG_CAP))
     context: object | None = None
 
     def __post_init__(self) -> None:
@@ -90,6 +102,9 @@ class LLMClient:
                 f"unknown LLM backend {self.backend!r}; "
                 f"registered: {sorted(_BACKENDS)}")
         self._impl = factory()
+        if not isinstance(self.log, deque):   # caller passed a list
+            self.log = deque(self.log, maxlen=LOG_CAP)
+        self._log_lock = threading.Lock()
 
     # -- core call --------------------------------------------------------------
 
@@ -127,8 +142,10 @@ class LLMClient:
                 time.sleep(self.backoff_s * attempt)
                 continue
             latency = time.perf_counter() - t0
-            self.log.append(_LogEntry(prompt[:60], len(images),
-                                      self._impl.model_name, latency, True))
+            with self._log_lock:
+                self.log.append(_LogEntry(prompt[:60], len(images),
+                                          self._impl.model_name, latency,
+                                          True))
             return LLMResponse(
                 text=text,
                 model=self._impl.model_name,
@@ -137,8 +154,9 @@ class LLMClient:
                 completion_tokens=_approx_tokens(text),
                 attempts=attempt,
             )
-        self.log.append(_LogEntry(prompt[:60], len(images),
-                                  self._impl.model_name, 0.0, False))
+        with self._log_lock:
+            self.log.append(_LogEntry(prompt[:60], len(images),
+                                      self._impl.model_name, 0.0, False))
         raise WorkflowError(
             f"LLM backend failed after {self.max_retries + 1} attempts: "
             f"{last_err}")

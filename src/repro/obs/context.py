@@ -17,6 +17,7 @@ import json
 import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
@@ -58,15 +59,21 @@ class RunContext:
     """Observability state for one workflow invocation."""
 
     def __init__(self, run_id: str | None = None, root: str | None = None,
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 max_history: int | None = None) -> None:
         if run_id is None:
             run_id = f"run-{os.getpid():x}-{time.time_ns():x}"
         self.run_id = run_id
         self.bus = EventBus(clock=clock)
         self.metrics = MetricRegistry()
         self.ledger = ProvenanceLedger(root=root)
-        self.events: list[Event] = []
-        self.spans: list[SpanRecord] = []
+        #: ``max_history`` bounds the recorded event/span history (a
+        #: long-lived server would otherwise grow without limit; batch
+        #: runs keep the default unbounded full record)
+        self.events: deque[Event] | list[Event] = \
+            deque(maxlen=max_history) if max_history else []
+        self.spans: deque[SpanRecord] | list[SpanRecord] = \
+            deque(maxlen=max_history) if max_history else []
         self._span_stack = threading.local()
         self._lock = threading.Lock()
         self.bus.subscribe(self._record)

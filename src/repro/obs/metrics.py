@@ -83,3 +83,13 @@ class MetricRegistry:
             pairs = [(c.name, c.value) for c in self._counters.values()]
             pairs += [(g.name, g.value) for g in self._gauges.values()]
         return dict(sorted(pairs))
+
+    def typed_snapshot(self) -> dict[str, tuple[str, float]]:
+        """``name -> (kind, value)`` with kind ``counter``/``gauge``,
+        sorted by name (what a Prometheus-style exporter needs)."""
+        with self._lock:
+            pairs = [(c.name, ("counter", c.value))
+                     for c in self._counters.values()]
+            pairs += [(g.name, ("gauge", g.value))
+                      for g in self._gauges.values()]
+        return dict(sorted(pairs))

@@ -1,0 +1,53 @@
+"""``repro.serve`` — a concurrent HTTP service layer over finished runs.
+
+The batch workflow ends with a workdir full of typed artifacts: curated
+tables, charts with primitives sidecars, LLM reports, a provenance
+ledger, and a run manifest.  This package turns one or more of those
+workdirs into a long-lived daemon: a stdlib-only threaded HTTP server
+(no frameworks) with
+
+- a JSON API over runs, manifests, events, and provenance (including
+  lineage traversal),
+- artifact downloads with content negotiation and content-hash ETags
+  (conditional GET returns 304),
+- on-demand SVG/PNG chart rendering behind a hash-keyed in-memory LRU,
+- a bounded background job queue with a worker pool for expensive work
+  (LLM insight analysis, policy-lab simulations) with explicit
+  backpressure (queue-full → 429 + ``Retry-After``),
+- Prometheus-style ``/metrics`` text export of the run context's
+  :class:`~repro.obs.metrics.MetricRegistry`, and
+- the dashboard and trace pages served live.
+
+Start it with ``repro-serve --workdir out/`` or
+``python -m repro.serve --workdir out/``.
+"""
+
+from repro.serve.cache import LRUCache
+from repro.serve.jobs import Job, JobQueue, QueueDraining, QueueFull
+from repro.serve.router import (
+    MethodNotAllowed,
+    NotFound,
+    Router,
+    ServeError,
+)
+from repro.serve.runs import RunDir, RunRegistry
+from repro.serve.api import Request, Response, ServeApp
+from repro.serve.server import ServeServer
+
+__all__ = [
+    "LRUCache",
+    "Job",
+    "JobQueue",
+    "QueueDraining",
+    "QueueFull",
+    "MethodNotAllowed",
+    "NotFound",
+    "Router",
+    "ServeError",
+    "RunDir",
+    "RunRegistry",
+    "Request",
+    "Response",
+    "ServeApp",
+    "ServeServer",
+]

@@ -1,0 +1,548 @@
+"""The service application: routes, handlers, and response building.
+
+:class:`ServeApp` is transport-free — it maps a :class:`Request` to a
+:class:`Response` through the router, with no socket in sight, which is
+what makes the endpoint suite testable without binding ports.  The HTTP
+layer (:mod:`repro.serve.server`) is a thin adapter on top.
+
+Read paths (artifacts, charts, pages) are conditional-GET aware: every
+response body is addressed by the underlying file's content hash (the
+same streaming SHA-256 the provenance ledger uses), served as a strong
+ETag, and short-circuited to ``304 Not Modified`` when the client already
+holds it.  Expensive work goes through the bounded background job
+queue; the two ``POST`` endpoints return ``202`` plus a polling URL.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro._util.errors import ConfigError, DataError, ReproError
+from repro._util.timefmt import month_bounds
+from repro.obs import RunContext
+from repro.serve.cache import LRUCache
+from repro.serve.jobs import JobQueue, QueueDraining, QueueFull
+from repro.serve.router import NotFound, Router, ServeError
+from repro.serve.runs import RunDir, RunRegistry
+from repro.store.hashing import default_hash_cache
+from repro.store.store import read_table_fast, resolve_table_path
+
+__all__ = ["Request", "Response", "ServeApp"]
+
+_CTYPES = {
+    ".csv": "text/csv; charset=utf-8",
+    ".npf": "application/x-npf",
+    ".txt": "text/plain; charset=utf-8",
+    ".html": "text/html; charset=utf-8",
+    ".png": "image/png",
+    ".md": "text/markdown; charset=utf-8",
+    ".json": "application/json",
+    ".jsonl": "application/jsonl",
+    ".svg": "image/svg+xml",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, transport-free."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """Status, body, and headers, ready for any transport."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def _sanitize(value):
+    """JSON-safe deep copy: numpy scalars unwrap, NaN/inf become null."""
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        value = value.item()            # numpy scalar
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def json_response(payload, status: int = 200,
+                  headers: dict[str, str] | None = None) -> Response:
+    body = json.dumps(_sanitize(payload), sort_keys=True).encode("utf-8")
+    return Response(status=status, body=body,
+                    content_type="application/json",
+                    headers=dict(headers or {}))
+
+
+def error_response(status: int, message: str,
+                   headers: dict[str, str] | None = None) -> Response:
+    return json_response({"error": {"status": status, "message": message}},
+                         status=status, headers=headers)
+
+
+def _call_with_timeout(fn, timeout_s: float | None):
+    """Run ``fn`` with a hard wall-clock bound (504 on expiry).
+
+    The worker thread is daemonic: a stuck handler cannot block
+    shutdown, it is simply abandoned after its response slot expired.
+    """
+    if not timeout_s:
+        return fn()
+    box: dict[str, object] = {}
+
+    def run() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:    # re-raised on the request thread
+            box["error"] = exc
+
+    t = threading.Thread(target=run, daemon=True, name="serve-handler")
+    t.start()
+    t.join(timeout_s)
+    if t.is_alive():
+        raise ServeError(504, f"request exceeded {timeout_s:g}s")
+    if "error" in box:
+        raise box["error"]              # type: ignore[misc]
+    return box["value"]
+
+
+class ServeApp:
+    """Everything the server does, minus the sockets."""
+
+    def __init__(self, workdirs, *, obs: RunContext | None = None,
+                 llm_backend: str = "chart-analyst",
+                 cache_entries: int = 128,
+                 cache_bytes: int = 64 * 1024 * 1024,
+                 job_workers: int = 2, job_capacity: int = 8,
+                 request_timeout_s: float | None = 30.0,
+                 max_body_bytes: int = 1 << 20,
+                 retry_after_s: int = 1) -> None:
+        self.registry = RunRegistry(workdirs)
+        #: bounded history: a long-lived server must not accumulate an
+        #: unbounded event/span record the way a batch run may
+        self.obs = obs or RunContext(max_history=2048)
+        self.hashes = default_hash_cache()
+        self.cache = LRUCache(cache_entries, cache_bytes, obs=self.obs)
+        self.jobs = JobQueue(workers=job_workers, capacity=job_capacity,
+                             obs=self.obs)
+        self.llm_backend = llm_backend
+        self.request_timeout_s = request_timeout_s
+        self.max_body_bytes = max_body_bytes
+        self.retry_after_s = retry_after_s
+        self.started_s = time.time()
+        self.router = self._build_router()
+
+    def _build_router(self) -> Router:
+        r = Router()
+        r.get("/healthz", self._h_healthz)
+        r.get("/metrics", self._h_metrics)
+        r.get("/api/runs", self._h_runs)
+        r.get("/api/runs/<id>/manifest", self._h_run_manifest)
+        r.get("/api/runs/<id>/summary", self._h_run_summary)
+        r.get("/api/runs/<id>/events", self._h_run_events)
+        r.get("/api/runs/<id>/provenance", self._h_run_provenance)
+        r.get("/api/artifacts/<name>", self._h_artifact)
+        r.get("/api/charts", self._h_chart_index)
+        r.get("/api/charts/<file>", self._h_chart)
+        r.get("/api/jobs", self._h_jobs)
+        r.get("/api/jobs/<id>", self._h_job)
+        r.post("/api/insights", self._h_post_insight)
+        r.post("/api/simulate", self._h_post_simulate)
+        r.get("/", self._h_dashboard)
+        r.get("/dashboard", self._h_dashboard)
+        r.get("/trace", self._h_trace)
+        r.get("/charts/<file>", self._h_chart_page)
+        return r
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        """Route and execute one request; never raises."""
+        self.obs.counter("serve.http.requests").inc()
+        try:
+            route, params = self.router.resolve(request.method,
+                                                request.path)
+            if len(request.body) > self.max_body_bytes:
+                raise ServeError(
+                    413, f"body exceeds {self.max_body_bytes} bytes")
+            with self.obs.span(f"http:{route.pattern}",
+                               method=request.method):
+                response = _call_with_timeout(
+                    lambda: route.handler(request, params),
+                    self.request_timeout_s)
+        except ServeError as exc:
+            response = error_response(exc.status, exc.message,
+                                      headers=exc.headers)
+        except ReproError as exc:
+            response = error_response(400, str(exc))
+        except Exception as exc:        # pragma: no cover - defensive
+            self.obs.counter("serve.http.unhandled_errors").inc()
+            response = error_response(
+                500, f"internal error: {type(exc).__name__}: {exc}")
+        self.obs.counter(
+            f"serve.http.status.{response.status // 100}xx").inc()
+        return response
+
+    def close(self, timeout: float | None = 5.0) -> bool:
+        """Graceful drain of the background queue (SIGTERM path)."""
+        return self.jobs.close(timeout)
+
+    def clear_caches(self) -> None:
+        """Drop the response LRU and the hash memo (benchmark cold
+        path; never needed in normal operation)."""
+        self.cache.clear()
+        self.hashes.clear()
+
+    # -- shared helpers ------------------------------------------------------------
+
+    def _run(self, request: Request,
+             run_id: str | None = None) -> RunDir:
+        run = self.registry.get(run_id or request.query.get("run"))
+        if run is None:
+            raise NotFound(f"unknown run "
+                           f"{run_id or request.query.get('run')!r}")
+        return run
+
+    def _conditional(self, request: Request, etag: str,
+                     factory, content_type: str,
+                     cache_key=None) -> Response:
+        """Strong-ETag conditional GET with optional LRU body reuse."""
+        quoted = f'"{etag}"'
+        if quoted in request.header("if-none-match"):
+            self.obs.counter("serve.http.not_modified").inc()
+            return Response(status=304, body=b"",
+                            content_type=content_type,
+                            headers={"ETag": quoted})
+        if cache_key is not None:
+            body, _hit = self.cache.get_or_put(cache_key, factory)
+        else:
+            body = factory()
+        return Response(status=200, body=body, content_type=content_type,
+                        headers={"ETag": quoted})
+
+    def _serve_file(self, request: Request, path: str) -> Response:
+        ext = os.path.splitext(path)[1].lower()
+        ctype = _CTYPES.get(ext, "application/octet-stream")
+        try:
+            sha = self.hashes.sha256(path)
+        except OSError:
+            raise NotFound(f"missing file {os.path.basename(path)!r}") \
+                from None
+
+        def read() -> bytes:
+            with open(path, "rb") as fh:
+                return fh.read()
+
+        return self._conditional(request, sha, read, ctype,
+                                 cache_key=("file", sha))
+
+    # -- service endpoints ---------------------------------------------------------
+
+    def _h_healthz(self, request: Request, params: dict) -> Response:
+        return json_response({
+            "ok": True,
+            "runs": [r.basename for r in self.registry.runs],
+            "uptime_s": round(time.time() - self.started_s, 3),
+        })
+
+    def _h_metrics(self, request: Request, params: dict) -> Response:
+        """Prometheus text exposition of the run context's registry."""
+        lines = []
+        for name, (kind, value) in \
+                self.obs.metrics.typed_snapshot().items():
+            metric = "repro_" + "".join(
+                c if c.isalnum() else "_" for c in name)
+            if kind == "counter":
+                metric += "_total"
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {value:g}")
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+        return Response(body=body,
+                        content_type="text/plain; version=0.0.4; "
+                                     "charset=utf-8")
+
+    # -- run endpoints -------------------------------------------------------------
+
+    def _h_runs(self, request: Request, params: dict) -> Response:
+        return json_response({"runs": self.registry.list_runs()})
+
+    def _h_run_manifest(self, request: Request, params: dict) -> Response:
+        return json_response(self._run(request, params["id"]).manifest())
+
+    def _h_run_summary(self, request: Request, params: dict) -> Response:
+        return json_response(self._run(request, params["id"]).summary())
+
+    def _h_run_events(self, request: Request, params: dict) -> Response:
+        run = self._run(request, params["id"])
+        limit = None
+        if "limit" in request.query:
+            try:
+                limit = max(0, int(request.query["limit"]))
+            except ValueError:
+                raise ServeError(400, "limit must be an integer") \
+                    from None
+        events = run.events(kind=request.query.get("kind"), limit=limit)
+        return json_response({"run_id": run.run_id, "n": len(events),
+                              "events": events})
+
+    def _h_run_provenance(self, request: Request,
+                          params: dict) -> Response:
+        run = self._run(request, params["id"])
+        artifact = request.query.get("artifact")
+        if artifact is None:
+            return json_response(run.provenance())
+        direction = request.query.get("direction", "up")
+        try:
+            return json_response(run.lineage(artifact, direction))
+        except DataError as exc:
+            status = 404 if "no provenance record" in str(exc) else 400
+            raise ServeError(status, str(exc)) from None
+
+    # -- artifact endpoint ---------------------------------------------------------
+
+    def _negotiate(self, request: Request, path: str) -> str:
+        """Target representation: ``csv``/``npf``/``json``/``raw``."""
+        fmt = request.query.get("format")
+        if fmt is not None:
+            if fmt not in ("csv", "npf", "json", "raw"):
+                raise ServeError(400, f"unknown format {fmt!r}; "
+                                      f"want csv|npf|json|raw")
+            return fmt
+        accept = request.header("accept")
+        tabular = path.endswith((".csv", ".npf"))
+        if tabular and "application/json" in accept:
+            return "json"
+        if tabular and "application/x-npf" in accept:
+            return "npf"
+        if tabular and "text/csv" in accept:
+            return "csv"
+        return "raw"
+
+    def _h_artifact(self, request: Request, params: dict) -> Response:
+        run = self._run(request)
+        path = run.find_artifact(params["name"])
+        if path is None:
+            raise NotFound(f"no artifact {params['name']!r} in run "
+                           f"{run.basename!r}")
+        fmt = self._negotiate(request, path)
+        if fmt == "npf" and path.endswith(".csv"):
+            # only a hash-verified twin may substitute for the CSV
+            twin = resolve_table_path(path, hash_cache=self.hashes)
+            if not twin.endswith(".npf"):
+                raise ServeError(406, "no current .npf twin for "
+                                      f"{params['name']!r}")
+            path = twin
+        elif fmt == "csv" and not path.endswith(".csv"):
+            raise ServeError(406, f"{params['name']!r} has no CSV form")
+        if fmt != "json":
+            return self._serve_file(request, path)
+        if not path.endswith((".csv", ".npf")):
+            raise ServeError(406, f"{params['name']!r} is not tabular; "
+                                  "only csv/npf convert to json")
+        sha = self.hashes.sha256(path)
+
+        def to_json() -> bytes:
+            frame = read_table_fast(path, hash_cache=self.hashes)
+            payload = {"name": params["name"], "n_rows": len(frame),
+                       "columns": frame.to_dict()}
+            return json.dumps(_sanitize(payload),
+                              sort_keys=True).encode("utf-8")
+
+        return self._conditional(request, sha + "-json", to_json,
+                                 "application/json",
+                                 cache_key=("artifact-json", sha))
+
+    # -- chart endpoints -----------------------------------------------------------
+
+    def _h_chart_index(self, request: Request, params: dict) -> Response:
+        run = self._run(request)
+        return json_response({"run_id": run.run_id,
+                              "charts": run.chart_keys()})
+
+    def _render_chart(self, sidecar: str, ext: str) -> bytes:
+        from repro.charts.render import Primitive
+        from repro.charts.svg import primitives_to_svg
+        with open(sidecar, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        prims = [Primitive(**raw) for raw in payload["primitives"]]
+        width = int(payload["width"])
+        height = int(payload["height"])
+        self.obs.counter("serve.charts.rendered").inc()
+        if ext == "svg":
+            return primitives_to_svg(prims, width, height).encode("utf-8")
+        from repro.raster.draw import Canvas
+        from repro.raster.png import encode_png
+        canvas = Canvas(width, height)
+        for prim in prims:
+            canvas.draw(prim)
+        return encode_png(canvas.to_uint8())
+
+    def _h_chart(self, request: Request, params: dict) -> Response:
+        run = self._run(request)
+        key, dot, ext = params["file"].rpartition(".")
+        if not dot or ext not in ("svg", "png"):
+            raise NotFound("chart endpoint serves <key>.svg or "
+                           "<key>.png")
+        sidecar = run.chart_sidecar(key)
+        if sidecar is None:
+            raise NotFound(f"no renderable chart {key!r} in run "
+                           f"{run.basename!r}")
+        sha = self.hashes.sha256(sidecar)
+        ctype = _CTYPES[f".{ext}"]
+        return self._conditional(
+            request, f"{sha}-{ext}",
+            lambda: self._render_chart(sidecar, ext), ctype,
+            cache_key=("chart", sha, ext))
+
+    def _h_chart_page(self, request: Request, params: dict) -> Response:
+        run = self._run(request)
+        name = params["file"]
+        if not name.endswith(".html"):
+            name += ".html"
+        path = run.find_artifact(f"charts/{name}")
+        if path is None:
+            raise NotFound(f"no chart page {params['file']!r}")
+        return self._serve_file(request, path)
+
+    # -- live pages ----------------------------------------------------------------
+
+    def _h_dashboard(self, request: Request, params: dict) -> Response:
+        run = self._run(request)
+        path = run.find_artifact("dashboard/index.html")
+        if path is None:
+            # no dashboard yet: a minimal index so `/` always answers
+            return json_response({
+                "service": "repro.serve",
+                "runs": [r.basename for r in self.registry.runs],
+                "api": sorted({f"{r.method} {r.pattern}"
+                               for r in self.router.routes}),
+            })
+        return self._serve_file(request, path)
+
+    def _h_trace(self, request: Request, params: dict) -> Response:
+        run = self._run(request)
+        path = run.find_artifact("dashboard/trace.html")
+        if path is None:
+            raise NotFound(f"run {run.basename!r} has no trace page")
+        return self._serve_file(request, path)
+
+    # -- background jobs -----------------------------------------------------------
+
+    def _h_jobs(self, request: Request, params: dict) -> Response:
+        return json_response(
+            {"jobs": [j.to_dict() for j in self.jobs.list_jobs()]})
+
+    def _h_job(self, request: Request, params: dict) -> Response:
+        job = self.jobs.get(params["id"])
+        if job is None:
+            raise NotFound(f"no job {params['id']!r}")
+        return json_response(job.to_dict())
+
+    def _submit(self, kind: str, fn) -> Response:
+        try:
+            job = self.jobs.submit(kind, fn)
+        except QueueFull as exc:
+            raise ServeError(
+                429, str(exc),
+                headers={"Retry-After": str(self.retry_after_s)}) \
+                from None
+        except QueueDraining as exc:
+            raise ServeError(503, str(exc)) from None
+        return json_response({"job": job.to_dict(),
+                              "poll": f"/api/jobs/{job.id}"},
+                             status=202)
+
+    def _json_body(self, request: Request) -> dict:
+        try:
+            payload = json.loads(request.body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError):
+            raise ServeError(400, "body must be JSON") from None
+        if not isinstance(payload, dict):
+            raise ServeError(400, "body must be a JSON object")
+        return payload
+
+    def _h_post_insight(self, request: Request, params: dict) -> Response:
+        payload = self._json_body(request)
+        key = payload.get("chart")
+        if not isinstance(key, str) or not key:
+            raise ServeError(400, 'body needs {"chart": "<key>"}')
+        run = self._run(request, payload.get("run"))
+        if run.chart_sidecar(key) is None:
+            raise NotFound(f"no renderable chart {key!r} in run "
+                           f"{run.basename!r}")
+        backend = self.llm_backend
+
+        def analyze() -> dict:
+            from repro.llm import LLMClient
+            from repro.raster import html_to_png
+            from repro.store.store import LAYOUT
+            png = os.path.join(run.root, LAYOUT["png"], key + ".png")
+            if not os.path.exists(png):
+                html = os.path.join(run.root, LAYOUT["html"],
+                                    key + ".html")
+                html_to_png(html, png)
+            client = LLMClient(backend=backend, context=self.obs)
+            resp = client.insight(png)
+            return {"chart": key, "run": run.run_id,
+                    "model": resp.model, "insight": resp.text}
+
+        return self._submit("insight", analyze)
+
+    def _h_post_simulate(self, request: Request, params: dict) -> Response:
+        payload = self._json_body(request)
+        system = payload.get("system", "testsys")
+        month = payload.get("month", "2024-01")
+        seed = int(payload.get("seed", 0))
+        rate_scale = float(payload.get("rate_scale", 0.05))
+        days = min(31, max(1, int(payload.get("days", 7))))
+        names = payload.get("variants")
+        from repro.cluster import get_system
+        from repro.policylab import PolicySweep, standard_variants
+        try:
+            profile = get_system(system)
+            start, end = month_bounds(month)
+        except (ConfigError, DataError) as exc:
+            raise ServeError(400, str(exc)) from None
+        if not 0 < rate_scale <= 1.0:
+            raise ServeError(400, "rate_scale must be in (0, 1]")
+        variants = standard_variants(seed=seed)
+        if names is not None:
+            known = {v.name: v for v in variants}
+            missing = [n for n in names if n not in known]
+            if missing:
+                raise ServeError(400, f"unknown variants {missing}; "
+                                      f"have {sorted(known)}")
+            variants = [known[n] for n in names]
+
+        def simulate() -> dict:
+            import dataclasses
+            from repro.workload import WorkloadGenerator, workload_for
+            gen = WorkloadGenerator(workload_for(system), seed=seed,
+                                    rate_scale=rate_scale)
+            stream = gen.generate(start, min(end, start + days * 86400))
+            sweep = PolicySweep(profile, stream)
+            outcomes = [sweep.evaluate(v) for v in variants]
+            return {"system": system, "month": month,
+                    "n_requests": len(stream),
+                    "outcomes": [dataclasses.asdict(o)
+                                 for o in outcomes]}
+
+        return self._submit("simulate", simulate)

@@ -1,0 +1,85 @@
+"""A hash-keyed in-memory LRU for rendered response bodies.
+
+Chart rasterization and artifact format conversion are the server's
+expensive read paths; both are pure functions of file *content*, so the
+cache keys on content hashes — a rewritten chart misses naturally, an
+unchanged one hits forever.  Bounded by entry count and total payload
+bytes; thread-safe; hit/miss/eviction counters land on the run
+context's metric registry as ``serve.cache.*``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Least-recently-used mapping of hashable keys to ``bytes``."""
+
+    def __init__(self, max_entries: int = 128,
+                 max_bytes: int = 64 * 1024 * 1024, obs=None) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.obs = obs
+        self._lock = threading.Lock()
+        self._data: OrderedDict[object, bytes] = OrderedDict()
+        self._bytes = 0
+
+    def _count(self, name: str) -> None:
+        if self.obs is not None:
+            self.obs.counter(name).inc()
+
+    def get(self, key) -> bytes | None:
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+        self._count("serve.cache.hits" if value is not None
+                    else "serve.cache.misses")
+        return value
+
+    def put(self, key, value: bytes) -> None:
+        if len(value) > self.max_bytes:
+            return                      # would evict everything else
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._data[key] = value
+            self._bytes += len(value)
+            while (len(self._data) > self.max_entries
+                   or self._bytes > self.max_bytes):
+                _, evicted = self._data.popitem(last=False)
+                self._bytes -= len(evicted)
+                self._count("serve.cache.evictions")
+        if self.obs is not None:
+            self.obs.gauge("serve.cache.entries").set(len(self._data))
+            self.obs.gauge("serve.cache.bytes").set(self._bytes)
+
+    def get_or_put(self, key, factory) -> tuple[bytes, bool]:
+        """``(value, was_hit)``; ``factory()`` runs on a miss.
+
+        Concurrent misses for the same key may both compute — the
+        factory must be pure, so last-write-wins is correct and cheaper
+        than per-key locking for render-sized payloads.
+        """
+        value = self.get(key)
+        if value is not None:
+            return value, True
+        value = factory()
+        self.put(key, value)
+        return value, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

@@ -1,0 +1,108 @@
+"""The ``repro-serve`` command: serve finished workdirs over HTTP.
+
+::
+
+    repro-workflow --workdir out/ --system testsys --dates 2024-01
+    repro-serve --workdir out/ --port 8080
+
+then::
+
+    curl localhost:8080/api/runs
+    curl localhost:8080/api/artifacts/2024-01-jobs -H 'Accept: application/json'
+    curl localhost:8080/api/charts/volume.svg
+    curl localhost:8080/metrics
+
+``SIGTERM``/``SIGINT`` trigger a graceful drain: in-flight requests
+finish, queued background jobs complete, then the process exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro._util.errors import ReproError
+from repro.serve.api import ServeApp
+from repro.serve.server import ServeServer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="HTTP service over repro-workflow output "
+                    "directories")
+    p.add_argument("--workdir", action="append", required=True,
+                   help="a finished workflow workdir to serve "
+                        "(repeatable)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 picks an ephemeral port)")
+    p.add_argument("--job-workers", type=int, default=2,
+                   help="background worker pool size")
+    p.add_argument("--job-capacity", type=int, default=8,
+                   help="bounded job queue depth (full -> 429)")
+    p.add_argument("--cache-entries", type=int, default=128,
+                   help="response LRU entry bound")
+    p.add_argument("--cache-mb", type=int, default=64,
+                   help="response LRU payload bound (MiB)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request handler timeout in seconds "
+                        "(0 disables)")
+    p.add_argument("--max-body-kb", type=int, default=1024,
+                   help="request body limit (KiB; larger -> 413)")
+    p.add_argument("--llm-backend", default="chart-analyst",
+                   help="backend for POST /api/insights jobs")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each request to stderr")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        app = ServeApp(
+            args.workdir,
+            llm_backend=args.llm_backend,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_mb * 1024 * 1024,
+            job_workers=args.job_workers,
+            job_capacity=args.job_capacity,
+            request_timeout_s=args.timeout or None,
+            max_body_bytes=args.max_body_kb * 1024)
+        server = ServeServer(app, host=args.host, port=args.port,
+                             verbose=args.verbose)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    stop = threading.Event()
+
+    def request_shutdown(signum, frame) -> None:   # pragma: no cover
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_shutdown)
+    signal.signal(signal.SIGINT, request_shutdown)
+
+    host, port = server.address
+    runs = ", ".join(r.basename for r in app.registry.runs)
+    print(f"repro-serve: {runs} on http://{host}:{port} "
+          f"(jobs: {args.job_workers} workers, "
+          f"queue {args.job_capacity})")
+    server.start()
+    try:
+        while not stop.wait(timeout=0.2):   # pragma: no cover - signal loop
+            pass
+    finally:
+        print("repro-serve: draining...", file=sys.stderr)
+        clean = server.close(graceful=True)
+        print(f"repro-serve: {'clean' if clean else 'forced'} shutdown",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""The bounded background job queue behind the expensive endpoints.
+
+LLM insight analysis and policy-lab simulations take seconds to
+minutes; running them on a request thread would pin connections and
+invite timeouts.  Instead ``POST`` endpoints enqueue a job and return
+``202`` with a polling URL; a small worker pool drains the queue.  The
+queue is *bounded* and rejection is explicit: a full queue raises
+:class:`QueueFull`, which the HTTP layer maps to ``429`` with a
+``Retry-After`` header — backpressure the client can see, instead of an
+unbounded in-memory backlog.  Job-count metrics land on the run context
+as ``serve.jobs.*`` counters and gauges.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro._util.errors import ReproError
+
+__all__ = ["Job", "JobQueue", "QueueFull", "QueueDraining"]
+
+#: terminal and non-terminal job states
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+class QueueFull(ReproError):
+    """The bounded queue rejected a submission (HTTP 429)."""
+
+
+class QueueDraining(ReproError):
+    """The queue no longer accepts work (server shutting down; 503)."""
+
+
+@dataclass
+class Job:
+    """One unit of background work and its lifecycle record."""
+
+    id: str
+    kind: str
+    status: str = "pending"
+    result: object = None
+    error: str = ""
+    submitted_s: float = field(default_factory=time.time)
+    started_s: float | None = None
+    finished_s: float | None = None
+
+    def to_dict(self) -> dict:
+        out = {"id": self.id, "kind": self.kind, "status": self.status,
+               "submitted_s": round(self.submitted_s, 3)}
+        if self.started_s is not None:
+            out["started_s"] = round(self.started_s, 3)
+        if self.finished_s is not None:
+            out["finished_s"] = round(self.finished_s, 3)
+        if self.status == "done":
+            out["result"] = self.result
+        if self.status == "failed":
+            out["error"] = self.error
+        return out
+
+
+class JobQueue:
+    """A worker pool over a bounded FIFO of callables."""
+
+    def __init__(self, workers: int = 2, capacity: int = 8,
+                 obs=None) -> None:
+        if workers < 1:
+            raise ValueError("job queue needs at least one worker")
+        if capacity < 1:
+            raise ValueError("job queue needs capacity >= 1")
+        self.capacity = capacity
+        self.obs = obs
+        self._queue: queue.Queue = queue.Queue(maxsize=capacity)
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._accepting = True
+        self._active = 0
+        #: submitted-but-not-finished count (covers the window between
+        #: a worker dequeuing a job and marking it running, which
+        #: ``qsize``/``_active`` alone would miss)
+        self._outstanding = 0
+        self._idle = threading.Condition(self._lock)
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"serve-job-worker-{i}")
+            for i in range(workers)]
+        for t in self._threads:
+            t.start()
+
+    # -- metrics -----------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.obs is not None:
+            self.obs.counter(name).inc()
+
+    def _gauges(self) -> None:
+        if self.obs is not None:
+            self.obs.gauge("serve.jobs.queued").set(self._queue.qsize())
+            with self._lock:
+                active = self._active
+            self.obs.gauge("serve.jobs.active").set(active)
+
+    # -- submission / polling ------------------------------------------------------
+
+    def submit(self, kind: str, fn) -> Job:
+        """Enqueue ``fn`` (no-arg callable); returns its :class:`Job`.
+
+        Raises :class:`QueueDraining` after :meth:`drain`, or
+        :class:`QueueFull` when the bounded queue has no room.
+        """
+        with self._lock:
+            if not self._accepting:
+                raise QueueDraining("job queue is draining")
+            self._seq += 1
+            job = Job(id=f"job-{self._seq}", kind=kind)
+            self._jobs[job.id] = job
+        try:
+            self._queue.put_nowait((job, fn))
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.id]
+            self._count("serve.jobs.rejected")
+            raise QueueFull(
+                f"job queue full ({self.capacity} queued)") from None
+        with self._lock:
+            self._outstanding += 1
+        self._count("serve.jobs.submitted")
+        self._gauges()
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    # -- worker loop ---------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:            # shutdown sentinel
+                self._queue.task_done()
+                return
+            job, fn = item
+            with self._lock:
+                self._active += 1
+                job.status = "running"
+                job.started_s = time.time()
+            self._gauges()
+            try:
+                result = fn()
+            except BaseException as exc:
+                with self._lock:
+                    job.status = "failed"
+                    job.error = "".join(traceback.format_exception_only(
+                        type(exc), exc)).strip()
+                    job.finished_s = time.time()
+                self._count("serve.jobs.failed")
+            else:
+                with self._lock:
+                    job.status = "done"
+                    job.result = result
+                    job.finished_s = time.time()
+                self._count("serve.jobs.completed")
+            finally:
+                with self._idle:
+                    self._active -= 1
+                    self._outstanding -= 1
+                    self._idle.notify_all()
+                self._queue.task_done()
+                self._gauges()
+
+    # -- shutdown ------------------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop accepting work and wait for queued + running jobs.
+
+        Returns ``True`` when everything finished within ``timeout``.
+        """
+        with self._lock:
+            self._accepting = False
+        deadline = None if timeout is None else time.time() + timeout
+        with self._idle:
+            while self._outstanding:
+                rem = None if deadline is None else deadline - time.time()
+                if rem is not None and rem <= 0:
+                    return False
+                self._idle.wait(timeout=0.05 if rem is None
+                                else min(0.05, rem))
+        return True
+
+    def close(self, timeout: float | None = 5.0) -> bool:
+        """Drain, then stop the worker threads."""
+        finished = self.drain(timeout)
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout=1.0)
+        return finished

@@ -1,0 +1,103 @@
+"""A small exact-segment router (no framework, no regexes).
+
+Routes are registered as ``(method, pattern)`` pairs where a pattern is
+a ``/``-separated path with ``<name>`` placeholders capturing exactly
+one segment (``/api/runs/<id>/summary``).  Resolution returns the
+handler plus the captured params; misses distinguish *unknown path*
+(404) from *known path, wrong method* (405 with the allowed set), which
+the HTTP layer turns into structured error responses.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import ReproError
+
+__all__ = ["Router", "Route", "ServeError", "NotFound",
+           "MethodNotAllowed"]
+
+
+class ServeError(ReproError):
+    """An HTTP-mappable service failure."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+class NotFound(ServeError):
+    def __init__(self, message: str = "not found") -> None:
+        super().__init__(404, message)
+
+
+class MethodNotAllowed(ServeError):
+    def __init__(self, allowed: list[str]) -> None:
+        super().__init__(405, f"method not allowed; try {sorted(allowed)}",
+                         headers={"Allow": ", ".join(sorted(allowed))})
+        self.allowed = sorted(allowed)
+
+
+class Route:
+    """One compiled pattern."""
+
+    __slots__ = ("method", "pattern", "segments", "handler")
+
+    def __init__(self, method: str, pattern: str, handler) -> None:
+        if not pattern.startswith("/"):
+            raise ValueError(f"pattern must start with /: {pattern!r}")
+        self.method = method.upper()
+        self.pattern = pattern
+        self.segments = pattern.strip("/").split("/") if \
+            pattern.strip("/") else []
+        self.handler = handler
+
+    def match(self, parts: list[str]) -> dict[str, str] | None:
+        if len(parts) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for seg, part in zip(self.segments, parts):
+            if seg.startswith("<") and seg.endswith(">"):
+                if not part:
+                    return None         # empty segment never captures
+                params[seg[1:-1]] = part
+            elif seg != part:
+                return None
+        return params
+
+
+class Router:
+    """Register handlers; resolve ``(method, path)`` to one of them."""
+
+    def __init__(self) -> None:
+        self.routes: list[Route] = []
+
+    def add(self, method: str, pattern: str, handler) -> None:
+        self.routes.append(Route(method, pattern, handler))
+
+    def get(self, pattern: str, handler) -> None:
+        self.add("GET", pattern, handler)
+
+    def post(self, pattern: str, handler) -> None:
+        self.add("POST", pattern, handler)
+
+    def resolve(self, method: str, path: str):
+        """``(route, params)`` for the first matching registration.
+
+        Raises :class:`NotFound` when no pattern matches the path, or
+        :class:`MethodNotAllowed` when patterns match only under other
+        methods.
+        """
+        parts = path.strip("/").split("/") if path.strip("/") else []
+        allowed: set[str] = set()
+        for route in self.routes:
+            params = route.match(parts)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return route, params
+            allowed.add(route.method)
+        if allowed:
+            raise MethodNotAllowed(sorted(allowed))
+        raise NotFound(f"no route for {path!r}")

@@ -1,0 +1,286 @@
+"""Run discovery: the read-side model the service layer exposes.
+
+A :class:`RunDir` wraps one completed workflow workdir (the directory
+``repro-workflow --workdir`` wrote): it knows where the manifest files
+live, reloads them only when their bytes change on disk, resolves
+logical artifact names to files inside the run root (never outside —
+path traversal is rejected), and answers lineage queries over the
+provenance ledger.  A :class:`RunRegistry` maps run ids to run
+directories for a server over several workdirs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro._util.errors import ConfigError, DataError
+from repro.obs.context import (
+    MANIFEST_EVENTS,
+    MANIFEST_PROVENANCE,
+    MANIFEST_SUMMARY,
+)
+from repro.store.artifact import FORMATS
+from repro.store.store import LAYOUT
+
+__all__ = ["RunDir", "RunRegistry"]
+
+#: artifact-name search order: data formats first, then presentation
+_SEARCH_FMTS = ("csv", "npf", "pipe", "html", "png", "md", "json")
+
+
+class _FileCache:
+    """Parse a file at most once per on-disk version (stat-keyed)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, tuple[tuple, object]] = {}
+
+    def load(self, path: str, parser):
+        st = os.stat(path)
+        key = (st.st_size, st.st_mtime_ns)
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is not None and entry[0] == key:
+                return entry[1]
+        value = parser(path)
+        with self._lock:
+            self._entries[path] = (key, value)
+        return value
+
+
+def _parse_json(path: str):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _parse_jsonl(path: str) -> list[dict]:
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+class RunDir:
+    """One completed workflow workdir, addressable over the API."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.path.abspath(os.fspath(root))
+        if not os.path.isdir(self.root):
+            raise ConfigError(f"run workdir {self.root!r} does not exist")
+        self._cache = _FileCache()
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def run_id(self) -> str:
+        """The manifest's run id; the directory basename before a
+        manifest exists."""
+        try:
+            return str(self.summary()["run_id"])
+        except (DataError, KeyError, TypeError):
+            return self.basename
+
+    @property
+    def basename(self) -> str:
+        return os.path.basename(self.root.rstrip(os.sep))
+
+    # -- manifest files ----------------------------------------------------------
+
+    def _manifest_file(self, filename: str, parser):
+        path = os.path.join(self.root, filename)
+        try:
+            return self._cache.load(path, parser)
+        except OSError as exc:
+            raise DataError(
+                f"run {self.basename!r} has no {filename} "
+                f"(not a finished workflow workdir?)") from exc
+
+    def summary(self) -> dict:
+        return self._manifest_file(MANIFEST_SUMMARY, _parse_json)
+
+    def provenance(self) -> dict:
+        return self._manifest_file(MANIFEST_PROVENANCE, _parse_json)
+
+    def events(self, kind: str | None = None,
+               limit: int | None = None) -> list[dict]:
+        events = self._manifest_file(MANIFEST_EVENTS, _parse_jsonl)
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    def manifest(self) -> dict:
+        """What this run exposes: the manifest files plus a summary of
+        the API-addressable content."""
+        files = {}
+        for name in (MANIFEST_EVENTS, MANIFEST_PROVENANCE,
+                     MANIFEST_SUMMARY):
+            path = os.path.join(self.root, name)
+            entry = {"exists": os.path.exists(path)}
+            if entry["exists"]:
+                entry["bytes"] = os.path.getsize(path)
+            files[name] = entry
+        return {
+            "run_id": self.run_id,
+            "workdir": self.basename,
+            "files": files,
+            "n_artifacts": len(self._records()),
+        }
+
+    # -- artifact resolution -------------------------------------------------------
+
+    def _safe_join(self, rel: str) -> str | None:
+        """Resolve a run-relative path; ``None`` when it escapes the
+        run root (``..``, absolute paths, symlink-free normalization)."""
+        if os.path.isabs(rel):
+            return None
+        path = os.path.normpath(os.path.join(self.root, rel))
+        if path == self.root or path.startswith(self.root + os.sep):
+            return path
+        return None
+
+    def find_artifact(self, name: str) -> str | None:
+        """The on-disk file for a logical artifact name.
+
+        Accepts either a bare logical name (``2024-01-jobs``, searched
+        across the store layout with every known extension) or a
+        run-relative path (``data/2024-01-jobs.csv``).  Returns ``None``
+        when nothing matches inside the run root.
+        """
+        if "/" in name or os.sep in name or os.path.splitext(name)[1]:
+            path = self._safe_join(name)
+            if path and os.path.isfile(path):
+                return path
+            return None
+        for fmt in _SEARCH_FMTS:
+            path = os.path.join(self.root, LAYOUT[fmt],
+                                name + FORMATS[fmt])
+            if os.path.isfile(path):
+                return path
+        return None
+
+    def chart_sidecar(self, key: str) -> str | None:
+        """The primitives sidecar for chart ``key`` (what on-demand
+        SVG/PNG rendering consumes)."""
+        if "/" in key or os.sep in key or ".." in key:
+            return None
+        path = os.path.join(self.root, LAYOUT["html"],
+                            key + ".html.prims.json")
+        return path if os.path.isfile(path) else None
+
+    def chart_keys(self) -> list[str]:
+        """Chart keys with a renderable primitives sidecar."""
+        charts_dir = os.path.join(self.root, LAYOUT["html"])
+        try:
+            names = os.listdir(charts_dir)
+        except OSError:
+            return []
+        suffix = ".html.prims.json"
+        return sorted(n[:-len(suffix)] for n in names
+                      if n.endswith(suffix))
+
+    # -- lineage -------------------------------------------------------------------
+
+    def _records(self) -> list[dict]:
+        try:
+            return list(self.provenance().get("artifacts", []))
+        except DataError:
+            return []
+
+    def lineage(self, artifact: str, direction: str = "up") -> dict:
+        """Transitive provenance closure of one artifact path.
+
+        ``up`` walks declared inputs (ancestors: what this file was made
+        from); ``down`` walks consumers (descendants: everything made
+        from it).  Paths are the ledger's run-root-relative form.
+        """
+        if direction not in ("up", "down"):
+            raise DataError(f"lineage direction must be up|down, "
+                            f"got {direction!r}")
+        records = self._records()
+        by_path = {r["path"]: r for r in records}
+        parents: dict[str, list[str]] = {
+            r["path"]: list(r.get("inputs", [])) for r in records}
+        children: dict[str, list[str]] = {}
+        for path, inputs in parents.items():
+            for inp in inputs:
+                children.setdefault(inp, []).append(path)
+        if artifact not in by_path and artifact not in children:
+            raise DataError(f"no provenance record for {artifact!r}")
+        step = parents if direction == "up" else children
+        seen: list[str] = []
+        edges: list[tuple[str, str]] = []
+        frontier = [artifact]
+        visited = {artifact}
+        while frontier:
+            path = frontier.pop(0)
+            seen.append(path)
+            for nxt in step.get(path, []):
+                edge = (nxt, path) if direction == "up" else (path, nxt)
+                edges.append(edge)
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(nxt)
+        return {
+            "artifact": artifact,
+            "direction": direction,
+            "nodes": [
+                by_path.get(p, {"path": p, "external": True})
+                for p in seen],
+            "edges": sorted(set(edges)),
+        }
+
+
+class RunRegistry:
+    """Run id → :class:`RunDir` over one or more served workdirs."""
+
+    def __init__(self, workdirs) -> None:
+        self.runs: list[RunDir] = [RunDir(w) for w in workdirs]
+        if not self.runs:
+            raise ConfigError("serve needs at least one --workdir")
+        seen: dict[str, RunDir] = {}
+        for run in self.runs:
+            if run.basename in seen:
+                raise ConfigError(
+                    f"duplicate workdir basename {run.basename!r}")
+            seen[run.basename] = run
+
+    @property
+    def default(self) -> RunDir:
+        return self.runs[0]
+
+    def get(self, run_id: str | None) -> RunDir | None:
+        """Resolve by manifest run id or workdir basename; ``None`` of
+        an unknown id (the default run when no id is given)."""
+        if run_id is None:
+            return self.default
+        for run in self.runs:
+            if run.basename == run_id:
+                return run
+        for run in self.runs:
+            try:
+                if run.run_id == run_id:
+                    return run
+            except DataError:
+                continue
+        return None
+
+    def list_runs(self) -> list[dict]:
+        out = []
+        for run in self.runs:
+            entry = {"id": run.run_id, "workdir": run.basename}
+            try:
+                summary = run.summary()
+                entry["n_events"] = summary.get("n_events")
+                entry["n_artifacts"] = summary.get("n_artifacts")
+                entry["metrics"] = len(summary.get("metrics", {}))
+            except DataError:
+                entry["incomplete"] = True
+            out.append(entry)
+        return out

@@ -1,0 +1,146 @@
+"""The HTTP transport: ``ThreadingHTTPServer`` over a :class:`ServeApp`.
+
+One connection per thread (stdlib threading server), one
+:class:`~repro.serve.api.Request` per HTTP request, every response
+produced by :meth:`ServeApp.dispatch` — the handler below never builds
+a body itself.  Shutdown is graceful by default: stop accepting
+connections, join in-flight request threads, then drain the background
+job queue so accepted (``202``) work still completes.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.serve.api import Request, Response, ServeApp, error_response
+
+__all__ = ["ServeServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Adapter from the stdlib request callbacks to the app."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+    app: ServeApp = None              # set by ServeServer
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:
+        if getattr(self.server, "verbose", False):   # pragma: no cover
+            super().log_message(fmt, *args)
+
+    def _read_body(self) -> bytes | None:
+        """Request body, or ``None`` after replying 413 to an oversized
+        declared length (read-and-discard keeps the connection sane)."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        if length > self.app.max_body_bytes:
+            self._send(error_response(
+                413, f"body exceeds {self.app.max_body_bytes} bytes"))
+            return None
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _send(self, response: Response) -> None:
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if response.status == 304:
+            # 304 carries no body by definition
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(response.body)
+
+    def _handle(self, method: str) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        split = urlsplit(self.path)
+        request = Request(
+            method=method,
+            path=unquote(split.path),
+            query=dict(parse_qsl(split.query)),
+            headers={k.lower(): v for k, v in self.headers.items()},
+            body=body)
+        try:
+            self._send(self.app.dispatch(request))
+        except (BrokenPipeError, ConnectionResetError):
+            pass                        # client went away mid-response
+
+    # -- verbs -------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_HEAD(self) -> None:
+        self._handle("GET")             # same dispatch, body suppressed
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def do_PUT(self) -> None:
+        self._handle("PUT")             # router answers 405 + Allow
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE")
+
+
+class ServeServer:
+    """Socket lifecycle around one :class:`ServeApp`."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> None:
+        self.app = app
+        handler = type("BoundHandler", (_Handler,), {"app": app})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        #: joinable request threads: server_close() waits for in-flight
+        #: requests instead of cutting their sockets (graceful drain)
+        self.httpd.daemon_threads = False
+        self.httpd.block_on_close = True
+        self.httpd.verbose = verbose
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (or a signal
+        handler calling it) stops the loop."""
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ServeServer":
+        """Serve on a daemon thread (tests, benchmarks, embedding)."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        daemon=True, name="repro-serve")
+        self._thread.start()
+        return self
+
+    def close(self, graceful: bool = True,
+              timeout: float | None = 10.0) -> bool:
+        """Stop accepting, join in-flight requests, drain the job
+        queue.  Returns ``True`` when everything completed in time."""
+        self.httpd.shutdown()           # stops serve_forever
+        self.httpd.server_close()       # joins request threads
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if graceful:
+            return self.app.close(timeout)
+        return self.app.jobs.drain(timeout=0)

@@ -53,6 +53,11 @@ class HashCache:
             self._cache[ap] = (key, digest)
         return digest
 
+    def clear(self) -> None:
+        """Drop every memoized digest (benchmark cold paths)."""
+        with self._lock:
+            self._cache.clear()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._cache)

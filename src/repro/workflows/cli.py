@@ -60,10 +60,35 @@ def _parse_dates(spec: str) -> tuple[str, ...]:
     return tuple(iter_months(start, end))
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _validate(args) -> tuple[str, ...]:
+    """Reject malformed invocations before any work starts.
+
+    A bad ``--dates``/``--workers`` spec is a usage error, not a
+    workflow failure: one line on stderr and exit code 2 (argparse's
+    own convention), never a traceback and never a partially-written
+    workdir.
+    """
+    problems = []
+    months: tuple[str, ...] = ()
     try:
         months = _parse_dates(args.dates)
+    except ReproError as exc:
+        problems.append(f"--dates {args.dates!r}: {exc}")
+    if args.workers < 1:
+        problems.append(f"--workers must be >= 1, got {args.workers}")
+    if args.rate_scale <= 0:
+        problems.append(
+            f"--rate-scale must be > 0, got {args.rate_scale}")
+    if problems:
+        print(f"error: {'; '.join(problems)}", file=sys.stderr)
+        raise SystemExit(2)
+    return months
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    months = _validate(args)
+    try:
         cfg = WorkflowConfig(
             system=args.system, months=months, workdir=args.workdir,
             workers=args.workers, seed=args.seed,

@@ -273,3 +273,52 @@ class TestBackends:
         m = re.search(r'id="calibration">(.*?)</script>', html, re.S)
         cal = json.loads(m.group(1))
         assert cal["x_label"] == "x"
+
+
+class TestHostileStrings:
+    """Data-derived strings (user names, reason codes, task labels) must
+    never break out of markup in any HTML we serve."""
+
+    HOSTILE = '</script><script>alert(1)</script><img src=x onerror=al>'
+
+    def _spec(self, title):
+        return ChartSpec(title=title, x_axis=Axis("x"), y_axis=Axis("y"),
+                         series=[ScatterSeries(self.HOSTILE,
+                                               [1, 2], [3, 4])])
+
+    def test_html_title_escaped(self):
+        html = to_html(self._spec(self.HOSTILE))
+        assert "<title>&lt;/script&gt;" in html
+        assert f"<title>{self.HOSTILE}" not in html
+
+    def test_calibration_block_cannot_terminate_early(self):
+        import re
+        html = to_html(self._spec("t"))
+        m = re.search(r'id="calibration">(.*?)</script>', html,
+                      re.DOTALL)
+        blob = m.group(1)
+        # a literal </script> inside a label must not appear unescaped
+        # in the JSON block (it would end the script element early)
+        assert "</script" not in blob
+        assert "<\\/script" in blob
+        # the hardened blob still parses to the original strings
+        import json
+        cal = json.loads(blob)
+        assert any(s["name"] == self.HOSTILE for s in cal["series"])
+
+    def test_svg_series_label_escaped(self):
+        svg = to_svg(self._spec("t"))
+        assert "<script>" not in svg
+
+    def test_trace_page_hostile_task_names(self):
+        from repro.dashboard.trace import render_trace_page
+        from repro.obs import RunContext
+
+        ctx = RunContext(run_id=self.HOSTILE)
+        with ctx.span(self.HOSTILE):
+            pass
+        ctx.bus.emit("task_finished", self.HOSTILE,
+                     start_s=0.0, end_s=0.5, status="ok")
+        page = render_trace_page(ctx)
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;/script&gt;" in page

@@ -97,13 +97,61 @@ class TestWorkflowCli:
             ("2023-11", "2023-12", "2024-01")
         assert wf_cli._parse_dates("2024-05") == ("2024-05",)
 
-    def test_bad_dates_is_error(self, tmp_path, capsys):
-        rc = wf_cli.main(["--dates", "2024-06:2024-01",
-                          "--workdir", str(tmp_path)])
-        assert rc == 1
-        assert "error" in capsys.readouterr().err
-
     def test_parser_defaults(self):
         args = wf_cli.build_parser().parse_args([])
         assert args.workers == 4
         assert args.system == "frontier"
+
+
+class TestWorkflowCliValidation:
+    """Malformed invocations exit 2 with one line on stderr — never a
+    traceback, never a partially-written workdir."""
+
+    def _expect_usage_error(self, capsys, argv):
+        with pytest.raises(SystemExit) as ei:
+            wf_cli.main(argv)
+        assert ei.value.code == 2
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+        assert len(err.splitlines()) == 1
+        assert "Traceback" not in err
+        return err
+
+    def test_reversed_date_range(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--dates", "2024-06:2024-01",
+                     "--workdir", str(tmp_path / "wf")])
+        assert "--dates" in err and "2024-06:2024-01" in err
+        assert not (tmp_path / "wf").exists()
+
+    def test_unparseable_dates(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--dates", "janvier",
+                     "--workdir", str(tmp_path / "wf")])
+        assert "--dates" in err
+
+    def test_bad_workers(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--workers", "0", "--dates", "2024-01",
+                     "--workdir", str(tmp_path / "wf")])
+        assert "--workers" in err
+
+    def test_bad_rate_scale(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--rate-scale", "-1", "--dates", "2024-01",
+                     "--workdir", str(tmp_path / "wf")])
+        assert "--rate-scale" in err
+
+    def test_multiple_problems_one_line(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--workers", "0", "--rate-scale", "0",
+                     "--dates", "nope",
+                     "--workdir", str(tmp_path / "wf")])
+        assert "--dates" in err and "--workers" in err \
+            and "--rate-scale" in err
+
+    def test_bad_system_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            wf_cli.main(["--system", "summit"])
+        assert ei.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

@@ -183,3 +183,60 @@ class TestClientAndAnalyst:
     def test_analyst_requires_image(self):
         with pytest.raises(WorkflowError):
             LLMClient().complete(INSIGHT_PROMPT, [])
+
+
+class TestClientConcurrency:
+    """The serve layer runs insight jobs on worker threads; the client
+    must tolerate concurrent complete() calls."""
+
+    def _client(self):
+        class Echo:
+            model_name = "echo-1"
+
+            def complete(self, prompt, images):
+                return f"echo:{prompt}"
+
+        register_backend("echo", Echo)
+        return LLMClient(backend="echo", backoff_s=0.0)
+
+    def test_parallel_completions_log_consistently(self):
+        import threading
+
+        client = self._client()
+        errors = []
+
+        def worker(i):
+            try:
+                for j in range(20):
+                    resp = client.complete(f"p{i}-{j}")
+                    assert resp.text == f"echo:p{i}-{j}"
+            except Exception as exc:   # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(client.log) == 160
+        assert all(entry.ok for entry in client.log)
+
+    def test_log_is_bounded(self):
+        from repro.llm.client import LOG_CAP
+
+        client = self._client()
+        for i in range(LOG_CAP + 50):
+            client.complete(f"p{i}")
+        assert len(client.log) == LOG_CAP
+        # oldest entries rolled off, newest retained
+        assert client.log[-1].prompt_head == f"p{LOG_CAP + 49}"
+
+    def test_caller_supplied_list_becomes_bounded(self):
+        client = self._client()
+        client2 = LLMClient(backend="echo", log=list(client.log))
+        from collections import deque
+
+        assert isinstance(client2.log, deque)
+        assert client2.log.maxlen is not None
