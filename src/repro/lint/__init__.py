@@ -1,0 +1,37 @@
+"""repro.lint — AST-based invariant linting for the repro codebase.
+
+The rest of the repo encodes its contracts in conventions: seeded RNG
+everywhere, ``self._*`` writes under the owning lock, a closed event
+and metric vocabulary (:mod:`repro.obs.taxonomy`), typed artifact
+handles instead of raw path strings, and no silently swallowed
+failures.  This package turns those conventions into machine-checked
+rules: a single-pass AST engine (:mod:`repro.lint.engine`), one module
+per rule family (:mod:`repro.lint.rules`), and a CLI
+(``python -m repro.lint`` / ``repro-lint``) wired into CI.
+
+Findings are suppressible inline with ``# lint: ok[RL0xx] reason``;
+the reason is mandatory by convention and the suppression count is
+reported so drift stays visible.
+"""
+
+from repro.lint.cli import main, run_lint
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    LintEngine,
+    Rule,
+    iter_python_files,
+)
+from repro.lint.rules import RULE_FAMILIES, all_rules
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "RULE_FAMILIES",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "main",
+    "run_lint",
+]

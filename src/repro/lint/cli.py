@@ -1,0 +1,136 @@
+"""``repro-lint`` — the command-line front end.
+
+::
+
+    repro-lint src benchmarks            # text findings, exit 1 if any
+    repro-lint src --json                # machine-readable report
+    repro-lint src --rule RL021          # one rule (or family: RL02)
+    repro-lint src --path serve          # only files matching substring
+    repro-lint src --list-rules          # the catalog
+    repro-lint src --max-seconds 2       # CI perf gate (exit 2 if slower)
+
+Cross-file checks (RL034, "registry entry nothing emits") run only on
+complete scans: no ``--rule``/``--path`` filter and the scanned set
+must include the flow engine (the main event emitter); a partial scan
+would otherwise report every unseen registry entry as stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.lint.engine import LintEngine, iter_python_files
+from repro.lint.rules import RULE_FAMILIES, all_rules
+
+__all__ = ["main", "run_lint"]
+
+
+def run_lint(roots, rule_filter=None, path_filter=None,
+             complete: bool | None = None):
+    """Lint ``roots``; returns ``(findings, engine)``.
+
+    ``complete=None`` auto-detects whether cross-file rules may run
+    (see module docstring).  This is the API tests and tools call; the
+    CLI is a thin shell around it.
+    """
+    files = iter_python_files(roots)
+    if path_filter:
+        files = [f for f in files if path_filter in f]
+    if complete is None:
+        complete = (not rule_filter and not path_filter
+                    and any(f.endswith(os.path.join("flow", "engine.py"))
+                            for f in files))
+    engine = LintEngine(all_rules(), complete=complete)
+    findings = engine.run_files(files)
+    if rule_filter:
+        findings = [f for f in findings
+                    if any(f.rule.startswith(r) for r in rule_filter)]
+    return findings, engine
+
+
+def _list_rules() -> str:
+    lines = ["rule families:"]
+    for prefix, family in sorted(RULE_FAMILIES.items()):
+        lines.append(f"  {prefix}x  {family}")
+    lines.append("rules:")
+    for rule in all_rules():
+        scope = f" [{'/'.join(rule.dirs)}]" if rule.dirs else ""
+        lines.append(f"  {rule.id}  {rule.title}{scope}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the repro codebase")
+    parser.add_argument("roots", nargs="*", default=["src"],
+                        help="files or directories to scan "
+                             "(default: src)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a JSON report on stdout")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="RLxxx",
+                        help="only report this rule id or family "
+                             "prefix (repeatable)")
+    parser.add_argument("--path", default=None, metavar="SUBSTR",
+                        help="only scan files whose path contains "
+                             "SUBSTR")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        metavar="S",
+                        help="fail (exit 2) if the scan takes longer "
+                             "than S seconds (CI perf gate)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    t0 = time.perf_counter()
+    findings, engine = run_lint(args.roots, rule_filter=args.rule,
+                                path_filter=args.path)
+    elapsed = time.perf_counter() - t0
+
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+
+    if args.as_json:
+        print(json.dumps({
+            "version": 1,
+            "n_files": engine.n_files,
+            "elapsed_s": round(elapsed, 3),
+            "n_findings": len(findings),
+            "n_suppressed": engine.n_suppressed,
+            "by_rule": dict(sorted(by_rule.items())),
+            "errors": engine.errors,
+            "findings": [f.to_dict() for f in findings],
+        }, indent=2, sort_keys=True))
+    else:
+        for f in findings:
+            print(f.render())
+        summary = (f"repro-lint: {engine.n_files} files, "
+                   f"{len(findings)} finding(s)"
+                   + (f", {engine.n_suppressed} suppressed"
+                      if engine.n_suppressed else "")
+                   + f" in {elapsed:.2f}s")
+        print(summary, file=sys.stderr)
+
+    for err in engine.errors:
+        print(f"repro-lint: error: {err}", file=sys.stderr)
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"repro-lint: scan took {elapsed:.2f}s "
+              f"(budget {args.max_seconds:g}s)", file=sys.stderr)
+        return 2
+    if engine.errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":             # pragma: no cover - module shim
+    sys.exit(main())

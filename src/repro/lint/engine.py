@@ -1,0 +1,221 @@
+"""The rule engine: one AST walk per file, pluggable rule dispatch.
+
+``repro.lint`` is a repo-specific static-analysis pass: it machine-checks
+the invariants the provenance/reproducibility stack relies on but which
+Python cannot express in types — seed discipline, lock-guarded shared
+state, the closed event/metric taxonomy, artifact-path hygiene, error
+hygiene.  The engine is deliberately small:
+
+- every file is read and parsed **once**; a single ``ast.walk`` visits
+  each node once and dispatches it to the rules registered for that
+  node type (rules may sub-walk the subtree they were handed — class
+  bodies, ``try`` blocks — which stays linear in practice because those
+  roots do not nest meaningfully);
+- rules are plain objects with ``node_types`` + ``visit`` and an
+  optional ``finish`` hook for whole-project checks (e.g. "this
+  registry entry is emitted nowhere");
+- findings carry ``(rule, path, line, col, message)`` and can be
+  suppressed inline with ``# lint: ok[RL0xx] reason`` on the offending
+  line.
+
+Performance contract: a full ``src + benchmarks`` scan must stay under
+two seconds (CI runs ``repro-lint --max-seconds 2``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "FileContext", "Rule", "LintEngine",
+           "iter_python_files"]
+
+#: inline suppression: ``# lint: ok[RL021] reason`` (reason encouraged;
+#: ``RL02x`` family wildcards are deliberately NOT supported — each
+#: suppression names exactly one rule)
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ok\[(RL\d{3})\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+
+
+class FileContext:
+    """Everything a rule may need about the file being walked."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.findings: list[Finding] = []
+        self.n_suppressed = 0
+        self._docstrings: set[int] | None = None
+
+    # -- reporting ---------------------------------------------------------------
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``line`` carries an inline waiver for ``rule_id``."""
+        if 1 <= line <= len(self.lines):
+            for m in _SUPPRESS_RE.finditer(self.lines[line - 1]):
+                if m.group(1) == rule_id:
+                    return True
+        return False
+
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self.suppressed(line, rule_id):
+            self.n_suppressed += 1
+            return
+        self.findings.append(Finding(
+            path=self.path, line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule_id, message=message))
+
+    # -- shared AST helpers --------------------------------------------------------
+
+    def is_docstring(self, node: ast.Constant) -> bool:
+        """Whether this constant is a module/class/function docstring."""
+        if self._docstrings is None:
+            ds: set[int] = set()
+            for n in ast.walk(self.tree):
+                if isinstance(n, (ast.Module, ast.ClassDef,
+                                  ast.FunctionDef, ast.AsyncFunctionDef)):
+                    body = n.body
+                    if (body and isinstance(body[0], ast.Expr)
+                            and isinstance(body[0].value, ast.Constant)
+                            and isinstance(body[0].value.value, str)):
+                        ds.add(id(body[0].value))
+            self._docstrings = ds
+        return id(node) in self._docstrings
+
+
+def attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` → ``["a", "b", "c"]`` (empty for non-name bases)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def str_const(node: ast.AST) -> str | None:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class Rule:
+    """Base class every lint rule extends.
+
+    Subclasses set :attr:`id` (``RL0xx``), :attr:`title`,
+    :attr:`node_types` (the AST classes the engine dispatches), and
+    optionally :attr:`dirs` — path segments (package directory names)
+    the rule is scoped to; empty means every scanned file.
+    """
+
+    id: str = "RL000"
+    title: str = ""
+    node_types: tuple[type, ...] = ()
+    dirs: tuple[str, ...] = ()
+
+    def applies(self, path: str) -> bool:
+        if not self.dirs:
+            return True
+        segments = os.path.normpath(path).split(os.sep)
+        return any(d in segments for d in self.dirs)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finish(self, engine: "LintEngine") -> list[Finding]:
+        """Whole-project findings, called once after every file."""
+        return []
+
+
+class LintEngine:
+    """Walk files once; dispatch nodes to the registered rules."""
+
+    def __init__(self, rules, complete: bool = True) -> None:
+        self.rules: list[Rule] = list(rules)
+        #: ``complete`` means the scan covers the whole tree the rules
+        #: reason globally about; cross-file checks (RL034's "registry
+        #: entry nothing emits") only run then, since a filtered scan
+        #: would see partial usage and report nonsense
+        self.complete = complete
+        self.n_files = 0
+        self.n_suppressed = 0
+        self.errors: list[str] = []     # unparseable files
+
+    def run_source(self, path: str, source: str) -> list[Finding]:
+        """Lint one in-memory source blob (the test corpus entry)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.errors.append(f"{path}: {exc}")
+            return []
+        ctx = FileContext(path, source, tree)
+        dispatch: dict[type, list[Rule]] = {}
+        for rule in self.rules:
+            if rule.applies(path):
+                for nt in rule.node_types:
+                    dispatch.setdefault(nt, []).append(rule)
+        if dispatch:
+            for node in ast.walk(tree):
+                for rule in dispatch.get(type(node), ()):
+                    rule.visit(node, ctx)
+        self.n_files += 1
+        self.n_suppressed += ctx.n_suppressed
+        return ctx.findings
+
+    def run_files(self, paths) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in paths:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    source = fh.read()
+            except (OSError, UnicodeDecodeError) as exc:
+                self.errors.append(f"{path}: {exc}")
+                continue
+            findings.extend(self.run_source(path, source))
+        if self.complete:
+            for rule in self.rules:
+                findings.extend(rule.finish(self))
+        return sorted(findings)
+
+
+def iter_python_files(roots) -> list[str]:
+    """Every ``.py`` under ``roots`` (files pass through), sorted,
+    skipping hidden directories and ``__pycache__``."""
+    out: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            out.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if not d.startswith(".")
+                                 and d != "__pycache__")
+            out.extend(os.path.join(dirpath, f)
+                       for f in sorted(filenames) if f.endswith(".py"))
+    return sorted(set(out))

@@ -1,0 +1,135 @@
+"""RL01x — determinism discipline.
+
+The golden-trace equivalence tests and the byte-stable provenance
+manifests only hold while every source of randomness is seeded through
+``repro._util.rng`` substreams and every timestamp in simulation code
+comes from the simulated clock.  These rules flag the four ways that
+discipline has actually been broken (or nearly broken) in this repo's
+history: unseeded RNG construction, the salted builtin ``hash()``
+feeding seeds (the PR 2 ``window_seed`` bug), wall-clock reads inside
+deterministic packages, and iteration over unordered sets on paths
+that serialize.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule, attr_chain
+
+__all__ = ["UnseededRngRule", "SaltedHashRule", "WallClockRule",
+           "SetIterationRule"]
+
+#: packages whose outputs are golden-traced / content-hashed
+_DETERMINISTIC_DIRS = ("sched", "flow", "frame", "pipeline",
+                       "workflows", "obs", "store")
+
+#: stdlib ``random`` / legacy ``numpy.random`` module-level entry
+#: points that draw from hidden global state
+_GLOBAL_RNG_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "getrandbits", "seed",
+    "rand", "randn", "random_sample", "normal", "permutation", "bytes",
+})
+
+
+class UnseededRngRule(Rule):
+    """RL011: RNG constructed or drawn without an explicit seed."""
+
+    id = "RL011"
+    title = "unseeded or global-state RNG"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = attr_chain(node.func)
+        if not chain:
+            return
+        if chain[-1] == "default_rng" and not node.args \
+                and not node.keywords:
+            ctx.report(self.id, node,
+                       "np.random.default_rng() without a seed is "
+                       "fresh OS entropy per call; derive the seed "
+                       "from repro._util.rng substreams")
+            return
+        # random.X(...) / np.random.X(...): hidden global state
+        if len(chain) >= 2 and chain[-2] == "random" \
+                and chain[-1] in _GLOBAL_RNG_FNS:
+            ctx.report(self.id, node,
+                       f"{'.'.join(chain)}() draws from hidden global "
+                       "RNG state; construct a seeded Generator "
+                       "instead")
+
+
+class SaltedHashRule(Rule):
+    """RL012: builtin ``hash()`` feeding seeds or persisted keys."""
+
+    id = "RL012"
+    title = "salted builtin hash()"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            ctx.report(self.id, node,
+                       "builtin hash() is salted per process "
+                       "(PYTHONHASHSEED); a seed or persisted key "
+                       "derived from it differs across runs — use "
+                       "zlib.crc32 or hashlib instead")
+
+
+class WallClockRule(Rule):
+    """RL013: wall-clock reads inside deterministic packages."""
+
+    id = "RL013"
+    title = "wall clock in simulation code"
+    node_types = (ast.Call,)
+    dirs = ("sched", "flow", "frame")
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = attr_chain(node.func)
+        if not chain:
+            return
+        dotted = ".".join(chain)
+        if dotted in ("time.time", "time.time_ns"):
+            ctx.report(self.id, node,
+                       f"{dotted}() inside a deterministic package; "
+                       "simulation timestamps must come from the "
+                       "simulated clock (perf_counter is fine for "
+                       "measuring, not for data)")
+        elif chain[-1] in ("now", "utcnow", "today") \
+                and chain[-2:-1] and chain[-2] in ("datetime", "date"):
+            ctx.report(self.id, node,
+                       f"{dotted}() inside a deterministic package; "
+                       "wall-clock dates must not reach simulated "
+                       "or serialized data")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class SetIterationRule(Rule):
+    """RL014: iterating a set where order can reach serialized output."""
+
+    id = "RL014"
+    title = "unordered set iteration"
+    node_types = (ast.For, ast.ListComp, ast.SetComp, ast.DictComp,
+                  ast.GeneratorExp)
+    dirs = _DETERMINISTIC_DIRS
+
+    _MSG = ("iteration order over a set is unspecified and (for "
+            "strings) varies with PYTHONHASHSEED; wrap in sorted() "
+            "before it can reach serialized output")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter):
+                ctx.report(self.id, node.iter, self._MSG)
+            return
+        for gen in node.generators:          # comprehensions
+            if _is_set_expr(gen.iter):
+                ctx.report(self.id, gen.iter, self._MSG)

@@ -1,0 +1,87 @@
+"""RL05x — error hygiene.
+
+A swallowed exception in a workflow stage is a provenance hole: the
+run manifest records success for work that silently did nothing.  And
+in the service layer, a hand-built 405 without an ``Allow`` header
+violates RFC 9110 §15.5.6 (the router's ``MethodNotAllowed`` gets this
+right; ad-hoc constructions tend not to).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule, attr_chain
+
+__all__ = ["BareExceptRule", "SwallowedExceptionRule",
+           "Unallowed405Rule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names_broad(type_node: ast.AST) -> bool:
+    """Whether the handler type includes Exception/BaseException."""
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) \
+        else [type_node]
+    return any(isinstance(n, ast.Name) and n.id in _BROAD
+               for n in nodes)
+
+
+class BareExceptRule(Rule):
+    """RL051: a bare ``except:`` (catches SystemExit and KeyboardInterrupt too)."""
+
+    id = "RL051"
+    title = "bare except"
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        if node.type is None:
+            ctx.report(self.id, node,
+                       "bare `except:` catches SystemExit and "
+                       "KeyboardInterrupt; name the exceptions "
+                       "(Exception at the broadest)")
+
+
+class SwallowedExceptionRule(Rule):
+    """RL052: broad handler whose entire body is ``pass``."""
+
+    id = "RL052"
+    title = "swallowed broad exception"
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        if node.type is not None and not _names_broad(node.type):
+            return                      # narrow swallows are judgement calls
+        if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+            ctx.report(self.id, node,
+                       "broad exception silently swallowed; at minimum "
+                       "record it (metrics/bus) or narrow the type — "
+                       "a provenance layer must not lose failures")
+
+
+class Unallowed405Rule(Rule):
+    """RL053: a 405 built in serve code without an ``Allow`` header."""
+
+    id = "RL053"
+    title = "405 without Allow"
+    node_types = (ast.Call,)
+    dirs = ("serve",)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = attr_chain(node.func)
+        if not chain or chain[-1] not in ("ServeError", "error_response",
+                                          "Response"):
+            return
+        status = None
+        if node.args and isinstance(node.args[0], ast.Constant):
+            status = node.args[0].value
+        for kw in node.keywords:
+            if kw.arg == "status" and isinstance(kw.value, ast.Constant):
+                status = kw.value.value
+        if status != 405:
+            return
+        if not any(kw.arg == "headers" for kw in node.keywords):
+            ctx.report(self.id, node,
+                       "405 response without an Allow header (RFC 9110 "
+                       "§15.5.6); pass headers={'Allow': ...} or raise "
+                       "router.MethodNotAllowed")

@@ -1,0 +1,109 @@
+"""RL02x — lock discipline.
+
+Two of this repo's last three bugfixes were unlocked writes to shared
+state in classes that *already owned a lock*: the ``AccountingDB``
+lazy sort (PR 4) and the ``LLMClient`` request log (PR 5).  The rule
+generalizes both: in any class that owns a ``threading.Lock`` /
+``RLock`` / ``Condition``, a write to a ``self._*`` attribute outside
+a lexical ``with self.<lock>:`` block is a finding.
+
+The check is lexical on purpose — "the caller holds the lock" is a
+contract the AST cannot see, so the repo encodes it by convention:
+methods named ``*_locked`` assert their caller holds the lock and are
+exempt (``ArtifactStore._load_stamps_locked``,
+``SchedulingAnalysisWorkflow._ensure_db_locked``).  Constructors
+(``__init__`` / ``__post_init__`` / ``__new__``) run before the object
+is shared and are exempt too.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule
+
+__all__ = ["LockDisciplineRule"]
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__",
+                             "__del__", "__copy__", "__deepcopy__"})
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self._x`` → ``"_x"`` (else None)."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attribute names this class assigns a Lock/RLock/Condition to."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        is_lock = (isinstance(value, ast.Call)
+                   and ((isinstance(value.func, ast.Attribute)
+                         and value.func.attr in _LOCK_FACTORIES)
+                        or (isinstance(value.func, ast.Name)
+                            and value.func.id in _LOCK_FACTORIES)))
+        if not is_lock:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr:
+                locks.add(attr)
+    return locks
+
+
+class LockDisciplineRule(Rule):
+    """RL021: unguarded write to ``self._*`` in a lock-owning class."""
+
+    id = "RL021"
+    title = "unguarded shared-state write"
+    node_types = (ast.ClassDef,)
+
+    def visit(self, cls: ast.ClassDef, ctx: FileContext) -> None:
+        locks = _lock_attrs(cls)
+        if not locks:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _EXEMPT_METHODS \
+                    or stmt.name.endswith("_locked"):
+                continue
+            for body_stmt in stmt.body:
+                self._scan(body_stmt, guarded=False, locks=locks,
+                           method=stmt.name, ctx=ctx)
+
+    def _scan(self, node: ast.AST, guarded: bool, locks: set[str],
+              method: str, ctx: FileContext) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds = any(_self_attr(item.context_expr) in locks
+                        for item in node.items)
+            for child in node.body:
+                self._scan(child, guarded or holds, locks, method, ctx)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)) \
+                and getattr(node, "value", True) is not None:
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if (attr and attr.startswith("_")
+                        and not attr.startswith("__")
+                        and attr not in locks and not guarded):
+                    ctx.report(self.id, target,
+                               f"write to self.{attr} in {method}() "
+                               f"outside `with self.{sorted(locks)[0]}` "
+                               "— this class shares state across "
+                               "threads; guard the write, or name the "
+                               "method *_locked if the caller holds "
+                               "the lock")
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, guarded, locks, method, ctx)

@@ -28,16 +28,28 @@ from repro.obs.context import (
     RunContext,
     SpanRecord,
 )
-from repro.obs.events import Event, EventBus, load_events
+from repro.obs.events import (
+    Event,
+    EventBus,
+    UnknownEventError,
+    load_events,
+    set_strict_default,
+)
 from repro.obs.metrics import Counter, Gauge, MetricRegistry
 from repro.obs.provenance import ArtifactRecord, ProvenanceLedger, file_sha256
+from repro.obs.taxonomy import EVENT_KINDS, METRICS, MetricDef
 
 __all__ = [
     "RunContext",
     "SpanRecord",
     "Event",
     "EventBus",
+    "UnknownEventError",
     "load_events",
+    "set_strict_default",
+    "EVENT_KINDS",
+    "METRICS",
+    "MetricDef",
     "Counter",
     "Gauge",
     "MetricRegistry",

@@ -17,21 +17,13 @@ Design constraints:
 - **Subscriber isolation** — an observer that raises must not kill the
   workflow; failures are captured on :attr:`EventBus.errors`.
 
-Event taxonomy (``kind`` values; see docs/architecture.md):
-
-================== ==========================================
-``run_started``    engine run begins (``tasks``, ``workers``)
-``run_finished``   engine run ends (``ok``, ``wall_s``)
-``task_ready``     task dispatched to the worker pool
-``task_started``   task function begins executing
-``task_retried``   one attempt failed, another follows
-``task_finished``  terminal task outcome (``status`` ...)
-``task_skipped``   task never ran (``reason``)
-``span_started``   timing span opened
-``span_finished``  timing span closed (``wall_s``, ``depth``)
-``artifact``       provenance ledger recorded an artifact
-``llm_call``       one LLM completion (``model``, tokens)
-================== ==========================================
+The event taxonomy (legal ``kind`` values) is declared once, in
+:mod:`repro.obs.taxonomy`, and documented in docs/architecture.md;
+``repro.lint`` keeps callsites, registry, and docs in sync.  In strict
+mode (``EventBus(strict=True)``, or process-wide via
+:func:`set_strict_default` — the test suite turns it on) an ``emit``
+with an unregistered kind raises :class:`UnknownEventError` instead of
+silently minting new vocabulary.
 """
 
 from __future__ import annotations
@@ -42,7 +34,27 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["Event", "EventBus", "load_events"]
+from repro._util.errors import ReproError
+from repro.obs.taxonomy import EVENT_KINDS
+
+__all__ = ["Event", "EventBus", "UnknownEventError", "load_events",
+           "set_strict_default"]
+
+
+class UnknownEventError(ReproError):
+    """A strict bus refused an event kind missing from the taxonomy."""
+
+
+#: process default for ``EventBus(strict=None)``; tests/conftest.py
+#: turns this on so the whole suite enforces the taxonomy at runtime
+_STRICT_DEFAULT = False
+
+
+def set_strict_default(on: bool) -> None:
+    """Set the process-wide default for buses created without an
+    explicit ``strict`` argument (existing buses are unaffected)."""
+    global _STRICT_DEFAULT
+    _STRICT_DEFAULT = bool(on)
 
 
 @dataclass(frozen=True)
@@ -78,8 +90,12 @@ class EventBus:
     of propagating into the emitting layer.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter
-                 ) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 strict: bool | None = None) -> None:
+        #: strict buses raise :class:`UnknownEventError` on kinds
+        #: missing from :data:`repro.obs.taxonomy.EVENT_KINDS`;
+        #: ``None`` defers to the process default (set_strict_default)
+        self.strict = _STRICT_DEFAULT if strict is None else strict
         self._clock = clock
         self._t0 = clock()
         self._seq = 0
@@ -109,7 +125,16 @@ class EventBus:
         return self._clock() - self._t0
 
     def emit(self, kind: str, name: str, **attrs) -> Event:
-        """Publish one event; returns it (already dispatched)."""
+        """Publish one event; returns it (already dispatched).
+
+        A strict bus raises :class:`UnknownEventError` for kinds
+        outside the declared taxonomy — the manifest must never
+        contain vocabulary no consumer knows how to query.
+        """
+        if self.strict and kind not in EVENT_KINDS:
+            raise UnknownEventError(
+                f"event kind {kind!r} is not in repro.obs.taxonomy; "
+                f"register it there (known: {sorted(EVENT_KINDS)})")
         with self._lock:
             seq = self._seq
             self._seq += 1

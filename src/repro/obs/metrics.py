@@ -59,12 +59,19 @@ class MetricRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
 
+    @staticmethod
+    def _kind_collision(name: str, want: str, have: str) -> ValueError:
+        """Symmetric error for a name re-requested as the other kind."""
+        return ValueError(
+            f"metric {name!r} is already registered as a {have}; "
+            f"cannot redeclare it as a {want}")
+
     def counter(self, name: str) -> Counter:
         with self._lock:
             c = self._counters.get(name)
             if c is None:
                 if name in self._gauges:
-                    raise ValueError(f"{name!r} is already a gauge")
+                    raise self._kind_collision(name, "counter", "gauge")
                 c = self._counters[name] = Counter(name)
             return c
 
@@ -73,7 +80,7 @@ class MetricRegistry:
             g = self._gauges.get(name)
             if g is None:
                 if name in self._counters:
-                    raise ValueError(f"{name!r} is already a counter")
+                    raise self._kind_collision(name, "gauge", "counter")
                 g = self._gauges[name] = Gauge(name)
             return g
 

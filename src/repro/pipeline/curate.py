@@ -108,13 +108,10 @@ class CurateStage:
             else:
                 job_rows.append(self._job_row(typed))
                 report.job_rows += 1
-        jobs = Artifact(name=f"{tag}-jobs", fmt="csv",
-                        path=os.path.join(self.out_dir, f"{tag}-jobs.csv"),
-                        schema=tuple(JOB_CSV_COLUMNS))
-        steps = Artifact(name=f"{tag}-steps", fmt="csv",
-                         path=os.path.join(self.out_dir,
-                                           f"{tag}-steps.csv"),
-                         schema=tuple(STEP_CSV_COLUMNS))
+        jobs = Artifact.in_dir(self.out_dir, f"{tag}-jobs", "csv",
+                               schema=JOB_CSV_COLUMNS)
+        steps = Artifact.in_dir(self.out_dir, f"{tag}-steps", "csv",
+                                schema=STEP_CSV_COLUMNS)
         write_csv(Frame.from_records(job_rows, columns=JOB_CSV_COLUMNS),
                   jobs.path)
         write_csv(Frame.from_records(step_rows, columns=STEP_CSV_COLUMNS),

@@ -45,13 +45,19 @@ class AccountingDB:
     def __len__(self) -> int:
         return len(self._jobs)
 
-    def add(self, job: JobRecord) -> None:
+    def _add_locked(self, job: JobRecord) -> None:
         self._jobs.append(job)
         self._sorted = False
 
+    def add(self, job: JobRecord) -> None:
+        with self._sort_lock:
+            self._add_locked(job)
+
     def extend(self, jobs: Iterable[JobRecord]) -> None:
-        for job in jobs:
-            self.add(job)
+        # one acquisition for the whole batch (the Lock is not reentrant)
+        with self._sort_lock:
+            for job in jobs:
+                self._add_locked(job)
 
     def _ensure_sorted(self) -> None:
         with self._sort_lock:

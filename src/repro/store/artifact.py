@@ -58,6 +58,20 @@ class Artifact:
                        schema=self.schema)
 
     @classmethod
+    def in_dir(cls, dirpath: str | os.PathLike, name: str, fmt: str,
+               schema: tuple[str, ...] | None = None) -> "Artifact":
+        """A typed handle for ``name`` in ``dirpath`` — the format owns
+        the extension, so callers never spell ``.csv``/``.npf`` (lint
+        rule RL041 flags raw extension literals in path construction).
+        Prefer :meth:`repro.store.ArtifactStore.declare` when a store
+        owns the run layout; this is the store-free equivalent for
+        stages handed a bare output directory."""
+        return cls(name=name, fmt=fmt,
+                   path=os.path.join(os.fspath(dirpath),
+                                     name + FORMATS[fmt]),
+                   schema=tuple(schema) if schema else None)
+
+    @classmethod
     def at(cls, path: str | os.PathLike, fmt: str | None = None,
            name: str | None = None,
            schema: tuple[str, ...] | None = None) -> "Artifact":

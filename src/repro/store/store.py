@@ -203,7 +203,7 @@ class ArtifactStore:
     def _stamp_path(self) -> str:
         return os.path.join(self.root, _STAMP_DIR, _STAMP_FILE)
 
-    def _load_stamps(self) -> dict[str, dict]:
+    def _load_stamps_locked(self) -> dict[str, dict]:
         if self._stamps is None:
             try:
                 with open(self._stamp_path(), encoding="utf-8") as fh:
@@ -221,7 +221,7 @@ class ArtifactStore:
         caller falls back to its mtime heuristic).
         """
         with self._stamp_lock:
-            stamp = self._load_stamps().get(name)
+            stamp = self._load_stamps_locked().get(name)
         if stamp is None:
             return None
         want_in = {self._rel(p) for p in inputs}
@@ -251,7 +251,7 @@ class ArtifactStore:
 
         entry = {"inputs": digest(inputs), "outputs": digest(outputs)}
         with self._stamp_lock:
-            stamps = self._load_stamps()
+            stamps = self._load_stamps_locked()
             stamps[name] = entry
             path = self._stamp_path()
             os.makedirs(os.path.dirname(path), exist_ok=True)

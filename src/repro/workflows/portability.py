@@ -17,6 +17,7 @@ from repro._util.errors import ConfigError
 from repro._util.tables import TextTable
 from repro.analytics import compare_systems, load_jobs
 from repro.dashboard import DashboardBuilder
+from repro.store import Artifact
 from repro.workflows.main import SchedulingAnalysisWorkflow, WorkflowConfig
 
 __all__ = ["PortabilityConfig", "PortabilityResult", "PortabilityStudy"]
@@ -74,9 +75,10 @@ class PortabilityStudy:
                 enable_ai=cfg.enable_ai)
             wf = SchedulingAnalysisWorkflow(wf_cfg)
             result.per_system[system] = wf.run()
+            data_dir = os.path.join(cfg.workdir, system, "data")
             frames[system] = load_jobs(
-                [os.path.join(cfg.workdir, system, "data",
-                              f"{m}-jobs.csv") for m in cfg.months])
+                [Artifact.in_dir(data_dir, f"{m}-jobs", "csv").path
+                 for m in cfg.months])
 
         comp = compare_systems(frames)
         result.comparison_rows = comp.delta_rows()

@@ -8,6 +8,14 @@ qualitative phenomena the analytics tests assert.
 import pytest
 
 from repro.datasets import synthesize_curated
+from repro.obs import set_strict_default
+
+# Under the test suite every emitted event kind must come from
+# repro.obs.taxonomy — an unregistered kind is an UnknownEventError
+# instead of silent vocabulary drift.  Production keeps the permissive
+# default; buses that exercise raw mechanics opt out with
+# EventBus(strict=False).
+set_strict_default(True)
 
 
 @pytest.fixture(scope="session")

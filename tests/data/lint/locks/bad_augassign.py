@@ -1,0 +1,16 @@
+"""RL021: augmented assignment counts as a write too."""
+
+import threading
+
+
+class HitCounter:
+    def __init__(self):
+        self._hits = 0
+        self._cv = threading.Condition()
+
+    def record(self):
+        self._hits += 1  # expect[RL021]
+
+    def snapshot(self):
+        with self._cv:
+            return self._hits

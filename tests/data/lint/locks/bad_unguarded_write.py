@@ -1,0 +1,18 @@
+"""RL021: writes to shared state outside the lock the class owns."""
+
+import threading
+
+
+class JobIndex:
+    def __init__(self):
+        self._jobs = []
+        self._dirty = False
+        self._lock = threading.Lock()
+
+    def add(self, job):
+        self._jobs = self._jobs + [job]  # expect[RL021]
+        self._dirty = True  # expect[RL021]
+
+    def flush(self):
+        with self._lock:
+            self._dirty = False

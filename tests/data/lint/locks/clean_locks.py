@@ -1,0 +1,27 @@
+"""Clean counterpart: guarded writes, the *_locked convention, and a
+lock-free class (no lock, no discipline to enforce)."""
+
+import threading
+
+
+class GuardedIndex:
+    def __init__(self):
+        self._jobs = []
+        self._dirty = False
+        self._lock = threading.RLock()
+
+    def add(self, job):
+        with self._lock:
+            self._append_locked(job)
+
+    def _append_locked(self, job):
+        self._jobs.append(job)
+        self._dirty = True
+
+
+class PlainBag:
+    def __init__(self):
+        self._items = []
+
+    def add(self, item):
+        self._items = self._items + [item]

@@ -1,0 +1,11 @@
+"""RL041: extension arithmetic done by hand in pipeline code."""
+
+import os
+
+
+def month_csv(out_dir, tag):
+    return os.path.join(out_dir, f"{tag}-jobs.csv")  # expect[RL041]
+
+
+def twin_path(out_dir, tag):
+    return os.path.join(out_dir, tag + "-jobs.npf")  # expect[RL041]

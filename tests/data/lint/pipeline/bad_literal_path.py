@@ -1,0 +1,7 @@
+"""RL041: a hard-coded artifact path literal."""
+
+DEFAULT_OUTPUT = "data/2024-03-jobs.csv"  # expect[RL041]
+
+
+def load_default(read_csv):
+    return read_csv(DEFAULT_OUTPUT)

@@ -1,0 +1,16 @@
+"""Clean counterpart: typed handles own the extension; the bare
+extension token (format tables, endswith checks) is exempt."""
+
+from repro.store import Artifact
+
+_FMT = "csv"
+
+
+def month_artifacts(out_dir, tag, columns):
+    jobs = Artifact.in_dir(out_dir, f"{tag}-jobs", _FMT, schema=columns)
+    steps = Artifact.in_dir(out_dir, f"{tag}-steps", _FMT)
+    return jobs, steps
+
+
+def is_csv(path):
+    return path.endswith(".csv")

@@ -1,0 +1,16 @@
+"""RL012 + RL013: salted hash() feeding a seed, wall clock in sim code."""
+
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def window_seed(tag):
+    return np.random.default_rng(hash(tag))  # expect[RL012]
+
+
+def stamp_job(job):
+    job.submit = time.time()  # expect[RL013]
+    job.day = datetime.now().day  # expect[RL013]
+    return job

@@ -1,0 +1,17 @@
+"""RL011: unseeded and global-state RNG."""
+
+import random
+
+import numpy as np
+
+
+def fresh_entropy():
+    rng = np.random.default_rng()  # expect[RL011]
+    return rng.random()
+
+
+def hidden_global_state():
+    a = random.random()  # expect[RL011]
+    b = random.randint(0, 10)  # expect[RL011]
+    c = np.random.normal(0.0, 1.0)  # expect[RL011]
+    return a + b + c

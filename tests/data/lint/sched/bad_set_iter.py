@@ -1,0 +1,10 @@
+"""RL014: unordered set iteration on a serializing path."""
+
+
+def write_partitions(fh, jobs):
+    for part in {j.partition for j in jobs}:  # expect[RL014]
+        fh.write(part + "\n")
+
+
+def user_rows(jobs):
+    return [u.upper() for u in set(j.user for j in jobs)]  # expect[RL014]

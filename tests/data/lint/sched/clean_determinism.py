@@ -1,0 +1,25 @@
+"""Clean counterpart: seeded streams, crc32 keys, sorted iteration."""
+
+import time
+import zlib
+
+import numpy as np
+
+
+def seeded(seed):
+    return np.random.default_rng(seed)
+
+
+def stable_key(tag):
+    return zlib.crc32(tag.encode("utf-8"))
+
+
+def measure(fn):
+    t0 = time.perf_counter()            # measuring, not data: fine
+    fn()
+    return time.perf_counter() - t0
+
+
+def write_partitions(fh, jobs):
+    for part in sorted({j.partition for j in jobs}):
+        fh.write(part + "\n")

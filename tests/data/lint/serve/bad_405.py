@@ -1,0 +1,9 @@
+"""RL053: hand-built 405s with no Allow header."""
+
+
+def reject_post(error_response):
+    return error_response(405, "method not allowed")  # expect[RL053]
+
+
+def reject_put(Response):
+    return Response(status=405, body=b"nope")  # expect[RL053]

@@ -1,0 +1,22 @@
+"""RL051 + RL052: bare and silently swallowed handlers."""
+
+
+def load_or_none(path, loader):
+    try:
+        return loader(path)
+    except:  # expect[RL051]
+        return None
+
+
+def fire_and_forget(fn):
+    try:
+        fn()
+    except Exception:  # expect[RL052]
+        pass
+
+
+def forget_everything(fn):
+    try:
+        fn()
+    except (ValueError, BaseException):  # expect[RL052]
+        pass

@@ -1,0 +1,20 @@
+"""Clean counterpart: narrow swallows, recorded failures, Allow set."""
+
+
+def load_or_none(path, loader):
+    try:
+        return loader(path)
+    except (OSError, ValueError):
+        return None
+
+
+def fire_and_record(fn, obs):
+    try:
+        fn()
+    except Exception:
+        obs.counter("serve.http.unhandled_errors").inc()
+
+
+def reject_post(error_response, allowed):
+    return error_response(405, "method not allowed",
+                          headers={"Allow": ", ".join(allowed)})

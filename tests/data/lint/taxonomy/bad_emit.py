@@ -1,0 +1,14 @@
+"""RL031: event kinds nobody registered."""
+
+
+def run_stage(bus, name):
+    bus.emit("stage_began", name)  # expect[RL031]
+    return name
+
+
+class Stage:
+    def __init__(self, bus):
+        self.bus = bus
+
+    def finish(self):
+        self.bus.emit("stage_done", "s", ok=True)  # expect[RL031]

@@ -1,0 +1,7 @@
+"""RL032 + RL033: unregistered metric names and kind mismatches."""
+
+
+def tick(obs):
+    obs.counter("sched.no_such_metric").inc()  # expect[RL032]
+    obs.gauge("sched.passes").set(1)  # expect[RL033]
+    obs.counter("sched.queue_depth_hwm").inc()  # expect[RL033]

@@ -1,0 +1,8 @@
+"""Clean counterpart: every name comes from repro.obs.taxonomy."""
+
+
+def run_task(bus, obs, name):
+    bus.emit("task_started", name)
+    obs.counter("sched.passes").inc()
+    obs.gauge("sched.queue_depth_hwm").set_max(3)
+    bus.emit("task_finished", name, status="ok")

@@ -1,0 +1,5 @@
+"""Suppression syntax: the finding is counted, not reported."""
+
+
+def probe(bus):
+    bus.emit("experimental_kind", "x")  # lint: ok[RL031] staging a new kind

@@ -8,19 +8,22 @@ import threading
 import pytest
 
 from repro.obs import (
+    EVENT_KINDS,
     Event,
     EventBus,
     MetricRegistry,
     ProvenanceLedger,
     RunContext,
+    UnknownEventError,
     file_sha256,
     load_events,
+    set_strict_default,
 )
 
 
 class TestEventBus:
     def test_seq_is_a_total_order(self):
-        bus = EventBus()
+        bus = EventBus(strict=False)
         events = [bus.emit("k", f"e{i}") for i in range(5)]
         assert [e.seq for e in events] == [0, 1, 2, 3, 4]
 
@@ -33,7 +36,7 @@ class TestEventBus:
         assert seen[0].attrs == {"foo": 1}
 
     def test_unsubscribe(self):
-        bus = EventBus()
+        bus = EventBus(strict=False)
         seen = []
         fn = bus.subscribe(seen.append)
         bus.emit("k", "a")
@@ -43,7 +46,7 @@ class TestEventBus:
 
     def test_subscriber_error_is_isolated(self):
         """An observer bug must not kill the emitting layer."""
-        bus = EventBus()
+        bus = EventBus(strict=False)
         def bad(event):
             raise RuntimeError("observer bug")
         seen = []
@@ -55,7 +58,7 @@ class TestEventBus:
         assert isinstance(bus.errors[0][2], RuntimeError)
 
     def test_concurrent_emit_unique_seq(self):
-        bus = EventBus()
+        bus = EventBus(strict=False)
         out = []
         lock = threading.Lock()
         def emitter():
@@ -69,6 +72,38 @@ class TestEventBus:
         for t in threads:
             t.join()
         assert len(set(out)) == 800
+
+    def test_strict_rejects_unregistered_kind(self):
+        bus = EventBus(strict=True)
+        seen = []
+        bus.subscribe(seen.append)
+        with pytest.raises(UnknownEventError, match="taxonomy"):
+            bus.emit("not_a_registered_kind", "x")
+        assert seen == []               # nothing dispatched on rejection
+
+    def test_strict_accepts_every_taxonomy_kind(self):
+        bus = EventBus(strict=True)
+        seen = []
+        bus.subscribe(seen.append)
+        for kind in EVENT_KINDS:
+            bus.emit(kind, "x")
+        assert len(seen) == len(EVENT_KINDS)
+
+    def test_strict_default_is_on_under_the_test_suite(self):
+        # conftest.py flips the module default; a no-arg bus inherits it
+        with pytest.raises(UnknownEventError):
+            EventBus().emit("drifting_kind", "x")
+
+    def test_set_strict_default_controls_new_buses_only(self):
+        permissive = EventBus()         # captured strict=True default
+        try:
+            set_strict_default(False)
+            assert EventBus().emit("anything_goes", "x").kind \
+                == "anything_goes"
+            with pytest.raises(UnknownEventError):
+                permissive.emit("anything_goes", "x")
+        finally:
+            set_strict_default(True)
 
     def test_event_json_round_trip(self):
         e = Event(seq=3, t_s=1.25, kind="task_finished", name="a",
@@ -90,11 +125,33 @@ class TestMetrics:
         with pytest.raises(ValueError):
             MetricRegistry().counter("c").inc(-1)
 
-    def test_kind_collision_rejected(self):
+    def test_kind_collision_rejected_both_ways(self):
         m = MetricRegistry()
         m.counter("x")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError,
+                           match="'x' is already registered as a "
+                                 "counter; cannot redeclare it as a "
+                                 "gauge"):
             m.gauge("x")
+        m.gauge("y")
+        with pytest.raises(ValueError,
+                           match="'y' is already registered as a gauge; "
+                                 "cannot redeclare it as a counter"):
+            m.counter("y")
+
+    def test_kind_collision_messages_symmetric(self):
+        """Same template both directions, only the kinds swapped."""
+        m = MetricRegistry()
+        m.counter("n")
+        m.gauge("d")
+        with pytest.raises(ValueError) as as_gauge:
+            m.gauge("n")
+        with pytest.raises(ValueError) as as_counter:
+            m.counter("d")
+        template = str(as_gauge.value).replace("'n'", "{name}") \
+            .replace("counter", "{have}").replace("gauge", "{want}")
+        assert str(as_counter.value) == template.format(
+            name="'d'", have="gauge", want="counter")
 
     def test_snapshot_sorted(self):
         m = MetricRegistry()
