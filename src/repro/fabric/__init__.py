@@ -1,0 +1,45 @@
+"""``repro.fabric`` — the durable job fabric: store, launcher, campaigns.
+
+The in-memory job queue inside ``repro.serve`` dies with the process;
+this package is its crash-safe counterpart, modeled on Balsam's
+service/launcher split:
+
+- :class:`FabricStore` — a stdlib-only SQLite job store (WAL mode,
+  under the workdir's ``.store/`` layout) with explicit states
+  (``pending → leased → running → done|failed|orphaned``) and an
+  append-only transition history;
+- :class:`Launcher` — an independent process (``repro-launcher``) that
+  leases work with heartbeats and recovers orphaned jobs whose lease
+  expired (bounded retries, deterministic backoff);
+- :func:`submit_campaign` — a parameter sweep of policy-lab
+  simulations whose identity is content-addressed, so it survives
+  crashes and resumes exactly where it left off.
+
+``repro-serve --fabric`` enqueues its ``POST`` jobs here instead of
+the in-memory queue; any number of launchers drain the same store.
+"""
+
+from repro.fabric.store import (
+    FABRIC_STATES,
+    TERMINAL_STATES,
+    FabricJob,
+    FabricStore,
+    fabric_db_path,
+)
+from repro.fabric.runners import BUILTIN_RUNNERS, load_runners
+from repro.fabric.campaign import expand_campaign, submit_campaign
+from repro.fabric.launcher import Launcher, LauncherStats
+
+__all__ = [
+    "FABRIC_STATES",
+    "TERMINAL_STATES",
+    "FabricJob",
+    "FabricStore",
+    "fabric_db_path",
+    "BUILTIN_RUNNERS",
+    "load_runners",
+    "expand_campaign",
+    "submit_campaign",
+    "Launcher",
+    "LauncherStats",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.fabric`` — alias for the ``repro-launcher`` CLI."""
+
+from repro.fabric.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Campaigns: resumable parameter sweeps of policy-lab simulations.
+
+A campaign is the fabric's reason to exist at the paper's scale: a
+sweep of hundreds of simulations (seeds × policy variants over one
+workload window) that must survive server and launcher crashes and
+resume where it left off.  The resumability recipe is deterministic
+identity, twice over:
+
+- the campaign id is a content hash of ``(name, spec)``, and
+- each member job's id is ``<campaign-id>-<index>``,
+
+so resubmitting the same campaign — after a crash mid-submission, a
+server restart, or just twice by accident — re-inserts only the
+members that are missing (``INSERT OR IGNORE`` in the store) and never
+duplicates one that already ran.  Progress is not tracked anywhere
+besides the member jobs' own durable states.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import ConfigError
+from repro.fabric.runners import simulate_payload
+from repro.fabric.store import FabricStore
+
+__all__ = ["expand_campaign", "submit_campaign"]
+
+#: ceiling on members per campaign (a typo'd grid must not flood the
+#: store with a million rows before anyone can look at it)
+MAX_MEMBERS = 10_000
+
+
+def expand_campaign(spec: dict) -> list[dict]:
+    """The member payloads of one campaign spec, in stable order.
+
+    The spec is a simulate body plus two sweep axes: ``seeds`` (list of
+    ints, default ``[0]``) and ``variants`` (list of policy names,
+    default the full standard menu).  One member per (seed, variant)
+    pair, each a single-variant simulate payload — members are then
+    independently schedulable and a crash loses at most one cell of
+    the grid, not the whole sweep.
+    """
+    from repro.policylab import standard_variants
+
+    seeds = spec.get("seeds", [0])
+    if not isinstance(seeds, list) or not seeds:
+        raise ConfigError("campaign needs a non-empty seeds list")
+    variants = spec.get("variants")
+    if variants is None:
+        variants = [v.name for v in standard_variants(seed=0)]
+    if not isinstance(variants, list) or not variants:
+        raise ConfigError("campaign needs a non-empty variants list")
+    if len(seeds) * len(variants) > MAX_MEMBERS:
+        raise ConfigError(
+            f"campaign grid has {len(seeds) * len(variants)} members; "
+            f"the ceiling is {MAX_MEMBERS}")
+    base = {k: spec[k] for k in ("system", "month", "days",
+                                 "rate_scale") if k in spec}
+    members = []
+    for seed in seeds:
+        for name in variants:
+            members.append(simulate_payload(
+                {**base, "seed": int(seed), "variants": [str(name)]}))
+    return members
+
+
+def submit_campaign(store: FabricStore, name: str, spec: dict, *,
+                    max_attempts: int = 3) -> dict:
+    """Expand and durably enqueue one campaign; returns its status.
+
+    Idempotent end to end: the campaign row and every member insert
+    are keyed deterministically, so replaying a crashed or repeated
+    submission resumes rather than duplicates (already-terminal
+    members stay exactly as they finished).
+    """
+    members = expand_campaign(spec)     # validate before touching disk
+    campaign_id = store.campaign_id(name, spec)
+    store.add_campaign(campaign_id, name, spec)
+    for index, payload in enumerate(members):
+        store.submit("simulate", payload, campaign=campaign_id,
+                     job_id=f"{campaign_id}-{index:04d}",
+                     max_attempts=max_attempts)
+    return store.campaign_status(campaign_id)

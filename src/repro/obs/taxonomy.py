@@ -40,6 +40,7 @@ EVENT_KINDS: dict[str, str] = {
     "span_finished": "RunContext.span: timing span closed",
     "artifact":      "RunContext.record_artifact: ledger recorded an artifact",
     "llm_call":      "LLMClient.complete: one LLM completion",
+    "fabric_transition": "FabricStore: durable job changed state",
 }
 
 
@@ -103,8 +104,18 @@ METRICS: dict[str, MetricDef] = {
     "serve.jobs.rejected":         MetricDef(_C, "submissions refused (429)"),
     "serve.jobs.completed":        MetricDef(_C, "background jobs finished ok"),
     "serve.jobs.failed":           MetricDef(_C, "background jobs that raised"),
+    "serve.jobs.cancelled":        MetricDef(_C, "queued jobs discarded at shutdown"),
     "serve.jobs.queued":           MetricDef(_G, "jobs waiting in the queue"),
     "serve.jobs.active":           MetricDef(_G, "jobs running on workers"),
+    # -- durable job fabric (repro.fabric.store) ---------------------------------
+    "serve.fabric.submitted":      MetricDef(_C, "jobs accepted into the durable store"),
+    "serve.fabric.leased":         MetricDef(_C, "leases granted to launcher workers"),
+    "serve.fabric.completed":      MetricDef(_C, "fabric jobs finished ok"),
+    "serve.fabric.failed":         MetricDef(_C, "fabric jobs that went terminal failed"),
+    "serve.fabric.requeued":       MetricDef(_C, "spent attempts returned to pending"),
+    "serve.fabric.heartbeats":     MetricDef(_C, "lease extensions recorded"),
+    "serve.fabric.pending":        MetricDef(_G, "runnable jobs waiting in the store"),
+    "serve.fabric.running":        MetricDef(_G, "jobs currently leased or running"),
 }
 
 

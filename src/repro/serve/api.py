@@ -10,7 +10,9 @@ response body is addressed by the underlying file's content hash (the
 same streaming SHA-256 the provenance ledger uses), served as a strong
 ETag, and short-circuited to ``304 Not Modified`` when the client already
 holds it.  Expensive work goes through the bounded background job
-queue; the two ``POST`` endpoints return ``202`` plus a polling URL.
+queue — or, with ``fabric=`` set, the crash-safe durable store that
+``repro-launcher`` processes drain — and every ``POST`` endpoint
+returns ``202`` plus a polling URL either way.
 """
 
 from __future__ import annotations
@@ -22,8 +24,11 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro._util.errors import ConfigError, DataError, ReproError
-from repro._util.timefmt import month_bounds
+from repro._util.errors import DataError, ReproError
+from repro.fabric.campaign import submit_campaign
+from repro.fabric.runners import run_insight, run_simulate, \
+    simulate_payload
+from repro.fabric.store import FabricStore
 from repro.obs import RunContext
 from repro.serve.cache import LRUCache
 from repro.serve.jobs import JobQueue, QueueDraining, QueueFull
@@ -134,7 +139,8 @@ class ServeApp:
                  job_workers: int = 2, job_capacity: int = 8,
                  request_timeout_s: float | None = 30.0,
                  max_body_bytes: int = 1 << 20,
-                 retry_after_s: int = 1) -> None:
+                 retry_after_s: int = 1,
+                 fabric: str | os.PathLike | None = None) -> None:
         self.registry = RunRegistry(workdirs)
         #: bounded history: a long-lived server must not accumulate an
         #: unbounded event/span record the way a batch run may
@@ -143,6 +149,10 @@ class ServeApp:
         self.cache = LRUCache(cache_entries, cache_bytes, obs=self.obs)
         self.jobs = JobQueue(workers=job_workers, capacity=job_capacity,
                              obs=self.obs)
+        #: durable path: POSTs enqueue into the fabric store (executed
+        #: by repro-launcher processes) instead of the in-memory queue
+        self.fabric = None if fabric is None \
+            else FabricStore(fabric, obs=self.obs)
         self.llm_backend = llm_backend
         self.request_timeout_s = request_timeout_s
         self.max_body_bytes = max_body_bytes
@@ -166,6 +176,9 @@ class ServeApp:
         r.get("/api/jobs/<id>", self._h_job)
         r.post("/api/insights", self._h_post_insight)
         r.post("/api/simulate", self._h_post_simulate)
+        r.get("/api/campaigns", self._h_campaigns)
+        r.get("/api/campaigns/<id>", self._h_campaign)
+        r.post("/api/campaigns", self._h_post_campaign)
         r.get("/", self._h_dashboard)
         r.get("/dashboard", self._h_dashboard)
         r.get("/trace", self._h_trace)
@@ -202,8 +215,15 @@ class ServeApp:
         return response
 
     def close(self, timeout: float | None = 5.0) -> bool:
-        """Graceful drain of the background queue (SIGTERM path)."""
-        return self.jobs.close(timeout)
+        """Graceful drain of the background queue (SIGTERM path).
+
+        Durable jobs need no draining — that is the point: they sit in
+        the fabric store and any launcher finishes them later.
+        """
+        finished = self.jobs.close(timeout)
+        if self.fabric is not None:
+            self.fabric.close()
+        return finished
 
     def clear_caches(self) -> None:
         """Drop the response LRU and the hash memo (benchmark cold
@@ -447,16 +467,35 @@ class ServeApp:
     # -- background jobs -----------------------------------------------------------
 
     def _h_jobs(self, request: Request, params: dict) -> Response:
-        return json_response(
-            {"jobs": [j.to_dict() for j in self.jobs.list_jobs()]})
+        jobs = [j.to_dict() for j in self.jobs.list_jobs()]
+        if self.fabric is not None:
+            jobs += [j.to_dict() for j in self.fabric.list_jobs(
+                campaign=request.query.get("campaign"),
+                state=request.query.get("state"))]
+        return json_response({"jobs": jobs})
 
     def _h_job(self, request: Request, params: dict) -> Response:
         job = self.jobs.get(params["id"])
-        if job is None:
-            raise NotFound(f"no job {params['id']!r}")
-        return json_response(job.to_dict())
+        if job is not None:
+            return json_response(job.to_dict())
+        if self.fabric is not None:
+            durable = self.fabric.get(params["id"])
+            if durable is not None:
+                out = durable.to_dict()
+                if request.query.get("history") in ("1", "true"):
+                    out["transitions"] = \
+                        self.fabric.transitions(durable.id)
+                return json_response(out)
+        raise NotFound(f"no job {params['id']!r}")
 
-    def _submit(self, kind: str, fn) -> Response:
+    def _submit(self, kind: str, payload: dict, fn) -> Response:
+        """Enqueue one job: durably when the fabric is on, else on the
+        in-memory queue.  Same 202-plus-poll-URL contract either way."""
+        if self.fabric is not None:
+            durable = self.fabric.submit(kind, payload)
+            return json_response({"job": durable.to_dict(),
+                                  "poll": f"/api/jobs/{durable.id}"},
+                                 status=202)
         try:
             job = self.jobs.submit(kind, fn)
         except QueueFull as exc:
@@ -480,69 +519,61 @@ class ServeApp:
         return payload
 
     def _h_post_insight(self, request: Request, params: dict) -> Response:
-        payload = self._json_body(request)
-        key = payload.get("chart")
+        body = self._json_body(request)
+        key = body.get("chart")
         if not isinstance(key, str) or not key:
             raise ServeError(400, 'body needs {"chart": "<key>"}')
-        run = self._run(request, payload.get("run"))
+        run = self._run(request, body.get("run"))
         if run.chart_sidecar(key) is None:
             raise NotFound(f"no renderable chart {key!r} in run "
                            f"{run.basename!r}")
-        backend = self.llm_backend
-
-        def analyze() -> dict:
-            from repro.llm import LLMClient
-            from repro.raster import html_to_png
-            from repro.store.store import LAYOUT
-            png = os.path.join(run.root, LAYOUT["png"], key + ".png")
-            if not os.path.exists(png):
-                html = os.path.join(run.root, LAYOUT["html"],
-                                    key + ".html")
-                html_to_png(html, png)
-            client = LLMClient(backend=backend, context=self.obs)
-            resp = client.insight(png)
-            return {"chart": key, "run": run.run_id,
-                    "model": resp.model, "insight": resp.text}
-
-        return self._submit("insight", analyze)
+        payload = {"run": run.run_id, "run_root": run.root,
+                   "chart": key, "backend": self.llm_backend}
+        return self._submit("insight", payload,
+                            lambda: run_insight(payload, self.obs))
 
     def _h_post_simulate(self, request: Request, params: dict) -> Response:
-        payload = self._json_body(request)
-        system = payload.get("system", "testsys")
-        month = payload.get("month", "2024-01")
-        seed = int(payload.get("seed", 0))
-        rate_scale = float(payload.get("rate_scale", 0.05))
-        days = min(31, max(1, int(payload.get("days", 7))))
-        names = payload.get("variants")
-        from repro.cluster import get_system
-        from repro.policylab import PolicySweep, standard_variants
+        # validation errors (ReproError) surface as 400s in dispatch
+        payload = simulate_payload(self._json_body(request))
+        return self._submit("simulate", payload,
+                            lambda: run_simulate(payload, self.obs))
+
+    # -- campaigns (fabric only) ---------------------------------------------------
+
+    def _fabric_or_503(self) -> FabricStore:
+        if self.fabric is None:
+            raise ServeError(503, "campaigns need the durable job "
+                                  "fabric (start with repro-serve "
+                                  "--fabric)")
+        return self.fabric
+
+    def _h_campaigns(self, request: Request, params: dict) -> Response:
+        fabric = self._fabric_or_503()
+        return json_response({"campaigns": fabric.list_campaigns()})
+
+    def _h_campaign(self, request: Request, params: dict) -> Response:
+        fabric = self._fabric_or_503()
         try:
-            profile = get_system(system)
-            start, end = month_bounds(month)
-        except (ConfigError, DataError) as exc:
-            raise ServeError(400, str(exc)) from None
-        if not 0 < rate_scale <= 1.0:
-            raise ServeError(400, "rate_scale must be in (0, 1]")
-        variants = standard_variants(seed=seed)
-        if names is not None:
-            known = {v.name: v for v in variants}
-            missing = [n for n in names if n not in known]
-            if missing:
-                raise ServeError(400, f"unknown variants {missing}; "
-                                      f"have {sorted(known)}")
-            variants = [known[n] for n in names]
+            status = fabric.campaign_status(params["id"])
+        except DataError:
+            raise NotFound(f"no campaign {params['id']!r}") from None
+        if request.query.get("jobs") in ("1", "true"):
+            status["jobs"] = [j.to_dict() for j in
+                              fabric.list_jobs(campaign=params["id"])]
+        return json_response(status)
 
-        def simulate() -> dict:
-            import dataclasses
-            from repro.workload import WorkloadGenerator, workload_for
-            gen = WorkloadGenerator(workload_for(system), seed=seed,
-                                    rate_scale=rate_scale)
-            stream = gen.generate(start, min(end, start + days * 86400))
-            sweep = PolicySweep(profile, stream)
-            outcomes = [sweep.evaluate(v) for v in variants]
-            return {"system": system, "month": month,
-                    "n_requests": len(stream),
-                    "outcomes": [dataclasses.asdict(o)
-                                 for o in outcomes]}
-
-        return self._submit("simulate", simulate)
+    def _h_post_campaign(self, request: Request, params: dict) -> Response:
+        """Durably enqueue one parameter-sweep campaign (idempotent:
+        resubmitting the same name+spec resumes it)."""
+        fabric = self._fabric_or_503()
+        body = self._json_body(request)
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServeError(400, 'body needs {"name": "<campaign>"}')
+        spec = body.get("spec", {})
+        if not isinstance(spec, dict):
+            raise ServeError(400, "spec must be a JSON object")
+        status = submit_campaign(fabric, name, spec)
+        return json_response(
+            {"campaign": status,
+             "poll": f"/api/campaigns/{status['id']}"}, status=202)

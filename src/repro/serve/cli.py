@@ -56,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="request body limit (KiB; larger -> 413)")
     p.add_argument("--llm-backend", default="chart-analyst",
                    help="backend for POST /api/insights jobs")
+    p.add_argument("--fabric", nargs="?", const="auto", default=None,
+                   metavar="DB",
+                   help="enqueue POST jobs into the durable fabric "
+                        "store instead of the in-memory queue "
+                        "(default DB: <first workdir>/.store/"
+                        "fabric.sqlite3; run repro-launcher to "
+                        "execute them)")
     p.add_argument("--verbose", action="store_true",
                    help="log each request to stderr")
     return p
@@ -63,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    fabric = args.fabric
+    if fabric == "auto":
+        from repro.fabric import fabric_db_path
+        fabric = fabric_db_path(args.workdir[0])
     try:
         app = ServeApp(
             args.workdir,
@@ -72,7 +83,8 @@ def main(argv: list[str] | None = None) -> int:
             job_workers=args.job_workers,
             job_capacity=args.job_capacity,
             request_timeout_s=args.timeout or None,
-            max_body_bytes=args.max_body_kb * 1024)
+            max_body_bytes=args.max_body_kb * 1024,
+            fabric=fabric)
         server = ServeServer(app, host=args.host, port=args.port,
                              verbose=args.verbose)
     except (ReproError, OSError) as exc:
@@ -89,9 +101,9 @@ def main(argv: list[str] | None = None) -> int:
 
     host, port = server.address
     runs = ", ".join(r.basename for r in app.registry.runs)
-    print(f"repro-serve: {runs} on http://{host}:{port} "
-          f"(jobs: {args.job_workers} workers, "
-          f"queue {args.job_capacity})")
+    mode = f"fabric {fabric}" if fabric else \
+        f"jobs: {args.job_workers} workers, queue {args.job_capacity}"
+    print(f"repro-serve: {runs} on http://{host}:{port} ({mode})")
     server.start()
     try:
         while not stop.wait(timeout=0.2):   # pragma: no cover - signal loop

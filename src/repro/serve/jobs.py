@@ -118,16 +118,20 @@ class JobQueue:
             self._seq += 1
             job = Job(id=f"job-{self._seq}", kind=kind)
             self._jobs[job.id] = job
+            # counted before the job becomes visible to workers: a fast
+            # worker finishing between put_nowait and a late increment
+            # would drive the counter to -1 and let drain() return with
+            # work still in flight
+            self._outstanding += 1
         try:
             self._queue.put_nowait((job, fn))
         except queue.Full:
             with self._lock:
                 del self._jobs[job.id]
+                self._outstanding -= 1
             self._count("serve.jobs.rejected")
             raise QueueFull(
                 f"job queue full ({self.capacity} queued)") from None
-        with self._lock:
-            self._outstanding += 1
         self._count("serve.jobs.submitted")
         self._gauges()
         return job
@@ -163,6 +167,11 @@ class JobQueue:
                         type(exc), exc)).strip()
                     job.finished_s = time.time()
                 self._count("serve.jobs.failed")
+                if not isinstance(exc, Exception):
+                    # KeyboardInterrupt/SystemExit must still stop the
+                    # thread — record the failure, then propagate (the
+                    # finally clause below keeps the counters honest)
+                    raise
             else:
                 with self._lock:
                     job.status = "done"
@@ -183,24 +192,80 @@ class JobQueue:
         """Stop accepting work and wait for queued + running jobs.
 
         Returns ``True`` when everything finished within ``timeout``.
+        The deadline is monotonic: a wall-clock jump (NTP step, DST)
+        can neither extend nor truncate shutdown.
         """
         with self._lock:
             self._accepting = False
-        deadline = None if timeout is None else time.time() + timeout
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
         with self._idle:
             while self._outstanding:
-                rem = None if deadline is None else deadline - time.time()
+                rem = None if deadline is None \
+                    else deadline - time.monotonic()
                 if rem is not None and rem <= 0:
                     return False
                 self._idle.wait(timeout=0.05 if rem is None
                                 else min(0.05, rem))
         return True
 
+    def _discard_queued(self) -> int:
+        """Pop queued-but-unstarted jobs, failing them as cancelled.
+
+        Runs only after a drain timeout: whatever is still *queued*
+        will never be started, so report that honestly instead of
+        leaving the entries pending forever (or blocking shutdown on a
+        full queue).  Returns how many jobs were discarded.
+        """
+        n = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return n
+            if item is None:
+                # someone's shutdown sentinel: hand it back to a worker
+                try:
+                    self._queue.put_nowait(None)
+                except queue.Full:      # pragma: no cover - defensive
+                    pass
+                return n
+            job, _fn = item
+            with self._idle:
+                job.status = "failed"
+                job.error = "cancelled at shutdown"
+                job.finished_s = time.time()
+                self._outstanding -= 1
+                self._idle.notify_all()
+            self._queue.task_done()
+            self._count("serve.jobs.cancelled")
+            n += 1
+
     def close(self, timeout: float | None = 5.0) -> bool:
-        """Drain, then stop the worker threads."""
+        """Drain, then stop the worker threads.
+
+        A timed-out drain leaves jobs in the queue; a blocking
+        ``put(None)`` on that full queue would hang shutdown forever.
+        Instead the leftovers are discarded (marked failed, `cancelled
+        at shutdown`) and the sentinels injected without blocking,
+        bounded by a one-second monotonic budget for workers stuck on
+        a job that never returns.
+        """
         finished = self.drain(timeout)
-        for _ in self._threads:
-            self._queue.put(None)
+        if not finished:
+            self._discard_queued()
+        sentinels = len(self._threads)
+        stop_by = time.monotonic() + 1.0
+        while sentinels:
+            try:
+                self._queue.put_nowait(None)
+                sentinels -= 1
+            except queue.Full:
+                if not self._discard_queued():
+                    if time.monotonic() >= stop_by:
+                        break           # stuck worker; threads are daemonic
+                    time.sleep(0.005)
         for t in self._threads:
             t.join(timeout=1.0)
+        self._gauges()
         return finished

@@ -204,6 +204,149 @@ class TestJobQueue:
         assert q.get("job-999") is None
         q.close()
 
+    def test_outstanding_never_negative_under_stress(self):
+        # regression: _outstanding used to be incremented after the job
+        # was already visible to workers, so a fast worker could drive
+        # it negative and let drain() return with work still in flight
+        q = JobQueue(workers=4, capacity=8)
+        samples = []
+        stop = threading.Event()
+
+        def watch():
+            while not stop.is_set():
+                samples.append(q._outstanding)
+
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        for _ in range(300):
+            while True:
+                try:
+                    q.submit("tick", lambda: None)
+                    break
+                except QueueFull:
+                    time.sleep(0.0005)
+        assert q.drain(timeout=10)
+        stop.set()
+        watcher.join(timeout=5)
+        assert samples and min(samples) >= 0
+        assert q._outstanding == 0
+        q.close()
+
+    def test_close_with_full_queue_does_not_hang(self):
+        # regression: close() used a blocking put(None) per worker; with
+        # the queue still full after a timed-out drain it never returned
+        from repro.obs import RunContext
+        obs = RunContext()
+        q = JobQueue(workers=1, capacity=2, obs=obs)
+        gate = threading.Event()
+        q.submit("hold", gate.wait)     # occupies the worker
+        deadline = time.monotonic() + 5
+        while q._queue.qsize() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        queued = [q.submit("doomed", lambda: None) for _ in range(2)]
+        t0 = time.monotonic()
+        finished = q.close(timeout=0.1)
+        elapsed = time.monotonic() - t0
+        assert finished is False
+        assert elapsed < 5              # used to hang forever
+        for job in queued:
+            held = q.get(job.id)
+            assert held.status == "failed"
+            assert held.error == "cancelled at shutdown"
+        assert obs.metrics.snapshot()["serve.jobs.cancelled"] == 2
+        gate.set()
+
+    def test_drain_deadline_ignores_wall_clock_jumps(self, monkeypatch):
+        # a time.time()-based deadline would expire instantly when the
+        # wall clock steps forward (NTP, DST); monotonic must not care
+        import repro.serve.jobs as jobs_mod
+
+        class ClockShim:
+            """`time` stand-in with independently steerable clocks."""
+
+            def __init__(self):
+                self.wall_offset = 0.0
+                self.mono_offset = 0.0
+
+            def time(self):
+                return time.time() + self.wall_offset
+
+            def monotonic(self):
+                return time.monotonic() + self.mono_offset
+
+            def sleep(self, s):
+                time.sleep(s)
+
+        shim = ClockShim()
+        monkeypatch.setattr(jobs_mod, "time", shim)
+        q = JobQueue(workers=1, capacity=4)
+        for _ in range(3):
+            q.submit("quick", lambda: time.sleep(0.01))
+        shim.wall_offset = 1e6          # massive forward step
+        assert q.drain(timeout=10)      # still finishes, still True
+        q.close()
+
+    def test_drain_deadline_follows_monotonic_clock(self, monkeypatch):
+        import repro.serve.jobs as jobs_mod
+
+        class ClockShim:
+            def __init__(self):
+                self.mono_offset = 0.0
+
+            def time(self):
+                return time.time()
+
+            def monotonic(self):
+                return time.monotonic() + self.mono_offset
+
+            def sleep(self, s):
+                time.sleep(s)
+
+        shim = ClockShim()
+        monkeypatch.setattr(jobs_mod, "time", shim)
+        q = JobQueue(workers=1, capacity=4)
+        gate = threading.Event()
+        q.submit("hold", gate.wait)
+
+        def advance():
+            time.sleep(0.1)
+            shim.mono_offset = 3600.0   # fake an hour passing
+
+        threading.Thread(target=advance, daemon=True).start()
+        t0 = time.monotonic()
+        assert q.drain(timeout=30.0) is False
+        assert time.monotonic() - t0 < 5
+        gate.set()
+        q.close()
+
+    def test_worker_reraises_keyboard_interrupt(self, monkeypatch):
+        # regression: `except BaseException` swallowed KeyboardInterrupt
+        # and SystemExit, keeping the worker alive through a Ctrl-C
+        escaped = []
+        monkeypatch.setattr(
+            threading, "excepthook",
+            lambda hook_args: escaped.append(hook_args.exc_type))
+        q = JobQueue(workers=1, capacity=4)
+
+        def interrupt():
+            raise KeyboardInterrupt("simulated ctrl-c")
+
+        job = q.submit("interrupt", interrupt)
+        deadline = time.monotonic() + 5
+        while (q.get(job.id).status != "failed"
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        failed = q.get(job.id)
+        assert failed.status == "failed"
+        assert "KeyboardInterrupt" in failed.error
+        deadline = time.monotonic() + 5
+        while (any(t.is_alive() for t in q._threads)
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        # the exception propagated out of the worker (thread is dead)
+        assert not any(t.is_alive() for t in q._threads)
+        assert escaped == [KeyboardInterrupt]
+
 
 class TestRunDir:
     def test_run_id_from_manifest(self, served_workdir):

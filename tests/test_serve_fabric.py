@@ -1,0 +1,166 @@
+"""Tests for ``repro-serve --fabric``: the durable job path of the API.
+
+The transport-free :class:`ServeApp` is constructed with a fabric
+database, so ``POST`` endpoints enqueue durable jobs instead of
+in-memory closures; an in-process :class:`Launcher` plays the part of
+the separate ``repro-launcher`` process.  Crash/kill recovery is
+covered in ``tests/test_fabric.py`` — here the subject is the HTTP
+contract: 202-plus-poll-URL, job/campaign status endpoints, the 503
+without a fabric, and the ``serve.fabric.*`` metrics.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.fabric import Launcher
+from repro.serve import Request, ServeApp
+from repro.workflows import SchedulingAnalysisWorkflow, WorkflowConfig
+
+#: a deliberately tiny sweep: 2 seeds x 1 variant over one day
+CAMPAIGN_SPEC = {"system": "testsys", "month": "2024-01",
+                 "days": 1, "rate_scale": 0.01,
+                 "seeds": [0, 1], "variants": ["baseline"]}
+
+
+@pytest.fixture(scope="module")
+def served_workdir(tmp_path_factory):
+    workdir = str(tmp_path_factory.mktemp("served-fabric"))
+    cfg = WorkflowConfig(system="testsys", months=("2024-01",),
+                         workdir=workdir, workers=2, seed=5,
+                         rate_scale=0.04)
+    SchedulingAnalysisWorkflow(cfg).run()
+    return workdir
+
+
+@pytest.fixture(scope="module")
+def app(served_workdir, tmp_path_factory):
+    db = str(tmp_path_factory.mktemp("fabric") / "fabric.sqlite3")
+    app = ServeApp([served_workdir], job_workers=1, job_capacity=4,
+                   request_timeout_s=30.0, fabric=db)
+    yield app
+    app.close()
+
+
+def get(app, path, query=None):
+    return app.dispatch(Request(method="GET", path=path,
+                                query=query or {}))
+
+
+def post(app, path, payload):
+    return app.dispatch(Request(method="POST", path=path,
+                                body=json.dumps(payload).encode()))
+
+
+def body_json(resp):
+    return json.loads(resp.body.decode("utf-8"))
+
+
+def run_launcher(app, max_jobs):
+    """Execute ``max_jobs`` durable jobs in-process, then return."""
+    launcher = Launcher(app.fabric, workers=1, lease_s=10.0,
+                        poll_s=0.01, max_jobs=max_jobs)
+    return launcher.run(threading.Event())
+
+
+class TestFabricMode:
+    def test_simulate_enqueues_durably_and_completes(self, app):
+        resp = post(app, "/api/simulate",
+                    {"system": "testsys", "month": "2024-01",
+                     "days": 1, "rate_scale": 0.01,
+                     "variants": ["baseline"]})
+        assert resp.status == 202
+        submitted = body_json(resp)
+        job = submitted["job"]
+        assert job["durable"] is True and job["status"] == "pending"
+        assert submitted["poll"] == f"/api/jobs/{job['id']}"
+        # the server holds no executor: the job stays pending until a
+        # launcher shows up
+        assert body_json(get(app, submitted["poll"]))["status"] == \
+            "pending"
+        stats = run_launcher(app, max_jobs=1)
+        assert stats.completed == 1
+        done = body_json(get(app, submitted["poll"]))
+        assert done["status"] == "done"
+        names = [o["name"] for o in done["result"]["outcomes"]]
+        assert names == ["baseline"]
+
+    def test_job_history_query(self, app):
+        resp = post(app, "/api/simulate",
+                    {"days": 1, "rate_scale": 0.01,
+                     "variants": ["baseline"]})
+        job_id = body_json(resp)["job"]["id"]
+        run_launcher(app, max_jobs=1)
+        hist = body_json(get(app, f"/api/jobs/{job_id}",
+                             query={"history": "1"}))
+        steps = [(t["from"], t["to"]) for t in hist["transitions"]]
+        assert steps == [("", "pending"), ("pending", "leased"),
+                         ("leased", "running"), ("running", "done")]
+
+    def test_validation_still_a_400(self, app):
+        assert post(app, "/api/simulate",
+                    {"system": "notasystem"}).status == 400
+        assert post(app, "/api/simulate",
+                    {"variants": ["nope"]}).status == 400
+
+    def test_jobs_listing_merges_durable_jobs(self, app):
+        jobs = body_json(get(app, "/api/jobs"))["jobs"]
+        assert any(j.get("durable") for j in jobs)
+
+    def test_campaign_submit_status_resume(self, app):
+        resp = post(app, "/api/campaigns",
+                    {"name": "smoke", "spec": CAMPAIGN_SPEC})
+        assert resp.status == 202
+        first = body_json(resp)
+        cid = first["campaign"]["id"]
+        assert cid.startswith("cp-")
+        assert first["campaign"]["n_jobs"] == 2
+        assert first["poll"] == f"/api/campaigns/{cid}"
+        # resubmission resumes (same id, no duplicate members)
+        again = body_json(post(app, "/api/campaigns",
+                               {"name": "smoke",
+                                "spec": CAMPAIGN_SPEC}))
+        assert again["campaign"]["id"] == cid
+        assert again["campaign"]["n_jobs"] == 2
+
+        listing = body_json(get(app, "/api/campaigns"))["campaigns"]
+        assert any(c["id"] == cid for c in listing)
+
+        run_launcher(app, max_jobs=2)
+        status = body_json(get(app, f"/api/campaigns/{cid}",
+                               query={"jobs": "true"}))
+        assert status["done"] is True
+        assert status["states"]["done"] == 2
+        assert [j["status"] for j in status["jobs"]] == ["done", "done"]
+        # done members stay done across yet another resubmission
+        final = body_json(post(app, "/api/campaigns",
+                               {"name": "smoke",
+                                "spec": CAMPAIGN_SPEC}))
+        assert final["campaign"]["states"]["done"] == 2
+
+    def test_campaign_validation(self, app):
+        assert post(app, "/api/campaigns", {}).status == 400
+        assert post(app, "/api/campaigns",
+                    {"name": "x", "spec": []}).status == 400
+        assert post(app, "/api/campaigns",
+                    {"name": "x",
+                     "spec": {"seeds": []}}).status == 400
+        assert get(app, "/api/campaigns/cp-missing").status == 404
+
+    def test_fabric_metrics_exposed(self, app):
+        text = get(app, "/metrics").body.decode()
+        assert "repro_serve_fabric_submitted_total" in text
+        assert "# TYPE repro_serve_fabric_pending gauge" in text
+
+    def test_campaigns_503_without_fabric(self, served_workdir):
+        plain = ServeApp([served_workdir], job_workers=1,
+                         job_capacity=2)
+        try:
+            assert get(plain, "/api/campaigns").status == 503
+            resp = post(plain, "/api/campaigns",
+                        {"name": "x", "spec": CAMPAIGN_SPEC})
+            assert resp.status == 503
+            assert "--fabric" in body_json(resp)["error"]["message"]
+        finally:
+            plain.close()
