@@ -1,0 +1,201 @@
+"""Paper-scale gate: a sharded synthetic year within wall & memory budgets.
+
+The paper's full Frontier dataset is ~1.5 M jobs / ~18 M job-steps per
+year — far beyond what the classic materialize-everything workflow can
+hold.  This bench builds that year with the sharded pipeline
+(:func:`repro.workflows.shard.run_sharded`: chained boundary-state
+shards, streaming per-month emit) and gates two budgets:
+
+``wall``
+    end-to-end build time (``--max-seconds``);
+``peak RSS``
+    the high-water mark of the orchestrator *and* the largest worker
+    process (``ru_maxrss`` for ``RUSAGE_SELF`` + ``RUSAGE_CHILDREN``,
+    gated by ``--max-rss-mb``).  The sharded design's claim is that no
+    stage materializes the year — memory is bounded by one month plus
+    the live boundary state — and this gate is where the claim is
+    enforced, not just documented.
+
+The workload is a dedicated profile calibrated to the paper's scale
+(``paper_scale_profile``): Frontier's node counts, ~156 submissions/hr,
+a heavy multi-step mtask class pushing job-steps to ~12x jobs.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_paper_scale.py          # full year
+    PYTHONPATH=src python benchmarks/bench_paper_scale.py --quick  # CI leg
+
+or under pytest (quick shape only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_paper_scale.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import tempfile
+import time
+
+from repro._util.tables import TextTable
+from repro.cluster import get_system
+from repro.sched.simulator import SimConfig
+from repro.workflows.shard import run_sharded
+from repro.workload.profiles import ClassParams, WorkloadProfile
+from repro.workload.spec import profile_to_spec
+
+FULL_MONTHS = [f"2024-{m:02d}" for m in range(1, 13)]
+QUICK_MONTHS = ["2024-01", "2024-02"]
+SEED = 11
+
+
+def paper_scale_profile() -> WorkloadProfile:
+    """Frontier at the paper's volume: ~1.5 M jobs, ~18 M steps/year.
+
+    Four classes: a broad simulation mix, a many-step mtask class (the
+    job-step multiplier of Figure 1), rare hero runs big enough to
+    stress the allocator across shard cuts, and a failure-prone debug
+    stream.  Arrival 156/hr with Frontier's diurnal/weekend shape.
+    """
+    return WorkloadProfile(
+        system=get_system("frontier"),
+        classes={
+            "simulation": ClassParams(
+                weight=0.55, node_lo=1, node_hi=128,
+                runtime_median_s=3600, runtime_sigma=1.0,
+                steps_mean=3.0, uses_gpu=True, prob_request_max=0.15),
+            "mtask": ClassParams(
+                weight=0.25, node_lo=1, node_hi=16,
+                runtime_median_s=2400, runtime_sigma=0.9,
+                steps_mean=37.0, prob_request_max=0.12),
+            "hero": ClassParams(
+                weight=0.002, node_lo=512, node_hi=2048,
+                runtime_median_s=4 * 3600, runtime_sigma=0.5,
+                steps_mean=3.0, uses_gpu=True, prob_request_max=0.4),
+            "debug": ClassParams(
+                weight=0.2, node_lo=1, node_hi=32,
+                runtime_median_s=600, runtime_sigma=0.8,
+                steps_mean=1.5, partition="debug", qos="debug",
+                fail_mult=1.8, prob_request_max=0.3),
+        },
+        arrival_rate=156.0, diurnal_amp=0.45, weekend_factor=0.6,
+        burst_rate_per_week=1.5, n_users=1000,
+        failure_alpha=0.5, failure_beta=3.0, cancel_scale=0.06,
+        overrequest_median=3.0, overrequest_spread=0.5,
+        array_frac=0.04, array_size_mean=8.0, dep_frac=0.05)
+
+
+def peak_rss_mb() -> float:
+    """High-water RSS in MiB: this process or its largest child."""
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    scale = 1024.0 if sys.platform != "darwin" else 1024.0 * 1024.0
+    return max(self_kb, child_kb) / scale
+
+
+def run_build(months, shards: int, procs: int, rate_scale: float,
+              out_dir: str) -> dict:
+    profile = paper_scale_profile()
+    t0 = time.perf_counter()
+    report = run_sharded(
+        "frontier", list(months), out_dir, shards=shards, procs=procs,
+        seed=SEED, rate_scale=rate_scale, config=SimConfig(seed=SEED),
+        profile_spec=profile_to_spec(profile), manifests=False)
+    wall_s = time.perf_counter() - t0
+    return {"months": len(report.months), "shards": shards,
+            "procs": procs, "rate_scale": rate_scale,
+            "n_jobs": report.n_jobs, "n_steps": report.n_steps,
+            "carried": report.carried_total,
+            "live_jobs_hwm": report.live_jobs_hwm,
+            "wall_s": round(wall_s, 2),
+            "peak_rss_mb": round(peak_rss_mb(), 1)}
+
+
+def render(result: dict, title: str) -> str:
+    table = TextTable(["metric", "value"], title=title)
+    table.add_row(["months x shards x procs",
+                   f"{result['months']} x {result['shards']} x "
+                   f"{result['procs']}"])
+    table.add_row(["jobs", f"{result['n_jobs']:,}"])
+    table.add_row(["job-steps", f"{result['n_steps']:,}"])
+    table.add_row(["carried across cuts", f"{result['carried']:,}"])
+    table.add_row(["peak live jobs", f"{result['live_jobs_hwm']:,}"])
+    table.add_row(["wall seconds", f"{result['wall_s']:,.1f}"])
+    table.add_row(["peak RSS (MiB)", f"{result['peak_rss_mb']:,.1f}"])
+    return table.render()
+
+
+def test_paper_scale_quick(tmp_path):
+    """Pytest smoke: a miniature sharded year-slice builds every month
+    artifact with cross-shard carry-over accounted for."""
+    result = run_build(QUICK_MONTHS, shards=2, procs=1,
+                       rate_scale=0.005, out_dir=str(tmp_path / "out"))
+    print()
+    print(render(result, "paper-scale (pytest smoke)"))
+    assert result["n_jobs"] > 0 and result["n_steps"] > 0
+    for month in QUICK_MONTHS:
+        for stem in (f"{month}-jobs", f"{month}-steps"):
+            assert (tmp_path / "out" / "data" / f"{stem}.csv").exists()
+            assert (tmp_path / "out" / "data" / f"{stem}.npf").exists()
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="2 months at reduced rate (CI leg)")
+    ap.add_argument("--shards", type=int, default=None,
+                    help="shard count (default: 4 full, 2 quick)")
+    ap.add_argument("--procs", type=int, default=2,
+                    help="worker processes")
+    ap.add_argument("--max-seconds", type=float, default=None,
+                    help="wall-time gate (default: 3600 full, 600 quick)")
+    ap.add_argument("--max-rss-mb", type=float, default=None,
+                    help="peak-RSS gate in MiB (default: 6144 full, "
+                         "4096 quick)")
+    ap.add_argument("--out", default=None,
+                    help="write bench_paper_scale.json results here")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        months, rate = QUICK_MONTHS, 0.2
+        shards = args.shards or 2
+        max_s = args.max_seconds or 600.0
+        max_mb = args.max_rss_mb or 4096.0
+        title = "paper-scale build (quick: 2 months @ 0.2x rate)"
+    else:
+        months, rate = FULL_MONTHS, 1.0
+        shards = args.shards or 4
+        max_s = args.max_seconds or 3600.0
+        max_mb = args.max_rss_mb or 6144.0
+        title = "paper-scale build (full synthetic year)"
+
+    with tempfile.TemporaryDirectory(prefix="bench-paper-scale-") as root:
+        result = run_build(months, shards=shards, procs=args.procs,
+                           rate_scale=rate, out_dir=root)
+    print(render(result, title))
+
+    failures = []
+    if result["wall_s"] > max_s:
+        failures.append(f"wall {result['wall_s']:,.1f}s > gate "
+                        f"{max_s:,.1f}s")
+    if result["peak_rss_mb"] > max_mb:
+        failures.append(f"peak RSS {result['peak_rss_mb']:,.1f} MiB > "
+                        f"gate {max_mb:,.1f} MiB")
+    result["gates"] = {"max_seconds": max_s, "max_rss_mb": max_mb,
+                       "passed": not failures}
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "bench_paper_scale.json"),
+                  "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"results kept in {args.out}/")
+    for f in failures:
+        print(f"FAIL: {f}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,8 +24,8 @@ from repro._util.errors import ConfigError, DataError, ReproError
 from repro._util.timefmt import month_bounds
 
 __all__ = ["BUILTIN_RUNNERS", "run_simulate", "run_insight",
-           "run_sleep", "run_noop", "load_runners",
-           "simulate_payload"]
+           "run_sleep", "run_noop", "run_shard_sim", "run_shard_emit",
+           "load_runners", "simulate_payload"]
 
 
 def simulate_payload(body: dict) -> dict:
@@ -112,6 +112,20 @@ def run_insight(payload: dict, obs=None) -> dict:
             "model": resp.model, "insight": resp.text}
 
 
+def run_shard_sim(payload: dict, obs=None) -> dict:
+    """One shard of a chained sharded simulation (paper-scale builds)."""
+    from repro.workflows.shard import run_sim_shard
+
+    return run_sim_shard(payload, obs=obs)
+
+
+def run_shard_emit(payload: dict, obs=None) -> dict:
+    """Finalize + curate one origin month of a sharded simulation."""
+    from repro.workflows.shard import run_emit_month
+
+    return run_emit_month(payload, obs=obs)
+
+
 def run_sleep(payload: dict, obs=None) -> dict:
     """Sleep in small slices (crash-recovery tests kill mid-sleep)."""
     seconds = float(payload.get("seconds", 0.0))
@@ -131,6 +145,8 @@ def run_noop(payload: dict, obs=None) -> dict:
 BUILTIN_RUNNERS = {
     "simulate": run_simulate,
     "insight": run_insight,
+    "shard_sim": run_shard_sim,
+    "shard_emit": run_shard_emit,
     "sleep": run_sleep,
     "noop": run_noop,
 }

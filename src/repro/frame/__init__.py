@@ -10,7 +10,11 @@ hash the key column.
 The API is deliberately tiny but complete for the analytics in this
 repository: ``select/filter/sort/head/assign/group_by/join/concat`` plus
 CSV, pipe-separated, and binary columnar ``.npf`` I/O
-(:mod:`repro.frame.io`).
+(:mod:`repro.frame.io`).  Paper-scale tables additionally stream:
+``iter_table`` yields bounded chunks, :class:`NpfAppender` grows a
+``.npf`` file one row group at a time, and
+:func:`~repro.frame.stream.stream_group_agg` aggregates a chunk stream
+with spill-to-disk partials (:mod:`repro.frame.stream`).
 """
 
 from repro.frame.frame import Frame, GroupBy, concat
@@ -24,7 +28,13 @@ from repro.frame.io import (
     sniff_npf,
     read_table,
     sniff_columns,
+    iter_npf,
+    iter_csv,
+    iter_table,
+    NpfAppender,
+    concat_npf,
 )
+from repro.frame.stream import STREAMABLE_AGGS, stream_group_agg
 
 __all__ = [
     "Frame",
@@ -39,4 +49,11 @@ __all__ = [
     "sniff_npf",
     "read_table",
     "sniff_columns",
+    "iter_npf",
+    "iter_csv",
+    "iter_table",
+    "NpfAppender",
+    "concat_npf",
+    "STREAMABLE_AGGS",
+    "stream_group_agg",
 ]

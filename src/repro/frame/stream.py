@@ -1,0 +1,221 @@
+"""External grouped aggregation over chunk streams.
+
+Paper-scale tables (a year of Frontier steps is ~18M rows) cannot be
+grouped by materializing the table first.  :func:`stream_group_agg`
+consumes an *iterator of Frames* (``iter_table`` chunks), keeps only
+**partial aggregates** per group in memory, and spills sorted runs of
+partials to disk when the group count itself grows too large; a final
+k-way merge produces the same frame an in-memory
+:meth:`~repro.frame.frame.GroupBy.agg` would.
+
+Only *decomposable* aggregations are supported — ``count``, ``sum``,
+``mean`` (kept as sum+count), ``min``, ``max``, ``first``, ``last``.
+Holistic ones (``median``, ``std``, ``nunique``) need the full value
+multiset and are rejected; callers that need them must materialize.
+
+For integer columns results are bit-identical to the in-memory path
+(integer partial sums are exact); float ``mean`` may differ from
+``np.mean`` in the last ulp because chunk sums replace pairwise
+summation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import shutil
+import tempfile
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro._util.errors import DataError
+from repro.frame.frame import Frame
+
+__all__ = ["stream_group_agg", "STREAMABLE_AGGS"]
+
+#: Aggregations with a decomposable partial form.
+STREAMABLE_AGGS = ("count", "sum", "mean", "min", "max", "first", "last")
+
+
+def _merge_state(func: str, old, new):
+    if func in ("count", "sum"):
+        return old + new
+    if func == "mean":                  # state is (sum, count)
+        return (old[0] + new[0], old[1] + new[1])
+    if func == "min":
+        return old if old <= new else new
+    if func == "max":
+        return old if old >= new else new
+    if func == "first":
+        return old
+    return new                          # "last"
+
+
+def _finalize_state(func: str, state):
+    if func == "mean":
+        total, n = state
+        return total / n
+    return state
+
+
+def _sort_token(value) -> tuple:
+    """A totally-ordered stand-in for one group-key component.
+
+    Runs are merged on these tokens; real key tuples break the rare
+    token tie, so distinct groups never collapse.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return (0, "b", str(bool(value)))
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        v = float(value)
+        return (1, "", v if v == v else float("-inf"))
+    if value is None:
+        return (0, "n", "")
+    return (0, "s", str(value))
+
+
+class _Spill:
+    """Sorted runs of pickled ``(token, key, states)`` items."""
+
+    def __init__(self, tmp_dir: str | None) -> None:
+        self.dir = tempfile.mkdtemp(prefix="repro-groupagg-", dir=tmp_dir)
+        self.paths: list[str] = []
+
+    def write_run(self, items: list[tuple]) -> None:
+        path = os.path.join(self.dir, f"run-{len(self.paths):05d}.pkl")
+        with open(path, "wb") as fh:
+            for item in items:
+                pickle.dump(item, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self.paths.append(path)
+
+    @staticmethod
+    def _read(path: str) -> Iterator[tuple]:
+        with open(path, "rb") as fh:
+            while True:
+                try:
+                    yield pickle.load(fh)
+                except EOFError:
+                    return
+
+    def merged(self, final_run: list[tuple]) -> Iterator[tuple]:
+        streams = [self._read(p) for p in self.paths]
+        streams.append(iter(final_run))
+        return heapq.merge(*streams, key=lambda item: item[0])
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+def stream_group_agg(chunks: Iterable[Frame], by: str | Sequence[str],
+                     specs: Mapping[str, tuple[str, str]], *,
+                     max_groups_in_mem: int = 100_000,
+                     tmp_dir: str | None = None) -> Frame:
+    """Grouped aggregation over a stream of Frame chunks.
+
+    ``by`` and ``specs`` mirror :meth:`Frame.group_by` /
+    :meth:`GroupBy.agg` — each spec is ``name=(column, func)`` with
+    ``func`` drawn from :data:`STREAMABLE_AGGS`.  Peak memory is
+    O(``max_groups_in_mem`` + one chunk); beyond that, partials spill
+    to sorted runs under ``tmp_dir`` and are k-way merged at the end.
+    The result matches the in-memory path's rows and ordering.
+    """
+    keys = [by] if isinstance(by, str) else list(by)
+    if not keys:
+        raise DataError("stream_group_agg needs at least one key")
+    if not specs:
+        raise DataError("stream_group_agg needs at least one spec")
+    if max_groups_in_mem <= 0:
+        raise DataError("max_groups_in_mem must be positive")
+    for name, (_col, func) in specs.items():
+        if func not in STREAMABLE_AGGS:
+            raise DataError(
+                f"aggregation {func!r} (spec {name!r}) is not "
+                f"decomposable; streamable: {STREAMABLE_AGGS}")
+
+    # Per-chunk aggregation plan: ``mean`` decomposes into sum+count.
+    chunk_specs: dict[str, tuple[str, str]] = {}
+    for name, (col, func) in specs.items():
+        if func == "mean":
+            chunk_specs[f"{name}\x00sum"] = (col, "sum")
+            chunk_specs[f"{name}\x00cnt"] = (col, "count")
+        else:
+            chunk_specs[name] = (col, func)
+
+    partials: dict[tuple, dict] = {}
+    spill: _Spill | None = None
+
+    def spill_partials() -> None:
+        nonlocal spill, partials
+        if spill is None:
+            spill = _Spill(tmp_dir)
+        items = sorted(
+            ((tuple(_sort_token(v) for v in key), key, states)
+             for key, states in partials.items()),
+            key=lambda item: item[0])
+        spill.write_run(items)
+        partials = {}
+
+    try:
+        for chunk in chunks:
+            if not len(chunk):
+                continue
+            part = chunk.group_by(keys).agg(**chunk_specs)
+            key_cols = [part[k] for k in keys]
+            val_cols = {n: part[n] for n in chunk_specs}
+            for i in range(len(part)):
+                key = tuple(col[i] for col in key_cols)
+                states = partials.get(key)
+                if states is None:
+                    if len(partials) >= max_groups_in_mem:
+                        spill_partials()
+                    states = partials[key] = {}
+                for name, (_col, func) in specs.items():
+                    if func == "mean":
+                        new = (val_cols[f"{name}\x00sum"][i],
+                               val_cols[f"{name}\x00cnt"][i])
+                    else:
+                        new = val_cols[name][i]
+                    if name in states:
+                        states[name] = _merge_state(func, states[name], new)
+                    else:
+                        states[name] = new
+
+        rows: list[dict] = []
+
+        def emit(key: tuple, states: dict) -> None:
+            row = dict(zip(keys, key))
+            for name, (_col, func) in specs.items():
+                row[name] = _finalize_state(func, states[name])
+            rows.append(row)
+
+        if spill is None:
+            for key, states in partials.items():
+                emit(key, states)
+        else:
+            final_run = sorted(
+                ((tuple(_sort_token(v) for v in key), key, states)
+                 for key, states in partials.items()),
+                key=lambda item: item[0])
+            open_key: tuple | None = None
+            open_states: dict | None = None
+            for _token, key, states in spill.merged(final_run):
+                if key == open_key:
+                    for name, (_col, func) in specs.items():
+                        open_states[name] = _merge_state(
+                            func, open_states[name], states[name])
+                else:
+                    if open_key is not None:
+                        emit(open_key, open_states)
+                    open_key, open_states = key, states
+            if open_key is not None:
+                emit(open_key, open_states)
+    finally:
+        if spill is not None:
+            spill.cleanup()
+
+    columns = keys + list(specs)
+    if not rows:
+        return Frame({c: np.array([], dtype=object) for c in columns})
+    return Frame.from_records(rows, columns=columns).sort(keys)

@@ -1,0 +1,117 @@
+"""Merging per-shard run manifests into one run-level manifest.
+
+Sharded execution gives every worker process its own
+:class:`~repro.obs.context.RunContext`; each writes the standard
+manifest triple (``events.jsonl`` / ``provenance.json`` /
+``summary.json``) into its shard directory.  The orchestrator then calls
+:func:`merge_manifests` to fold them into the run root so downstream
+consumers (``repro.serve``, the insight stages, humans) see one manifest
+regardless of how many processes produced it.
+
+Merge semantics follow the metric taxonomy: **counters sum** across
+shards, **gauges take the max** (every registered gauge is a high-water
+mark).  Event streams concatenate in shard order — span timestamps are
+per-process ``perf_counter`` values and are not comparable across
+processes, so no global re-sort is attempted.  Provenance artifacts are
+unioned by path; a path recorded by two shards must carry the same
+content hash (anything else means two shards wrote the same artifact
+differently, which is a real error, not a merge policy question).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro._util.errors import DataError
+from repro.obs.context import (MANIFEST_EVENTS, MANIFEST_PROVENANCE,
+                               MANIFEST_SUMMARY)
+from repro.obs.taxonomy import metric_kind
+
+__all__ = ["merge_manifests", "merge_metrics"]
+
+
+def merge_metrics(snapshots: list[dict]) -> dict:
+    """Fold metric snapshots: counters sum, gauges max (by taxonomy).
+
+    Names absent from the taxonomy merge as counters — the conservative
+    default for dynamic names, which are all counters today.
+    """
+    out: dict[str, float] = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            if name not in out:
+                out[name] = value
+            elif metric_kind(name) == "gauge":
+                out[name] = max(out[name], value)
+            else:
+                out[name] += value
+    return dict(sorted(out.items()))
+
+
+def _read_json(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def merge_manifests(shard_dirs: list[str], out_dir: str,
+                    run_id: str) -> dict[str, str]:
+    """Merge shard manifest directories into ``out_dir``.
+
+    Missing shard manifests are an error — a shard that produced no
+    manifest did not finish, and merging around it would silently
+    under-report the run.  Returns name → merged path.
+    """
+    if not shard_dirs:
+        raise DataError("no shard manifests to merge")
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "events": os.path.join(out_dir, MANIFEST_EVENTS),
+        "provenance": os.path.join(out_dir, MANIFEST_PROVENANCE),
+        "summary": os.path.join(out_dir, MANIFEST_SUMMARY),
+    }
+
+    with open(paths["events"], "w", encoding="utf-8") as out_fh:
+        for d in shard_dirs:
+            with open(os.path.join(d, MANIFEST_EVENTS),
+                      encoding="utf-8") as fh:
+                for line in fh:
+                    out_fh.write(line)
+
+    artifacts: dict[str, dict] = {}
+    for d in shard_dirs:
+        payload = _read_json(os.path.join(d, MANIFEST_PROVENANCE))
+        for rec in payload.get("artifacts", []):
+            prev = artifacts.get(rec["path"])
+            if prev is not None and prev.get("sha256") != rec.get("sha256"):
+                raise DataError(
+                    f"shards disagree on artifact {rec['path']!r}: "
+                    f"{prev.get('sha256')} vs {rec.get('sha256')}")
+            artifacts[rec["path"]] = rec
+    with open(paths["provenance"], "w", encoding="utf-8") as fh:
+        json.dump({"version": 1,
+                   "artifacts": [artifacts[p] for p in sorted(artifacts)]},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    summaries = [_read_json(os.path.join(d, MANIFEST_SUMMARY))
+                 for d in shard_dirs]
+    event_counts: dict[str, int] = {}
+    spans: list[dict] = []
+    for s in summaries:
+        for kind, n in s.get("event_counts", {}).items():
+            event_counts[kind] = event_counts.get(kind, 0) + n
+        spans.extend(s.get("spans", []))
+    merged = {
+        "run_id": run_id,
+        "n_events": sum(s.get("n_events", 0) for s in summaries),
+        "event_counts": dict(sorted(event_counts.items())),
+        "metrics": merge_metrics([s.get("metrics", {}) for s in summaries]),
+        "n_artifacts": len(artifacts),
+        "shards": [s.get("run_id") for s in summaries],
+        "spans": spans,
+    }
+    with open(paths["summary"], "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return paths

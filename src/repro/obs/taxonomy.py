@@ -72,6 +72,16 @@ METRICS: dict[str, MetricDef] = {
     "sched.preemptions":     MetricDef(_C, "jobs preempted"),
     "sched.jobs":            MetricDef(_C, "jobs realized into records"),
     "sched.queue_depth_hwm": MetricDef(_G, "peak pending-queue depth"),
+
+    # -- sharded execution (repro.workflows.shard) -------------------------------
+    "sched.shard.windows":   MetricDef(_C, "generator windows simulated"),
+    "sched.shard.handoffs":  MetricDef(_C, "boundary-state handoffs exported"),
+    "sched.shard.carried_jobs": MetricDef(
+        _C, "live jobs serialized across shard cuts"),
+    "sched.shard.spool_rows": MetricDef(
+        _C, "outcome rows spooled for deferred finalization"),
+    "sched.shard.live_jobs_hwm": MetricDef(
+        _G, "peak live jobs in any shard core"),
     # -- LLM client (repro.llm.client) ------------------------------------------
     "llm.calls":             MetricDef(_C, "completed LLM calls"),
     "llm.failures":          MetricDef(_C, "LLM calls that exhausted retries"),

@@ -30,7 +30,7 @@ from repro.slurm.parse import is_step_jobid, record_from_row
 from repro.store import Artifact, default_hash_cache
 
 __all__ = ["CurateStage", "CurateReport", "JOB_CSV_COLUMNS",
-           "STEP_CSV_COLUMNS"]
+           "STEP_CSV_COLUMNS", "curate_records"]
 
 #: Curated job-row CSV schema (normalized units: epochs, seconds, KiB).
 JOB_CSV_COLUMNS = [
@@ -175,3 +175,34 @@ class CurateStage:
             "MaxRSS": typed.get("MaxRSS", 0) // 1024,
         })
         return row
+
+
+def curate_records(records) -> tuple[list[dict], list[dict]]:
+    """Curate :class:`~repro.slurm.records.JobRecord` objects in memory.
+
+    The sharded pipeline never lands a whole month's sacct pipe text on
+    disk at once; this runs each record through the *actual* emit →
+    parse → curate machinery (``SacctEmitter`` row formatting,
+    :func:`record_from_row` typing, the :class:`CurateStage` row
+    builders) so the result is field-for-field what
+    :meth:`CurateStage.run` produces from the equivalent pipe file —
+    minus only the malformed-row injection, which is an emit-stage
+    fault model, not a property of the jobs.
+
+    Returns ``(job_rows, step_rows)`` dicts keyed by the curated CSV
+    schemas.
+    """
+    from repro.slurm.emit import SacctEmitter
+
+    emitter = SacctEmitter()
+    names = emitter.names
+    job_rows: list[dict] = []
+    step_rows: list[dict] = []
+    for job in records:
+        typed = record_from_row(names, emitter.job_row(job).split("|"))
+        job_rows.append(CurateStage._job_row(typed))
+        for step in job.steps:
+            typed = record_from_row(names,
+                                    emitter.step_row(step).split("|"))
+            step_rows.append(CurateStage._step_row(typed))
+    return job_rows, step_rows

@@ -25,6 +25,8 @@ from repro.sched.nodes import NodePool
 from repro.sched.priority import PriorityModel
 from repro.sched.simulator import Simulator, SimConfig, SimResult
 from repro.sched.run import simulate_month, simulate_range, build_database
+from repro.sched.shard import (ChainSimulator, ShardHandoff,
+                               finalize_outcomes)
 
 __all__ = [
     "NodePool",
@@ -35,4 +37,7 @@ __all__ = [
     "simulate_month",
     "simulate_range",
     "build_database",
+    "ChainSimulator",
+    "ShardHandoff",
+    "finalize_outcomes",
 ]

@@ -43,8 +43,14 @@ def finalize_job(req: JobRequest, jobid: int, system: SystemProfile,
                  start: int, end: int, state: str, backfilled: bool,
                  eligible: int, reason: str, node_ids: list[int],
                  priority: int, array_job_id: int | None,
-                 dependency_text: str = "", restarts: int = 0) -> JobRecord:
-    """Build the full accounting record for one finished job."""
+                 dependency_text: str = "", restarts: int = 0,
+                 node_list: str | None = None) -> JobRecord:
+    """Build the full accounting record for one finished job.
+
+    ``node_list`` overrides the compaction of ``node_ids`` — the shard
+    pipeline compacts at job end and ships only the string, so the raw
+    id list does not have to survive until deferred finalization.
+    """
     elapsed = 0 if start == UNKNOWN_TIME else max(0, end - start)
     exit_code, exit_signal = _EXIT_FOR_STATE[state]
     if state == "FAILED":
@@ -94,7 +100,8 @@ def finalize_job(req: JobRequest, jobid: int, system: SystemProfile,
         req_mem_kib=req.req_mem_kib,
         req_mem_per="n",
         req_gres=req.req_gres,
-        node_list=compact_nodelist(system.node_prefix, node_ids),
+        node_list=(node_list if node_list is not None else
+                   compact_nodelist(system.node_prefix, node_ids)),
         consumed_energy_j=energy,
         state=state,
         exit_code=exit_code,

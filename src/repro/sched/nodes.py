@@ -105,5 +105,39 @@ class NodePool:
         if self.free_count > self.total:
             raise DataError("pool free count exceeded total")
 
+    def reserve(self, ids: list[int]) -> None:
+        """Mark specific node ids as allocated (shard-handoff import:
+        carried-over running jobs re-claim the exact ids they held).
+
+        The free list is a canonical representation of the free *set*
+        (sorted, disjoint, non-adjacent), so reconstructing a pool by
+        reserving each running job's ids — in any order — reproduces
+        the original allocator state exactly.
+        """
+        if not ids:
+            return
+        if not all(a < b for a, b in zip(ids, ids[1:])):
+            ids = sorted(ids)
+        out: list[list[int]] = []
+        k = 0
+        taken = 0
+        for lo, hi in self._free:
+            cur = lo
+            while k < len(ids) and ids[k] <= hi:
+                x = ids[k]
+                if x < cur:
+                    raise DataError(f"node {x} is not free")
+                if x > cur:
+                    out.append([cur, x - 1])
+                cur = x + 1
+                k += 1
+                taken += 1
+            if cur <= hi:
+                out.append([cur, hi])
+        if k < len(ids):
+            raise DataError(f"node {ids[k]} is not free")
+        self._free = out
+        self.free_count -= taken
+
     def intervals(self) -> list[tuple[int, int]]:
         return [tuple(iv) for iv in self._free]

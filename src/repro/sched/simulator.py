@@ -19,6 +19,16 @@ Backfill correctness invariant (tested property): **a backfilled job
 never delays the reservation of the blocked head job** — either it ends
 by the shadow time, or it fits inside the nodes left over at the
 reservation.
+
+The mutable machinery lives in :class:`_SimCore`, which separates the
+*event loop* from the *episode*: requests are ``feed()`` in batches and
+the clock advances with ``drain(until=...)``.  :class:`Simulator` runs
+one feed + full drain (the classic single-process path, event-for-event
+identical to the historical closure implementation);
+:mod:`repro.sched.shard` feeds per-month windows, stops at shard cuts,
+and serializes the live core state into a
+:class:`~repro.sched.shard.ShardHandoff` so the next process resumes
+bit-identically.
 """
 
 from __future__ import annotations
@@ -128,7 +138,7 @@ class _SimJob:
     __slots__ = ("req", "idx", "jobid", "eligible", "start", "end", "state",
                  "backfilled", "node_ids", "reason", "static_prio",
                  "was_head", "done", "finalized", "restarts",
-                 "node_failed_once", "completed_work")
+                 "node_failed_once", "completed_work", "dep_idx")
 
     def __init__(self, req: JobRequest, idx: int, jobid: int,
                  static_prio: int) -> None:
@@ -149,6 +159,7 @@ class _SimJob:
         self.restarts = 0          # requeues so far (node fail, preempt)
         self.node_failed_once = False
         self.completed_work = 0    # checkpointed seconds (resubmits)
+        self.dep_idx: int | None = None   # absolute parent idx, if any
 
     def sort_key(self) -> tuple:
         return queue_key(self.static_prio, self.eligible, self.jobid)
@@ -156,6 +167,437 @@ class _SimJob:
     def est_end(self, now: int) -> int:
         """Walltime-limit based completion estimate (what Slurm knows)."""
         return now + self.req.timelimit_s
+
+
+def _execution(rng, req: JobRequest, restarted: bool = False,
+               completed_work: int = 0) -> tuple[str, int]:
+    """Decide terminal state and elapsed once a job starts.
+
+    A restarted job (post NODE_FAIL requeue) runs its full workload:
+    the hardware fault does not recur.  ``completed_work`` is the
+    checkpointed progress of a resubmitted TIMEOUT job.
+    """
+    limit = req.timelimit_s
+    true_rt = req.true_runtime_s
+    outcome = "COMPLETED" if restarted else req.outcome
+    if outcome == "COMPLETED":
+        remaining = max(1, true_rt - completed_work)
+        if remaining > limit:
+            return "TIMEOUT", limit
+        return "COMPLETED", remaining
+    if outcome == "FAILED":
+        return "FAILED", max(1, min(limit, int(true_rt * rng.uniform(0.05, 0.95))))
+    if outcome == "OUT_OF_MEMORY":
+        return "OUT_OF_MEMORY", max(1, min(limit, int(true_rt * rng.uniform(0.02, 0.5))))
+    if outcome == "NODE_FAIL":
+        return "NODE_FAIL", max(1, min(limit, int(true_rt * rng.uniform(0.01, 0.9))))
+    if outcome == "CANCELLED":
+        return "CANCELLED", max(1, min(limit, int(true_rt * rng.uniform(0.05, 0.9))))
+    raise WorkflowError(f"unknown outcome {outcome!r}")
+
+
+class _SimCore:
+    """The scheduler's live state as one feed/drain/export-able object.
+
+    Execution-time draws come from ``exec_rng``.  Event order is a pure
+    function of the fed requests, so two cores fed the same windows in
+    the same order make the same draws in the same sequence — which is
+    the property shard handoffs rely on when they serialize the
+    generator cursor mid-stream.
+    """
+
+    def __init__(self, system: SystemProfile, config: SimConfig,
+                 exec_rng) -> None:
+        self.system = system
+        self.cfg = config
+        self.exec_rng = exec_rng
+        self.prio = config.priority
+        # node pools: fenced partitions own exclusive id ranges, the
+        # remainder forms the shared pool (key None)
+        pools: dict[str | None, NodePool] = {}
+        next_id = 1
+        fenced_total = 0
+        for part in system.partitions:
+            if part.dedicated_nodes:
+                pools[part.name] = NodePool(part.dedicated_nodes,
+                                            first_id=next_id)
+                next_id += part.dedicated_nodes
+                fenced_total += part.dedicated_nodes
+        pools[None] = NodePool(system.total_nodes - fenced_total,
+                               first_id=next_id)
+        self.pools = pools
+        self.usage = UsageTracker(config.fairshare_half_life_s) \
+            if config.fairshare else None
+        self.events: list[tuple[int, int, int, int]] = []  # (t, kind, seq, idx)
+        self.seq = 0
+        self.jobs: dict[int, _SimJob] = {}
+        self.next_idx = 0
+        self.pending = _PENDING_FACTORY(key=_SimJob.sort_key)
+        self.pending_set: set[int] = set()     # idx of queued jobs
+        self.running: dict[int, _SimJob] = {}  # idx -> job
+        #: per-pool sorted (walltime-based end estimate, idx, nnodes) of
+        #: running jobs, maintained incrementally — the backfill pass
+        #: reads it directly instead of re-sorting every event
+        self.run_ests: dict[str | None, list[tuple[int, int, int]]] = {
+            key: [] for key in pools}
+        self.held: dict[int, list[_SimJob]] = {}   # parent idx -> children
+        self.finished: list[_SimJob] = []
+        #: chain mode drops finished jobs from ``jobs`` to bound memory;
+        #: terminal states of dropped dependency parents park here until
+        #: the window's submits have all been processed
+        self.keep_finished = True
+        self.done_state: dict[int, str] = {}
+        self.dep_parents: set[int] = set()
+        self.n_backfilled = 0
+        self.n_passes = 0
+        self.max_depth = 0
+        self.n_preempted = 0
+
+        for _, window_end in config.maintenance:
+            # wake the scheduler the moment a window closes (kind breaks
+            # same-timestamp ties before seq, so pushing ticks up front
+            # leaves the pop order of the historical implementation
+            # unchanged)
+            heapq.heappush(self.events, (window_end, _TICK, self.seq, -1))
+            self.seq += 1
+
+    # -- feeding -----------------------------------------------------------------
+
+    def pkey(self, req: JobRequest) -> str | None:
+        return req.partition if req.partition in self.pools else None
+
+    def pool_for(self, req: JobRequest) -> NodePool:
+        return self.pools[self.pkey(req)]
+
+    def feed(self, requests: list[JobRequest]) -> int:
+        """Add one batch of requests; returns the batch's base index.
+
+        ``dependency_idx`` / ``array_member_of`` are interpreted
+        relative to the batch (the workload generator emits them
+        within-window), so feeding month windows one at a time yields
+        the same absolute indices as feeding the concatenated year.
+        """
+        base = self.next_idx
+        cfg = self.cfg
+        for i, req in enumerate(requests):
+            idx = base + i
+            job = _SimJob(req, idx, cfg.first_jobid + idx, 0)
+            if req.dependency_idx is not None:
+                dep = base + req.dependency_idx
+                if dep >= idx:
+                    raise WorkflowError(
+                        f"request {i} depends on a later request "
+                        f"{req.dependency_idx}")
+                job.dep_idx = dep
+                self.dep_parents.add(dep)
+            self.jobs[idx] = job
+            heapq.heappush(self.events, (req.submit, _SUBMIT, self.seq, idx))
+            self.seq += 1
+        self.next_idx = base + len(requests)
+        return base
+
+    # -- scheduler mechanics ------------------------------------------------------
+
+    def enqueue(self, job: _SimJob, t: int) -> None:
+        job.eligible = max(job.eligible, t)
+        # priority factors snapshot at enqueue (see priority module)
+        job.static_prio = self.prio.static_priority(
+            self.system, job.req, self.usage, t)
+        self.pending.add(job)
+        self.pending_set.add(job.idx)
+        if job.req.outcome == "CANCELLED" and job.req.cancel_while_pending:
+            heapq.heappush(self.events, (
+                job.eligible + job.req.pending_patience_s,
+                _CANCEL, self.seq, job.idx))
+            self.seq += 1
+
+    def drop_run_est(self, job: _SimJob) -> None:
+        ests = self.run_ests[self.pkey(job.req)]
+        key = (job.est_end(job.start), job.idx, job.req.nnodes)
+        i = bisect_left(ests, key)
+        if i >= len(ests) or ests[i] != key:
+            raise WorkflowError(
+                f"run estimate for job {job.jobid} lost")
+        ests.pop(i)
+
+    def terminal(self, job: _SimJob, t: int, state: str) -> None:
+        """Record a job that ends without running."""
+        job.state = state
+        job.end = t
+        job.done = True
+        self.finished.append(job)
+        self.release_dependents(job, t)
+
+    def release_dependents(self, parent: _SimJob, t: int) -> None:
+        for child in self.held.pop(parent.idx, []):
+            if parent.state == "COMPLETED":
+                child.reason = "Dependency"
+                self.enqueue(child, t)
+            else:
+                # afterok unsatisfiable: Slurm cancels the dependent
+                child.reason = "DependencyNeverSatisfied"
+                self.terminal(child, t, "CANCELLED")
+
+    def start_job(self, job: _SimJob, t: int, backfilled: bool) -> None:
+        req = job.req
+        job.node_ids = self.pool_for(req).allocate(req.nnodes)
+        job.start = t
+        job.backfilled = backfilled
+        job.state, elapsed = _execution(
+            self.exec_rng, req, job.node_failed_once, job.completed_work)
+        job.end = t + elapsed
+        if self.usage is not None:
+            # charge fairshare usage as the allocation begins (the
+            # realized node-seconds are known to the simulator here;
+            # Slurm accrues the same total continuously)
+            self.usage.charge(req.account, req.nnodes * elapsed, t)
+        if job.reason not in ("Dependency", "Preempted", "NodeFail",
+                              "Resubmit") and t > job.eligible:
+            job.reason = "Resources" if job.was_head else "Priority"
+        self.running[job.idx] = job
+        insort(self.run_ests[self.pkey(req)],
+               (job.est_end(t), job.idx, req.nnodes))
+        heapq.heappush(self.events, (job.end, _END, self.seq, job.idx))
+        self.seq += 1
+
+    def try_preempt(self, t: int) -> bool:
+        """Requeue preemptable running jobs to admit a blocked
+        can_preempt head.  Victims come from the head's own pool.
+        Returns True when anything changed."""
+        head = self.pending[0]
+        if not self.system.qos(head.req.qos).can_preempt:
+            return False
+        head_key = self.pkey(head.req)
+        need = head.req.nnodes - self.pools[head_key].free_count
+        victims: list[_SimJob] = []
+        # youngest victims first: least completed work is discarded
+        for job in sorted(self.running.values(), key=lambda j: -j.start):
+            if self.pkey(job.req) == head_key and \
+                    self.system.qos(job.req.qos).preemptable:
+                victims.append(job)
+                need -= job.req.nnodes
+                if need <= 0:
+                    break
+        if need > 0:
+            return False
+        for victim in victims:
+            del self.running[victim.idx]
+            self.drop_run_est(victim)
+            self.pool_for(victim.req).release(victim.node_ids)
+            victim.node_ids = []
+            victim.restarts += 1
+            victim.state = ""
+            victim.backfilled = False
+            victim.reason = "Preempted"
+            self.enqueue(victim, t)
+            self.n_preempted += 1
+        return True
+
+    def sched_pass(self, t: int) -> None:
+        cfg = self.cfg
+        pending = self.pending
+        pending_set = self.pending_set
+        pools = self.pools
+        self.n_passes += 1
+        self.max_depth = max(self.max_depth, len(pending))
+        # 1) start head jobs while they fit (and clear maintenance)
+        def head_clear() -> bool:
+            head = pending[0]
+            return head.req.nnodes <= \
+                self.pool_for(head.req).free_count and \
+                not cfg.maintenance_blocks(t, head.req.timelimit_s)
+
+        while pending and head_clear():
+            job = pending.pop(0)
+            pending_set.discard(job.idx)
+            self.start_job(job, t, backfilled=False)
+        # 1b) preemption: a blocked urgent head may evict standby work
+        if cfg.preemption and pending \
+                and not cfg.maintenance_blocks(
+                    t, pending[0].req.timelimit_s) \
+                and self.try_preempt(t):
+            while pending and head_clear():
+                job = pending.pop(0)
+                pending_set.discard(job.idx)
+                self.start_job(job, t, backfilled=False)
+        if not pending or not cfg.backfill:
+            return
+        # 2) EASY backfill around the blocked head (the head's pool
+        # gets a reservation; other pools run their own FIFO heads)
+        head = pending[0]
+        head.was_head = True
+        head_key = self.pkey(head.req)
+        need = head.req.nnodes
+        # shadow time: when enough running jobs of the head's pool
+        # will have ended (by their walltime limits) to fit the head
+        free = pools[head_key].free_count
+        shadow = None
+        extra = 0
+        for est_end, _, nn in self.run_ests[head_key]:
+            free += nn
+            if free >= need:
+                shadow = est_end
+                extra = free - need
+                break
+        if shadow is None:
+            # head can never fit (larger than its pool) — guarded
+            # at generation time, but stay safe
+            return
+        blocked_pools: set[str | None] = {head_key}
+        # per-pass snapshot of pool headroom: one dict read per
+        # candidate instead of repeated attribute chains; start_job
+        # keeps the true counts, the snapshot mirrors them locally
+        free_snap = {key: pool.free_count
+                     for key, pool in pools.items()}
+        # snapshot the scan window once: the candidates examined are
+        # exactly the first backfill_depth jobs behind the head, in
+        # queue order, and removing a started candidate never
+        # reorders the ones after it
+        for job in pending.islice(1, cfg.backfill_depth + 1):
+            nn = job.req.nnodes
+            key = self.pkey(job.req)
+            blocked_by_maint = cfg.maintenance_blocks(
+                t, job.req.timelimit_s)
+            if key != head_key:
+                # another pool: strict FIFO within this pass — its
+                # first blocked job fences the rest of that pool
+                if key not in blocked_pools and not blocked_by_maint \
+                        and nn <= free_snap[key]:
+                    pending.remove(job)
+                    pending_set.discard(job.idx)
+                    self.start_job(job, t, backfilled=False)
+                    free_snap[key] -= nn
+                    continue
+                if blocked_by_maint or nn > free_snap[key]:
+                    blocked_pools.add(key)
+                continue
+            if nn <= free_snap[key] and not blocked_by_maint:
+                fits_before_shadow = t + job.req.timelimit_s <= shadow
+                if fits_before_shadow or nn <= extra:
+                    if not fits_before_shadow:
+                        extra -= nn
+                    pending.remove(job)
+                    pending_set.discard(job.idx)
+                    self.start_job(job, t, backfilled=True)
+                    free_snap[key] -= nn
+                    self.n_backfilled += 1
+
+    # -- the event loop -----------------------------------------------------------
+
+    def drain(self, until: int | None = None) -> None:
+        """Process events strictly before ``until`` (all of them when
+        None).  Stopping is only legal at a timestamp boundary — the
+        shard orchestrator always cuts at month edges."""
+        events = self.events
+        jobs = self.jobs
+        cfg = self.cfg
+        while events:
+            t = events[0][0]
+            if until is not None and t >= until:
+                return
+            dirty = False
+            while events and events[0][0] == t:
+                _, kind, _, idx = heapq.heappop(events)
+                if kind == _TICK:
+                    dirty = True
+                    continue
+                job = jobs.get(idx)
+                if job is None:
+                    # chain mode dropped this job after it finished; any
+                    # event still pointing at it (a stale pending-cancel)
+                    # is a no-op, exactly as the guards below would be
+                    continue
+                if kind == _SUBMIT:
+                    dep = job.dep_idx
+                    if dep is not None:
+                        parent = jobs.get(dep)
+                        if parent is None or parent.done:
+                            state = parent.state if parent is not None \
+                                else self.done_state[dep]
+                            if state == "COMPLETED":
+                                job.reason = "Dependency"
+                                self.enqueue(job, t)
+                            else:
+                                job.reason = "DependencyNeverSatisfied"
+                                self.terminal(job, t, "CANCELLED")
+                        else:
+                            job.reason = "Dependency"
+                            self.held.setdefault(dep, []).append(job)
+                    else:
+                        self.enqueue(job, t)
+                    dirty = True
+                elif kind == _END:
+                    if job.idx in self.running and job.end == t:
+                        del self.running[job.idx]
+                        self.drop_run_est(job)
+                        self.pool_for(job.req).release(job.node_ids)
+                        if job.state == "NODE_FAIL" \
+                                and cfg.requeue_node_fail \
+                                and not job.node_failed_once:
+                            # hardware loss: requeue once; the record
+                            # keeps the final run with Restarts bumped
+                            job.restarts += 1
+                            job.node_failed_once = True
+                            job.state = ""
+                            job.node_ids = []
+                            job.backfilled = False
+                            job.reason = "NodeFail"
+                            self.enqueue(job, t)
+                        elif job.state == "TIMEOUT" \
+                                and job.req.outcome == "COMPLETED" \
+                                and job.restarts < cfg.resubmit_timeouts:
+                            # checkpoint/resubmit: continue from where
+                            # the limit cut the job off
+                            job.completed_work += t - job.start
+                            job.restarts += 1
+                            job.state = ""
+                            job.node_ids = []
+                            job.backfilled = False
+                            job.reason = "Resubmit"
+                            self.enqueue(job, t)
+                        else:
+                            job.done = True
+                            self.finished.append(job)
+                            self.release_dependents(job, t)
+                        dirty = True
+                elif kind == _CANCEL:
+                    if job.idx in self.pending_set:
+                        self.pending_set.discard(job.idx)
+                        self.pending.remove(job)
+                        self.terminal(job, t, "CANCELLED")
+                        dirty = True
+            if dirty:
+                self.sched_pass(t)
+
+    def take_finished(self) -> list[_SimJob]:
+        """Hand over (and clear) the jobs finished since the last call.
+
+        With ``keep_finished`` off, finished jobs leave the ``jobs``
+        dict here — terminal states of dependency parents are parked in
+        ``done_state`` until :meth:`end_window` declares the window's
+        submits processed.
+        """
+        out = self.finished
+        self.finished = []
+        if not self.keep_finished:
+            for job in out:
+                if job.idx in self.dep_parents:
+                    self.done_state[job.idx] = job.state
+                del self.jobs[job.idx]
+        return out
+
+    def end_window(self) -> None:
+        """Forget dependency bookkeeping for a fully-drained window
+        (dependencies never span generator windows)."""
+        self.done_state.clear()
+        self.dep_parents.clear()
+
+    def assert_drained(self) -> None:
+        if self.pending or self.running or self.held:
+            raise WorkflowError(
+                f"simulation ended with live jobs: "
+                f"{len(self.pending)} pending, "
+                f"{len(self.running)} running, {len(self.held)} held")
 
 
 class Simulator:
@@ -182,321 +624,18 @@ class Simulator:
                     f"request {i} depends on a later request "
                     f"{req.dependency_idx}")
 
-        cfg = self.config
-        prio = cfg.priority
-        # node pools: fenced partitions own exclusive id ranges, the
-        # remainder forms the shared pool (key None)
-        pools: dict[str | None, NodePool] = {}
-        next_id = 1
-        fenced_total = 0
-        for part in self.system.partitions:
-            if part.dedicated_nodes:
-                pools[part.name] = NodePool(part.dedicated_nodes,
-                                            first_id=next_id)
-                next_id += part.dedicated_nodes
-                fenced_total += part.dedicated_nodes
-        pools[None] = NodePool(self.system.total_nodes - fenced_total,
-                               first_id=next_id)
-
-        def pkey(req: JobRequest) -> str | None:
-            return req.partition if req.partition in pools else None
-
-        def pool_for(req: JobRequest) -> NodePool:
-            return pools[pkey(req)]
-
-        usage = UsageTracker(cfg.fairshare_half_life_s) \
-            if cfg.fairshare else None
-        events: list[tuple[int, int, int, int]] = []   # (t, kind, seq, idx)
-        seq = 0
-        jobs: list[_SimJob] = []
-        for i, req in enumerate(requests):
-            jobs.append(_SimJob(req, i, cfg.first_jobid + i, 0))
-            heapq.heappush(events, (req.submit, _SUBMIT, seq, i))
-            seq += 1
-        for _, window_end in cfg.maintenance:
-            # wake the scheduler the moment a window closes
-            heapq.heappush(events, (window_end, _TICK, seq, -1))
-            seq += 1
-
-        pending = _PENDING_FACTORY(key=_SimJob.sort_key)
-        pending_set: set[int] = set()     # idx of queued jobs
-        running: dict[int, _SimJob] = {}  # idx -> job
-        #: per-pool sorted (walltime-based end estimate, idx, nnodes) of
-        #: running jobs, maintained incrementally — the backfill pass
-        #: reads it directly instead of re-sorting every event
-        run_ests: dict[str | None, list[tuple[int, int, int]]] = {
-            key: [] for key in pools}
-        held: dict[int, list[_SimJob]] = {}   # parent idx -> children
-        finished: list[_SimJob] = []
-        n_backfilled = 0
-        n_passes = 0
-        max_depth = 0
-        n_preempted_box = [0]
-
-        def enqueue(job: _SimJob, t: int) -> None:
-            job.eligible = max(job.eligible, t)
-            # priority factors snapshot at enqueue (see priority module)
-            job.static_prio = prio.static_priority(
-                self.system, job.req, usage, t)
-            pending.add(job)
-            pending_set.add(job.idx)
-            if job.req.outcome == "CANCELLED" and job.req.cancel_while_pending:
-                nonlocal seq
-                heapq.heappush(events, (
-                    job.eligible + job.req.pending_patience_s,
-                    _CANCEL, seq, job.idx))
-                seq += 1
-
-        def drop_run_est(job: _SimJob) -> None:
-            ests = run_ests[pkey(job.req)]
-            key = (job.est_end(job.start), job.idx, job.req.nnodes)
-            i = bisect_left(ests, key)
-            if i >= len(ests) or ests[i] != key:
-                raise WorkflowError(
-                    f"run estimate for job {job.jobid} lost")
-            ests.pop(i)
-
-        def terminal(job: _SimJob, t: int, state: str) -> None:
-            """Record a job that ends without running."""
-            job.state = state
-            job.end = t
-            job.done = True
-            finished.append(job)
-            release_dependents(job, t)
-
-        def release_dependents(parent: _SimJob, t: int) -> None:
-            for child in held.pop(parent.idx, []):
-                if parent.state == "COMPLETED":
-                    child.reason = "Dependency"
-                    enqueue(child, t)
-                else:
-                    # afterok unsatisfiable: Slurm cancels the dependent
-                    child.reason = "DependencyNeverSatisfied"
-                    terminal(child, t, "CANCELLED")
-
-        def start_job(job: _SimJob, t: int, backfilled: bool) -> None:
-            req = job.req
-            job.node_ids = pool_for(req).allocate(req.nnodes)
-            job.start = t
-            job.backfilled = backfilled
-            job.state, elapsed = self._execution(
-                req, job.node_failed_once, job.completed_work)
-            job.end = t + elapsed
-            if usage is not None:
-                # charge fairshare usage as the allocation begins (the
-                # realized node-seconds are known to the simulator here;
-                # Slurm accrues the same total continuously)
-                usage.charge(req.account, req.nnodes * elapsed, t)
-            if job.reason not in ("Dependency", "Preempted", "NodeFail",
-                                  "Resubmit") and t > job.eligible:
-                job.reason = "Resources" if job.was_head else "Priority"
-            running[job.idx] = job
-            insort(run_ests[pkey(req)],
-                   (job.est_end(t), job.idx, req.nnodes))
-            nonlocal seq
-            heapq.heappush(events, (job.end, _END, seq, job.idx))
-            seq += 1
-
-        def try_preempt(t: int) -> bool:
-            """Requeue preemptable running jobs to admit a blocked
-            can_preempt head.  Victims come from the head's own pool.
-            Returns True when anything changed."""
-            head = pending[0]
-            if not self.system.qos(head.req.qos).can_preempt:
-                return False
-            head_key = pkey(head.req)
-            need = head.req.nnodes - pools[head_key].free_count
-            victims: list[_SimJob] = []
-            # youngest victims first: least completed work is discarded
-            for job in sorted(running.values(), key=lambda j: -j.start):
-                if pkey(job.req) == head_key and \
-                        self.system.qos(job.req.qos).preemptable:
-                    victims.append(job)
-                    need -= job.req.nnodes
-                    if need <= 0:
-                        break
-            if need > 0:
-                return False
-            for victim in victims:
-                del running[victim.idx]
-                drop_run_est(victim)
-                pool_for(victim.req).release(victim.node_ids)
-                victim.node_ids = []
-                victim.restarts += 1
-                victim.state = ""
-                victim.backfilled = False
-                victim.reason = "Preempted"
-                enqueue(victim, t)
-                n_preempted_box[0] += 1
-            return True
-
-        def sched_pass(t: int) -> None:
-            nonlocal n_backfilled, n_passes, max_depth
-            n_passes += 1
-            max_depth = max(max_depth, len(pending))
-            # 1) start head jobs while they fit (and clear maintenance)
-            def head_clear() -> bool:
-                head = pending[0]
-                return head.req.nnodes <= \
-                    pool_for(head.req).free_count and \
-                    not cfg.maintenance_blocks(t, head.req.timelimit_s)
-
-            while pending and head_clear():
-                job = pending.pop(0)
-                pending_set.discard(job.idx)
-                start_job(job, t, backfilled=False)
-            # 1b) preemption: a blocked urgent head may evict standby work
-            if cfg.preemption and pending \
-                    and not cfg.maintenance_blocks(
-                        t, pending[0].req.timelimit_s) \
-                    and try_preempt(t):
-                while pending and head_clear():
-                    job = pending.pop(0)
-                    pending_set.discard(job.idx)
-                    start_job(job, t, backfilled=False)
-            if not pending or not cfg.backfill:
-                return
-            # 2) EASY backfill around the blocked head (the head's pool
-            # gets a reservation; other pools run their own FIFO heads)
-            head = pending[0]
-            head.was_head = True
-            head_key = pkey(head.req)
-            need = head.req.nnodes
-            # shadow time: when enough running jobs of the head's pool
-            # will have ended (by their walltime limits) to fit the head
-            free = pools[head_key].free_count
-            shadow = None
-            extra = 0
-            for est_end, _, nn in run_ests[head_key]:
-                free += nn
-                if free >= need:
-                    shadow = est_end
-                    extra = free - need
-                    break
-            if shadow is None:
-                # head can never fit (larger than its pool) — guarded
-                # at generation time, but stay safe
-                return
-            blocked_pools: set[str | None] = {head_key}
-            # per-pass snapshot of pool headroom: one dict read per
-            # candidate instead of repeated attribute chains; start_job
-            # keeps the true counts, the snapshot mirrors them locally
-            free_snap = {key: pool.free_count
-                         for key, pool in pools.items()}
-            # snapshot the scan window once: the candidates examined are
-            # exactly the first backfill_depth jobs behind the head, in
-            # queue order, and removing a started candidate never
-            # reorders the ones after it
-            for job in pending.islice(1, cfg.backfill_depth + 1):
-                nn = job.req.nnodes
-                key = pkey(job.req)
-                blocked_by_maint = cfg.maintenance_blocks(
-                    t, job.req.timelimit_s)
-                if key != head_key:
-                    # another pool: strict FIFO within this pass — its
-                    # first blocked job fences the rest of that pool
-                    if key not in blocked_pools and not blocked_by_maint \
-                            and nn <= free_snap[key]:
-                        pending.remove(job)
-                        pending_set.discard(job.idx)
-                        start_job(job, t, backfilled=False)
-                        free_snap[key] -= nn
-                        continue
-                    if blocked_by_maint or nn > free_snap[key]:
-                        blocked_pools.add(key)
-                    continue
-                if nn <= free_snap[key] and not blocked_by_maint:
-                    fits_before_shadow = t + job.req.timelimit_s <= shadow
-                    if fits_before_shadow or nn <= extra:
-                        if not fits_before_shadow:
-                            extra -= nn
-                        pending.remove(job)
-                        pending_set.discard(job.idx)
-                        start_job(job, t, backfilled=True)
-                        free_snap[key] -= nn
-                        n_backfilled += 1
-
-        # -- main loop --------------------------------------------------------
-        while events:
-            t = events[0][0]
-            dirty = False
-            while events and events[0][0] == t:
-                _, kind, _, idx = heapq.heappop(events)
-                if kind == _TICK:
-                    dirty = True
-                    continue
-                job = jobs[idx]
-                if kind == _SUBMIT:
-                    dep = job.req.dependency_idx
-                    if dep is not None:
-                        parent = jobs[dep]
-                        if parent.done:
-                            if parent.state == "COMPLETED":
-                                job.reason = "Dependency"
-                                enqueue(job, t)
-                            else:
-                                job.reason = "DependencyNeverSatisfied"
-                                terminal(job, t, "CANCELLED")
-                        else:
-                            job.reason = "Dependency"
-                            held.setdefault(dep, []).append(job)
-                    else:
-                        enqueue(job, t)
-                    dirty = True
-                elif kind == _END:
-                    if job.idx in running and job.end == t:
-                        del running[job.idx]
-                        drop_run_est(job)
-                        pool_for(job.req).release(job.node_ids)
-                        if job.state == "NODE_FAIL" \
-                                and cfg.requeue_node_fail \
-                                and not job.node_failed_once:
-                            # hardware loss: requeue once; the record
-                            # keeps the final run with Restarts bumped
-                            job.restarts += 1
-                            job.node_failed_once = True
-                            job.state = ""
-                            job.node_ids = []
-                            job.backfilled = False
-                            job.reason = "NodeFail"
-                            enqueue(job, t)
-                        elif job.state == "TIMEOUT" \
-                                and job.req.outcome == "COMPLETED" \
-                                and job.restarts < cfg.resubmit_timeouts:
-                            # checkpoint/resubmit: continue from where
-                            # the limit cut the job off
-                            job.completed_work += t - job.start
-                            job.restarts += 1
-                            job.state = ""
-                            job.node_ids = []
-                            job.backfilled = False
-                            job.reason = "Resubmit"
-                            enqueue(job, t)
-                        else:
-                            job.done = True
-                            finished.append(job)
-                            release_dependents(job, t)
-                        dirty = True
-                elif kind == _CANCEL:
-                    if job.idx in pending_set:
-                        pending_set.discard(job.idx)
-                        pending.remove(job)
-                        terminal(job, t, "CANCELLED")
-                        dirty = True
-            if dirty:
-                sched_pass(t)
-
-        if pending or running or held:
-            raise WorkflowError(
-                f"simulation ended with live jobs: {len(pending)} pending, "
-                f"{len(running)} running, {len(held)} held")
+        core = _SimCore(self.system, self.config, self._rng)
+        core.feed(requests)
+        core.drain()
+        core.assert_drained()
 
         # -- finalize accounting records ---------------------------------------
-        records = self._finalize(jobs, finished)
-        result = SimResult(jobs=records, n_backfilled=n_backfilled,
-                           n_sched_passes=n_passes,
-                           max_queue_depth=max_depth,
-                           n_preempted=n_preempted_box[0])
+        jobs = [core.jobs[i] for i in range(len(requests))]
+        records = self._finalize(jobs, core.finished)
+        result = SimResult(jobs=records, n_backfilled=core.n_backfilled,
+                           n_sched_passes=core.n_passes,
+                           max_queue_depth=core.max_depth,
+                           n_preempted=core.n_preempted)
         self._report_obs(result)
         return result
 
@@ -517,30 +656,9 @@ class Simulator:
 
     def _execution(self, req: JobRequest, restarted: bool = False,
                    completed_work: int = 0) -> tuple[str, int]:
-        """Decide terminal state and elapsed once a job starts.
-
-        A restarted job (post NODE_FAIL requeue) runs its full workload:
-        the hardware fault does not recur.  ``completed_work`` is the
-        checkpointed progress of a resubmitted TIMEOUT job.
-        """
-        rng = self._rng
-        limit = req.timelimit_s
-        true_rt = req.true_runtime_s
-        outcome = "COMPLETED" if restarted else req.outcome
-        if outcome == "COMPLETED":
-            remaining = max(1, true_rt - completed_work)
-            if remaining > limit:
-                return "TIMEOUT", limit
-            return "COMPLETED", remaining
-        if outcome == "FAILED":
-            return "FAILED", max(1, min(limit, int(true_rt * rng.uniform(0.05, 0.95))))
-        if outcome == "OUT_OF_MEMORY":
-            return "OUT_OF_MEMORY", max(1, min(limit, int(true_rt * rng.uniform(0.02, 0.5))))
-        if outcome == "NODE_FAIL":
-            return "NODE_FAIL", max(1, min(limit, int(true_rt * rng.uniform(0.01, 0.9))))
-        if outcome == "CANCELLED":
-            return "CANCELLED", max(1, min(limit, int(true_rt * rng.uniform(0.05, 0.9))))
-        raise WorkflowError(f"unknown outcome {outcome!r}")
+        """See the module-level :func:`_execution` (kept as a method so
+        policy-variant subclasses and tests can override/inspect it)."""
+        return _execution(self._rng, req, restarted, completed_work)
 
     def _finalize(self, jobs: list[_SimJob],
                   finished: list[_SimJob]) -> list[JobRecord]:

@@ -17,6 +17,7 @@ from repro.store.store import (
     LAYOUT,
     ArtifactStore,
     read_table_fast,
+    iter_table_fast,
     resolve_table_path,
 )
 
@@ -29,5 +30,6 @@ __all__ = [
     "default_hash_cache",
     "file_sha256",
     "read_table_fast",
+    "iter_table_fast",
     "resolve_table_path",
 ]

@@ -26,11 +26,12 @@ import threading
 
 from repro._util.errors import ConfigError, DataError
 from repro.frame import Frame
-from repro.frame.io import read_table, sniff_npf
+from repro.frame.io import DEFAULT_CHUNK_ROWS, iter_table, read_table, sniff_npf
 from repro.store.artifact import FORMATS, Artifact
 from repro.store.hashing import HashCache, default_hash_cache
 
-__all__ = ["ArtifactStore", "read_table_fast", "resolve_table_path"]
+__all__ = ["ArtifactStore", "read_table_fast", "iter_table_fast",
+           "resolve_table_path"]
 
 #: default subdirectory per format (the workflow's historical layout)
 LAYOUT = {
@@ -86,6 +87,18 @@ def read_table_fast(path: str | os.PathLike, infer: bool = True,
     return read_table(resolve_table_path(path, infer=infer,
                                          hash_cache=hash_cache),
                       infer=infer)
+
+
+def iter_table_fast(path: str | os.PathLike,
+                    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                    infer: bool = True,
+                    hash_cache: HashCache | None = None):
+    """:func:`repro.frame.io.iter_table` with transparent ``.npf``-twin
+    negotiation: a CSV whose twin is current streams from the binary,
+    so chunked analytics get mmap slicing instead of text parsing."""
+    yield from iter_table(resolve_table_path(path, infer=infer,
+                                             hash_cache=hash_cache),
+                          chunk_rows=chunk_rows, infer=infer)
 
 
 class _PendingFrame:

@@ -44,6 +44,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate-scale", type=float, default=0.05,
                    help="submission-rate multiplier for the synthetic "
                         "workload")
+    p.add_argument("--shards", type=int, default=0,
+                   help="paper-scale mode: simulate one continuous "
+                        "timeline split into this many month groups "
+                        "(0 = classic independent months)")
+    p.add_argument("--procs", type=int, default=1,
+                   help="worker processes for the sharded build")
+    p.add_argument("--fabric", action="store_true",
+                   help="run shard tasks as durable fabric jobs "
+                        "(requires --shards)")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore previously fetched data")
     p.add_argument("--no-ai", action="store_true",
@@ -79,6 +88,21 @@ def _validate(args) -> tuple[str, ...]:
     if args.rate_scale <= 0:
         problems.append(
             f"--rate-scale must be > 0, got {args.rate_scale}")
+    if args.shards < 0:
+        problems.append(f"--shards must be >= 0, got {args.shards}")
+    elif args.shards and months:
+        if args.shards > len(months):
+            problems.append(
+                f"--shards {args.shards} exceeds the {len(months)} "
+                f"requested months (a shard needs at least one month)")
+        elif len(months) % args.shards:
+            problems.append(
+                f"--shards {args.shards} does not divide the "
+                f"{len(months)} requested months evenly")
+    if args.procs < 1:
+        problems.append(f"--procs must be >= 1, got {args.procs}")
+    if args.fabric and not args.shards:
+        problems.append("--fabric requires --shards")
     if problems:
         print(f"error: {'; '.join(problems)}", file=sys.stderr)
         raise SystemExit(2)
@@ -93,7 +117,8 @@ def main(argv: list[str] | None = None) -> int:
             system=args.system, months=months, workdir=args.workdir,
             workers=args.workers, seed=args.seed,
             rate_scale=args.rate_scale, use_cache=not args.no_cache,
-            enable_ai=not args.no_ai, llm_backend=args.llm_backend)
+            enable_ai=not args.no_ai, llm_backend=args.llm_backend,
+            shards=args.shards, procs=args.procs, fabric=args.fabric)
         result = SchedulingAnalysisWorkflow(cfg).run()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -111,6 +136,11 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(f"jobs: {result.n_jobs:,}   job-steps: {result.n_steps:,}   "
           f"malformed dropped: {result.curate_malformed}")
+    shard = result.shard_report
+    if shard is not None:
+        print(f"shards: {shard.shards} x {len(shard.months) // shard.shards}"
+              f" month(s)   carried across cuts: {shard.carried_total:,}   "
+              f"peak live jobs: {shard.live_jobs_hwm:,}")
     print(f"tasks: {len(report.results)}   wall: {report.wall_s:.1f}s   "
           f"peak concurrency: {peak}   avg: {avg:.2f}")
     print(f"dashboard: {result.dashboard_path}")

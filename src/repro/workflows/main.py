@@ -80,6 +80,14 @@ class WorkflowConfig:
     llm_backend: str = "chart-analyst"
     malformed_rate: float = DEFAULT_MALFORMED_RATE
     db: AccountingDB | None = None    # supply an existing database
+    #: > 0 switches to paper-scale sharded execution: one continuous
+    #: simulated timeline split into this many month groups, curated
+    #: tables streamed out per month (repro.workflows.shard)
+    shards: int = 0
+    #: worker processes for the sharded build (1 = in-process)
+    procs: int = 1
+    #: run shard tasks as durable fabric jobs (crash-resumable)
+    fabric: bool = False
 
     def __post_init__(self) -> None:
         if not self.months:
@@ -87,6 +95,13 @@ class WorkflowConfig:
         months = list(self.months)
         if months != sorted(months):
             raise ConfigError("months must be sorted")
+        if self.shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {self.shards}")
+        if self.procs < 1:
+            raise ConfigError(f"procs must be >= 1, got {self.procs}")
+        if self.fabric and not self.shards:
+            raise ConfigError("fabric mode requires sharded execution "
+                              "(set shards > 0)")
 
 
 @dataclass
@@ -112,6 +127,8 @@ class WorkflowResult:
     manifest: dict[str, str] = field(default_factory=dict)
     #: the dashboard's trace & provenance page
     trace_page: str = ""
+    #: sharded-build report (None for the classic per-month path)
+    shard_report: object = None
 
 
 class SchedulingAnalysisWorkflow:
@@ -207,6 +224,28 @@ class SchedulingAnalysisWorkflow:
         with self._lock:
             self.result.curate_malformed += report.malformed
             self.result.curate_rows += report.input_rows
+
+    def _shard_build(self) -> None:
+        """Sharded replacement for every Obtain + Curate task.
+
+        One continuous scheduler timeline over all months, split into
+        ``cfg.shards`` chained boundary-state shards, with curated
+        month tables streamed into the same ``data/`` artifacts the
+        classic path writes.  Malformed-line injection is an emit-stage
+        fault model of the sacct *pipe*; the sharded path finalizes
+        records directly, so there is no pipe artifact and nothing to
+        drop (``curate_malformed`` stays 0).
+        """
+        from repro.fabric import fabric_db_path
+        from repro.workflows.shard import run_sharded
+
+        cfg = self.config
+        self.result.shard_report = run_sharded(
+            cfg.system, list(cfg.months), cfg.workdir,
+            shards=cfg.shards, procs=cfg.procs, seed=cfg.seed,
+            rate_scale=cfg.rate_scale, config=SimConfig(seed=cfg.seed),
+            fabric_db=fabric_db_path(cfg.workdir) if cfg.fabric else None,
+            data_dir=self.store.dir_for("csv"), obs=self.obs)
 
     def _plot(self, month: str, kind: str) -> None:
         jobs = self._month_jobs(month)
@@ -356,21 +395,33 @@ class SchedulingAnalysisWorkflow:
         cfg = self.config
         eng = FlowEngine(workers=cfg.workers, context=self.obs,
                          store=self.store)
+        if cfg.shards:
+            # paper-scale mode: one chained sharded build produces every
+            # curated month table; downstream plot stages are unchanged
+            # because the artifact names are identical
+            shard_outs = []
+            for month in cfg.months:
+                jobs, steps = self._jobs(month), self._steps(month)
+                shard_outs += [jobs, steps, jobs.with_fmt("npf"),
+                               steps.with_fmt("npf")]
+            eng.task("shard-build", self._shard_build,
+                     outputs=shard_outs)
         for month in cfg.months:
-            pipe = self._pipe(month)
             jobs, steps = self._jobs(month), self._steps(month)
-            eng.task(f"obtain-{month}",
-                     lambda m=month: self._obtain(m),
-                     outputs=[pipe])
-            # curate is skipped on re-runs when the hash stamp proves
-            # its tables still match the cached sacct pull's content
-            # (incremental monthly updates)
-            eng.task(f"curate-{month}",
-                     lambda m=month: self._curate(m),
-                     inputs=[pipe],
-                     outputs=[jobs, steps, jobs.with_fmt("npf"),
-                              steps.with_fmt("npf")],
-                     cache=cfg.use_cache)
+            if not cfg.shards:
+                pipe = self._pipe(month)
+                eng.task(f"obtain-{month}",
+                         lambda m=month: self._obtain(m),
+                         outputs=[pipe])
+                # curate is skipped on re-runs when the hash stamp
+                # proves its tables still match the cached sacct pull's
+                # content (incremental monthly updates)
+                eng.task(f"curate-{month}",
+                         lambda m=month: self._curate(m),
+                         inputs=[pipe],
+                         outputs=[jobs, steps, jobs.with_fmt("npf"),
+                                  steps.with_fmt("npf")],
+                         cache=cfg.use_cache)
             for kind in _PLOT_KINDS:
                 eng.task(f"plot-{kind}-{month}",
                          lambda m=month, k=kind: self._plot(m, k),

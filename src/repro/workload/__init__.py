@@ -26,6 +26,7 @@ from repro.workload.jobs import JobRequest, JOB_CLASSES
 from repro.workload.profiles import ClassParams, WorkloadProfile, workload_for
 from repro.workload.generate import WorkloadGenerator
 from repro.workload.calibrate import CalibrationReport, calibrate_profile
+from repro.workload.spec import profile_to_spec, profile_from_spec
 
 __all__ = [
     "ClassParams",
@@ -39,4 +40,6 @@ __all__ = [
     "WorkloadProfile",
     "workload_for",
     "WorkloadGenerator",
+    "profile_to_spec",
+    "profile_from_spec",
 ]

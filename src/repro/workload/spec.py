@@ -1,0 +1,52 @@
+"""JSON-safe workload-profile specs.
+
+The shard orchestrator ships work to pool workers and fabric runners as
+JSON payloads; a worker regenerating a month's submission stream needs
+the *exact* :class:`~repro.workload.profiles.WorkloadProfile` the plan
+was made against — including ad-hoc profiles like the paper-scale
+benchmark's, which exist in no registry.  A spec is the profile flattened
+to plain dicts (the system referenced by name, since
+:class:`~repro.cluster.SystemProfile` instances are built-ins), so
+``profile_from_spec(profile_to_spec(p))`` reconstructs an equal profile
+in any process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro._util.errors import DataError
+from repro.cluster import get_system
+from repro.workload.profiles import ClassParams, WorkloadProfile
+
+__all__ = ["profile_to_spec", "profile_from_spec"]
+
+SPEC_VERSION = 1
+
+_PROFILE_SCALARS = ("arrival_rate", "diurnal_amp", "weekend_factor",
+                    "burst_rate_per_week", "n_users", "failure_alpha",
+                    "failure_beta", "cancel_scale", "overrequest_median",
+                    "overrequest_spread", "array_frac", "array_size_mean",
+                    "dep_frac")
+
+
+def profile_to_spec(profile: WorkloadProfile) -> dict:
+    """Flatten a profile to a JSON-serializable spec dict."""
+    spec = {"version": SPEC_VERSION, "system": profile.system.name,
+            "classes": {name: dataclasses.asdict(params)
+                        for name, params in profile.classes.items()}}
+    for field in _PROFILE_SCALARS:
+        spec[field] = getattr(profile, field)
+    return spec
+
+
+def profile_from_spec(spec: dict) -> WorkloadProfile:
+    """Rebuild the profile a spec describes (validates on construction)."""
+    if spec.get("version") != SPEC_VERSION:
+        raise DataError(
+            f"workload spec version {spec.get('version')} != {SPEC_VERSION}")
+    classes = {name: ClassParams(**params)
+               for name, params in spec["classes"].items()}
+    kwargs = {field: spec[field] for field in _PROFILE_SCALARS}
+    return WorkloadProfile(system=get_system(spec["system"]),
+                           classes=classes, **kwargs)

@@ -1,0 +1,14 @@
+"""RL042: full-table reads in a streaming-designated module."""
+
+from repro.store import read_table_fast
+from repro.frame.io import read_table
+
+__streaming__ = True
+
+
+def load_year(paths):
+    return [read_table_fast(p) for p in paths]  # expect[RL042]
+
+
+def load_one(path):
+    return read_table(path)  # expect[RL042]

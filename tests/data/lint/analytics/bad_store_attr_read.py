@@ -1,0 +1,9 @@
+"""RL042: the attribute-chain form is flagged too."""
+
+import repro.store as store
+
+__streaming__ = True
+
+
+def load(path):
+    return store.read_table_fast(path)  # expect[RL042]

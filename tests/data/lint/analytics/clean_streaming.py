@@ -1,0 +1,15 @@
+"""Clean counterpart: a streaming module loading through the chunked
+reader, and a non-streaming module (no ``__streaming__`` marker) where
+full-table reads are fine."""
+
+from repro.store import iter_table_fast
+
+__streaming__ = True
+
+
+def totals(paths):
+    total = 0
+    for path in paths:
+        for chunk in iter_table_fast(path):
+            total += len(chunk)
+    return total

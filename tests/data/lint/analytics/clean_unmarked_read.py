@@ -1,0 +1,8 @@
+"""Clean: a module without the ``__streaming__`` marker may read whole
+tables (the classic figure pipeline's working set is small)."""
+
+from repro.store import read_table_fast
+
+
+def load(paths):
+    return [read_table_fast(p) for p in paths]

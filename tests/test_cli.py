@@ -150,6 +150,31 @@ class TestWorkflowCliValidation:
         assert "--dates" in err and "--workers" in err \
             and "--rate-scale" in err
 
+    def test_shards_must_divide_months(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--dates", "2024-01:2024-03", "--shards", "2",
+                     "--workdir", str(tmp_path / "wf")])
+        assert "--shards 2 does not divide the 3 requested months" in err
+
+    def test_more_shards_than_months(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--dates", "2024-01:2024-02", "--shards", "5",
+                     "--workdir", str(tmp_path / "wf")])
+        assert "--shards 5 exceeds the 2 requested months" in err
+
+    def test_negative_shards_and_bad_procs(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--dates", "2024-01", "--shards", "-1",
+                     "--procs", "0", "--workdir", str(tmp_path / "wf")])
+        assert "--shards must be >= 0, got -1" in err
+        assert "--procs must be >= 1, got 0" in err
+
+    def test_fabric_requires_shards(self, tmp_path, capsys):
+        err = self._expect_usage_error(
+            capsys, ["--dates", "2024-01", "--fabric",
+                     "--workdir", str(tmp_path / "wf")])
+        assert "--fabric requires --shards" in err
+
     def test_bad_system_rejected_by_argparse(self, capsys):
         with pytest.raises(SystemExit) as ei:
             wf_cli.main(["--system", "summit"])
