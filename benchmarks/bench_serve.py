@@ -20,6 +20,17 @@ cached vs uncached p50 on the tabular-JSON artifact endpoint.  A
 socket round-trip measurement over a live ephemeral-port server is
 included so the numbers cover the real transport, not just dispatch.
 
+The **concurrency leg** is the event-loop transport's payoff gate: a
+``selectors``-based closed-loop load generator (sharded over forked
+worker processes so it never shares a GIL with an in-process server
+under test) holds 256 (quick) to 1000+ (full) keep-alive connections
+open at once and measures req/s and p99 against three servers — the thread-per-connection
+baseline, the event loop in one process, and the event loop sharded
+``--procs`` ways over ``SO_REUSEPORT``.  ``--min-conc-speedup``
+(default 1.0) fails the run unless the single-process loop's p99
+beats the threaded baseline's under that connection count (the tail
+is the reproducible signal; req/s is reported alongside).
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_serve.py          # full
@@ -35,13 +46,18 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import selectors
+import signal
+import socket
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from http.client import HTTPConnection
 
 from repro._util.tables import TextTable
-from repro.serve import Request, ServeApp, ServeServer
+from repro.serve import EventLoopServer, Request, ServeApp, ServeServer
+from repro.serve.shard import reuseport_socket, sharding_supported
 from repro.workflows import SchedulingAnalysisWorkflow, WorkflowConfig
 
 #: (label, path, query) — the serve layer's cacheable GET surface
@@ -146,6 +162,344 @@ def measure_socket(app: ServeApp, n: int) -> list[Measurement]:
     return results
 
 
+# ---------------------------------------------------------------------------
+# concurrency leg: many keep-alive connections at once
+# ---------------------------------------------------------------------------
+
+_CONC_REQUEST = (b"GET /healthz HTTP/1.1\r\nHost: bench\r\n"
+                 b"Connection: keep-alive\r\n\r\n")
+
+
+@dataclass
+class ConcMeasurement:
+    """Closed-loop load at ``conns`` keep-alive connections."""
+
+    transport: str
+    conns: int
+    completed: int
+    errors: int
+    rps: float
+    p50_s: float
+    p99_s: float
+
+
+def _raise_nofile(need: int) -> None:
+    """Best-effort RLIMIT_NOFILE bump so 1k+ sockets can open."""
+    try:
+        import resource
+    except ImportError:                 # pragma: no cover - non-unix
+        return
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    want = min(hard, max(soft, need))
+    if want > soft:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (want, hard))
+
+
+class _LoadConn:
+    """One closed-loop client: exactly one request in flight."""
+
+    __slots__ = ("sock", "buf", "out", "left", "t0", "lats")
+
+    def __init__(self, sock: socket.socket, per_conn: int) -> None:
+        self.sock = sock
+        self.buf = bytearray()
+        self.out = b""
+        self.left = per_conn
+        self.t0 = 0.0
+        self.lats: list[float] = []
+
+
+def _complete_response(buf: bytearray) -> bool:
+    """Pop one full Content-Length-framed response off ``buf``."""
+    end = buf.find(b"\r\n\r\n")
+    if end < 0:
+        return False
+    length = 0
+    for line in bytes(buf[:end]).lower().split(b"\r\n")[1:]:
+        if line.startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+            break
+    total = end + 4 + length
+    if len(buf) < total:
+        return False
+    del buf[:total]
+    return True
+
+
+def _load_worker(host: str, port: int, conns: int, per_conn: int,
+                 timeout_s: float) -> tuple[list[float], int, float]:
+    """One generator loop: ``conns`` closed-loop clients; returns
+    ``(latencies, errors, elapsed_s)``."""
+    sel = selectors.DefaultSelector()
+    states: list[_LoadConn] = []
+    errors = 0
+    for _ in range(conns):
+        sock = socket.create_connection((host, port), timeout=10)
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:                 # pragma: no cover - platform
+            pass
+        states.append(_LoadConn(sock, per_conn))
+
+    start = time.perf_counter()
+    open_count = 0
+    for state in states:
+        state.out = _CONC_REQUEST
+        state.t0 = time.perf_counter()
+        sel.register(state.sock, selectors.EVENT_WRITE, state)
+        open_count += 1
+
+    def drop(state: _LoadConn) -> None:
+        nonlocal open_count
+        sel.unregister(state.sock)
+        state.sock.close()
+        open_count -= 1
+
+    deadline = start + timeout_s
+    while open_count and time.perf_counter() < deadline:
+        for key, mask in sel.select(timeout=1.0):
+            state: _LoadConn = key.data
+            try:
+                if mask & selectors.EVENT_WRITE and state.out:
+                    sent = state.sock.send(state.out)
+                    state.out = state.out[sent:]
+                    if not state.out:
+                        sel.modify(state.sock, selectors.EVENT_READ,
+                                   state)
+                if mask & selectors.EVENT_READ:
+                    data = state.sock.recv(65536)
+                    if not data:
+                        errors += 1
+                        drop(state)
+                        continue
+                    state.buf += data
+                    if _complete_response(state.buf):
+                        state.lats.append(time.perf_counter() - state.t0)
+                        state.left -= 1
+                        if state.left <= 0:
+                            drop(state)
+                        else:
+                            state.out = _CONC_REQUEST
+                            state.t0 = time.perf_counter()
+                            sel.modify(state.sock,
+                                       selectors.EVENT_WRITE
+                                       | selectors.EVENT_READ, state)
+            except OSError:
+                errors += 1
+                drop(state)
+    elapsed = time.perf_counter() - start
+    for state in states:                # timeout stragglers
+        if state.left > 0 and state.sock.fileno() >= 0:
+            try:
+                drop(state)
+            except (KeyError, ValueError):
+                state.sock.close()
+    sel.close()
+    lats = [lap for state in states for lap in state.lats]
+    return lats, errors, elapsed
+
+
+def _forked_workers(host: str, port: int, sizes: list[int],
+                    per_conn: int,
+                    timeout_s: float) -> list[tuple[list[float], int,
+                                                    float]]:
+    """Run one ``_load_worker`` per forked process; results come back
+    over pipes.  Separate processes mean the generator never shares a
+    GIL with an in-process server under test."""
+    pids: list[int] = []
+    read_fds: list[int] = []
+    for size in sizes:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:                    # pragma: no cover - child
+            try:
+                os.close(read_fd)
+                for fd in read_fds:
+                    os.close(fd)
+                lats, errors, elapsed = _load_worker(
+                    host, port, size, per_conn, timeout_s)
+                payload = json.dumps({
+                    "lats": lats, "errors": errors,
+                    "elapsed": elapsed}).encode("utf-8")
+                written = 0
+                while written < len(payload):
+                    written += os.write(write_fd, payload[written:])
+                os.close(write_fd)
+            finally:
+                os._exit(0)
+        os.close(write_fd)
+        pids.append(pid)
+        read_fds.append(read_fd)
+    outputs = []
+    for read_fd, pid in zip(read_fds, pids):
+        chunks = []
+        while True:
+            data = os.read(read_fd, 65536)
+            if not data:
+                break
+            chunks.append(data)
+        os.close(read_fd)
+        os.waitpid(pid, 0)
+        result = json.loads(b"".join(chunks))
+        outputs.append((result["lats"], result["errors"],
+                        result["elapsed"]))
+    return outputs
+
+
+def conc_load(host: str, port: int, conns: int, per_conn: int,
+              transport: str, timeout_s: float = 120.0,
+              gen_workers: int | None = None) -> ConcMeasurement:
+    """Drive ``conns`` concurrent keep-alive clients, ``per_conn``
+    sequential requests each.
+
+    The generator is sharded over a few forked worker processes (each
+    its own ``selectors`` loop) so the server under test — never the
+    load generator or a shared GIL — is the bottleneck being measured.
+    Falls back to threads where ``fork`` is unavailable.
+    """
+    _raise_nofile(conns + 64)
+    if gen_workers is None:
+        gen_workers = min(4, max(1, conns // 32))
+    share, extra = divmod(conns, gen_workers)
+    sizes = [share + (1 if i < extra else 0) for i in range(gen_workers)]
+    sizes = [s for s in sizes if s]
+    if hasattr(os, "fork"):
+        outputs = _forked_workers(host, port, sizes, per_conn, timeout_s)
+    else:                               # pragma: no cover - non-unix
+        outputs = [None] * len(sizes)
+
+        def run(index: int, size: int) -> None:
+            outputs[index] = _load_worker(host, port, size, per_conn,
+                                          timeout_s)
+
+        threads = [threading.Thread(target=run, args=(i, size))
+                   for i, size in enumerate(sizes)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    lats = sorted(lap for out in outputs for lap in out[0])
+    errors = sum(out[1] for out in outputs)
+    elapsed = max(out[2] for out in outputs)
+    completed = len(lats)
+    return ConcMeasurement(
+        transport=transport, conns=conns, completed=completed,
+        errors=errors, rps=completed / elapsed if elapsed else 0.0,
+        p50_s=_percentile(lats, 0.50) if lats else float("nan"),
+        p99_s=_percentile(lats, 0.99) if lats else float("nan"))
+
+
+def _fork_loop_shards(workdir: str, procs: int) -> tuple[str, int,
+                                                         list[int]]:
+    """Fork ``procs`` event-loop shards on one SO_REUSEPORT port."""
+    resolver = reuseport_socket("127.0.0.1", 0)
+    host, port = resolver.getsockname()[:2]
+    pids: list[int] = []
+    ready_fds: list[int] = []
+    for _ in range(procs):
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:                    # pragma: no cover - child
+            try:
+                os.close(read_fd)
+                resolver.close()
+                for fd in ready_fds:
+                    os.close(fd)
+                done = threading.Event()
+                signal.signal(signal.SIGTERM, lambda *a: done.set())
+                app = ServeApp([workdir], job_workers=1)
+                server = EventLoopServer(
+                    app, sock=reuseport_socket(host, port)).start()
+                os.write(write_fd, b"\x01")
+                os.close(write_fd)
+                done.wait()
+                server.close(graceful=False)
+            finally:
+                os._exit(0)
+        os.close(write_fd)
+        pids.append(pid)
+        ready_fds.append(read_fd)
+    for read_fd in ready_fds:
+        os.read(read_fd, 1)
+        os.close(read_fd)
+    resolver.close()                    # never blackhole the kernel hash
+    return host, port, pids
+
+
+def _stop_shards(pids: list[int]) -> None:
+    for pid in pids:
+        try:
+            os.kill(pid, signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+    for pid in pids:
+        os.waitpid(pid, 0)
+
+
+def measure_concurrency(workdir: str, conns: int, per_conn: int,
+                        procs: int) -> list[ConcMeasurement]:
+    """Threaded baseline vs event loop (1 proc, then ``procs``)."""
+    results = []
+
+    app = ServeApp([workdir], job_workers=1)
+    server = ServeServer(app, port=0).start()
+    try:
+        results.append(conc_load(*server.address, conns, per_conn,
+                                 "threaded"))
+    finally:
+        server.close(graceful=False)
+
+    app = ServeApp([workdir], job_workers=1)
+    loop_server = EventLoopServer(app, port=0).start()
+    try:
+        results.append(conc_load(*loop_server.address, conns, per_conn,
+                                 "loop x1"))
+    finally:
+        loop_server.close(graceful=False)
+
+    if procs > 1 and sharding_supported():
+        host, port, pids = _fork_loop_shards(workdir, procs)
+        try:
+            results.append(conc_load(host, port, conns, per_conn,
+                                     f"loop x{procs}"))
+        finally:
+            _stop_shards(pids)
+    return results
+
+
+def render_concurrency(results: list[ConcMeasurement]) -> str:
+    table = TextTable(
+        ["transport", "conns", "completed", "errors", "req/s",
+         "p50", "p99"],
+        title="repro.serve — concurrent keep-alive load (closed loop)")
+    for m in results:
+        table.add_row([m.transport, m.conns, m.completed, m.errors,
+                       f"{m.rps:,.0f}",
+                       f"{m.p50_s * 1e3:.2f} ms",
+                       f"{m.p99_s * 1e3:.2f} ms"])
+    return table.render()
+
+
+def gate_conc_speedup(results: list[ConcMeasurement]) -> float:
+    """Tail-latency speedup: threaded-baseline p99 over the best
+    event-loop variant's p99 (1 proc or sharded — ``--procs`` is part
+    of the transport an operator would deploy).
+
+    The gate rides on p99, not req/s — on small CI boxes raw
+    throughput is scheduler lottery between two servers sharing a
+    core or two, while thread-per-connection tail collapse under ~1k
+    threads is the robust, reproducible signal the event loop exists
+    to fix.  Both req/s and p99 are still reported and persisted.
+    """
+    by_transport = {m.transport: m for m in results}
+    baseline = by_transport["threaded"]
+    best_loop = min((m.p99_s for m in results
+                     if m.transport.startswith("loop")),
+                    default=float("nan"))
+    return baseline.p99_s / best_loop if best_loop else float("inf")
+
+
 def render(results: list[Measurement]) -> str:
     table = TextTable(
         ["endpoint", "mode", "n", "p50", "p99", "req/s"],
@@ -179,6 +533,20 @@ def test_serve_bench_quick(tmp_path):
         assert modes["cached"].p50_s < modes["uncached"].p50_s, label
 
 
+def test_serve_conc_load_quick(tmp_path):
+    """Pytest smoke for the load generator: every request completes
+    cleanly against both transports at a small connection count."""
+    workdir = build_workdir(str(tmp_path), rate_scale=0.03)
+    conns, per_conn = 16, 3
+    results = measure_concurrency(workdir, conns, per_conn, procs=1)
+    print()
+    print(render_concurrency(results))
+    assert {m.transport for m in results} == {"threaded", "loop x1"}
+    for m in results:
+        assert m.completed == conns * per_conn, m.transport
+        assert m.errors == 0, m.transport
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
@@ -188,9 +556,22 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--min-speedup", type=float, default=5.0,
                     help="fail unless cached artifact-JSON GETs are at "
                          "least this many times faster than uncached")
+    ap.add_argument("--conns", type=int, default=None,
+                    help="concurrent keep-alive connections for the "
+                         "concurrency leg (default 256 quick, 1000 full)")
+    ap.add_argument("--procs", type=int,
+                    default=min(4, max(2, (os.cpu_count() or 2) // 2)),
+                    help="event-loop shards for the sharded "
+                         "concurrency leg (0 disables it)")
+    ap.add_argument("--min-conc-speedup", type=float, default=1.0,
+                    help="fail unless the 1-proc event loop's p99 under "
+                         "concurrent load beats the threaded baseline's "
+                         "by this factor (0 disables the gate)")
     args = ap.parse_args(argv)
     n = QUICK_N if args.quick else FULL_N
     rate = 0.03 if args.quick else 0.1
+    conns = args.conns if args.conns else (256 if args.quick else 1000)
+    per_conn = 5 if args.quick else 10
 
     with tempfile.TemporaryDirectory(prefix="bench-serve-") as root:
         workdir = build_workdir(root, rate_scale=rate)
@@ -200,24 +581,50 @@ def main(argv: list[str] | None = None) -> int:
             results += measure_socket(app, max(10, n // 2))
         finally:
             app.close()
+        conc = measure_concurrency(workdir, conns, per_conn,
+                                   procs=args.procs)
 
     print(render(results))
     speedup = gate_speedup(results)
     print(f"artifact-JSON GET: cached {speedup:.1f}x faster than "
           f"uncached (p50)")
+    print()
+    print(render_concurrency(conc))
+    conc_speedup = gate_conc_speedup(conc)
+    by_transport = {m.transport: m for m in conc}
+    best_loop = min((m.p99_s for m in conc
+                     if m.transport.startswith("loop")),
+                    default=float("nan"))
+    print(f"concurrency ({conns} conns): best event-loop p99 "
+          f"{best_loop * 1e3:.0f} ms vs threaded "
+          f"{by_transport['threaded'].p99_s * 1e3:.0f} ms "
+          f"({conc_speedup:.2f}x tail-latency speedup)")
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         with open(os.path.join(args.out, "bench_serve.json"), "w",
                   encoding="utf-8") as fh:
             json.dump({"results": [vars(m) for m in results],
-                       "artifact_json_speedup": round(speedup, 2)},
+                       "artifact_json_speedup": round(speedup, 2),
+                       "concurrency": [vars(m) for m in conc],
+                       "conc_speedup": round(conc_speedup, 3)},
                       fh, indent=2)
         print(f"results kept in {args.out}/")
+    failed = False
     if args.min_speedup and speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.1f}x < required "
               f"{args.min_speedup:.1f}x")
-        return 1
-    return 0
+        failed = True
+    if args.min_conc_speedup and conc_speedup < args.min_conc_speedup:
+        print(f"FAIL: concurrent p99 speedup {conc_speedup:.2f}x < "
+              f"required {args.min_conc_speedup:.2f}x")
+        failed = True
+    incomplete = [m for m in conc
+                  if m.completed < m.conns * per_conn]
+    if incomplete:
+        names = ", ".join(m.transport for m in incomplete)
+        print(f"FAIL: incomplete concurrency legs: {names}")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

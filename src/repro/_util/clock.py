@@ -1,0 +1,29 @@
+"""Clock discipline: one sanctioned wall-clock read for display data.
+
+Everything in this codebase that *measures*, *schedules*, or *expires*
+— drain deadlines, idle timeouts, token-bucket refills, lease expiries
+— must use ``time.monotonic()``: a wall-clock step (NTP correction,
+DST, a VM resume) must never truncate or extend a timeout.  The only
+legitimate wall-clock reads are *user-facing timestamps* (when was this
+job submitted, when did the server start), and those go through
+:func:`wall_now` so the lint rule RL013 can flag every raw
+``time.time()`` in timing-sensitive packages while this single audited
+entry point stays visible and greppable.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_now"]
+
+
+def wall_now() -> float:
+    """Current wall-clock time as epoch seconds.
+
+    For *display* timestamps only (job lifecycle records, report
+    fields).  Never subtract two ``wall_now()`` readings to measure a
+    duration and never add a timeout to one — use ``time.monotonic()``
+    for both.
+    """
+    return time.time()

@@ -14,6 +14,7 @@ that serialize.
 from __future__ import annotations
 
 import ast
+import os
 
 from repro.lint.engine import FileContext, Rule, attr_chain
 
@@ -78,24 +79,43 @@ class SaltedHashRule(Rule):
 
 
 class WallClockRule(Rule):
-    """RL013: wall-clock reads inside deterministic packages."""
+    """RL013: wall-clock reads in deterministic or timing-sensitive
+    packages.
+
+    ``sched``/``flow``/``frame`` are the determinism case: simulated
+    timestamps must come from the simulated clock.  ``serve`` is the
+    timing-correctness case: the rate limiter, idle/header timeouts,
+    and drain deadlines must be measured on ``time.monotonic()`` — a
+    wall-clock step (NTP correction, VM resume) must never mint rate
+    tokens or cut a healthy connection.  Display timestamps go
+    through ``repro._util.clock.wall_now``, the one audited read.
+    """
 
     id = "RL013"
     title = "wall clock in simulation code"
     node_types = (ast.Call,)
-    dirs = ("sched", "flow", "frame")
+    dirs = ("sched", "flow", "frame", "serve")
 
     def visit(self, node: ast.Call, ctx: FileContext) -> None:
         chain = attr_chain(node.func)
         if not chain:
             return
+        in_serve = "serve" in os.path.normpath(ctx.path).split(os.sep)
         dotted = ".".join(chain)
         if dotted in ("time.time", "time.time_ns"):
-            ctx.report(self.id, node,
-                       f"{dotted}() inside a deterministic package; "
-                       "simulation timestamps must come from the "
-                       "simulated clock (perf_counter is fine for "
-                       "measuring, not for data)")
+            if in_serve:
+                ctx.report(self.id, node,
+                           f"{dotted}() on a serve timing path; "
+                           "timeouts, deadlines, and rate-token "
+                           "refills must use time.monotonic() — "
+                           "display timestamps go through "
+                           "repro._util.clock.wall_now()")
+            else:
+                ctx.report(self.id, node,
+                           f"{dotted}() inside a deterministic "
+                           "package; simulation timestamps must come "
+                           "from the simulated clock (perf_counter "
+                           "is fine for measuring, not for data)")
         elif chain[-1] in ("now", "utcnow", "today") \
                 and chain[-2:-1] and chain[-2] in ("datetime", "date"):
             ctx.report(self.id, node,

@@ -41,6 +41,7 @@ EVENT_KINDS: dict[str, str] = {
     "artifact":      "RunContext.record_artifact: ledger recorded an artifact",
     "llm_call":      "LLMClient.complete: one LLM completion",
     "fabric_transition": "FabricStore: durable job changed state",
+    "run_ingested":  "serve ingest: verified run committed to the registry",
 }
 
 
@@ -117,6 +118,18 @@ METRICS: dict[str, MetricDef] = {
     "serve.jobs.cancelled":        MetricDef(_C, "queued jobs discarded at shutdown"),
     "serve.jobs.queued":           MetricDef(_G, "jobs waiting in the queue"),
     "serve.jobs.active":           MetricDef(_G, "jobs running on workers"),
+    # -- event-loop transport (repro.serve.loop) ---------------------------------
+    "serve.loop.accepted":         MetricDef(_C, "connections accepted by the event loop"),
+    "serve.loop.open":             MetricDef(_G, "connections currently open"),
+    "serve.loop.timeouts":         MetricDef(_C, "connections cut by idle/header deadlines"),
+    "serve.loop.bad_requests":     MetricDef(_C, "connections poisoned by protocol errors"),
+    "serve.loop.streamed":         MetricDef(_C, "responses sent with chunked streaming"),
+    "serve.http.rate_limited":     MetricDef(_C, "requests answered 429 by the token bucket"),
+    # -- run ingest (repro.serve.ingest) -----------------------------------------
+    "serve.ingest.accepted":       MetricDef(_C, "runs ingested and registered"),
+    "serve.ingest.rejected":       MetricDef(_C, "ingest archives refused"),
+    "serve.ingest.bytes":          MetricDef(_C, "archive bytes accepted"),
+    "serve.ingest.verified":       MetricDef(_C, "artifacts hash-verified at ingest"),
     # -- durable job fabric (repro.fabric.store) ---------------------------------
     "serve.fabric.submitted":      MetricDef(_C, "jobs accepted into the durable store"),
     "serve.fabric.leased":         MetricDef(_C, "leases granted to launcher workers"),

@@ -3,19 +3,28 @@
 The batch workflow ends with a workdir full of typed artifacts: curated
 tables, charts with primitives sidecars, LLM reports, a provenance
 ledger, and a run manifest.  This package turns one or more of those
-workdirs into a long-lived daemon: a stdlib-only threaded HTTP server
-(no frameworks) with
+workdirs into a long-lived daemon: a stdlib-only HTTP service (no
+frameworks) with
 
+- a ``selectors``-based non-blocking event-loop transport (keep-alive,
+  pipelining, idle/header timeouts, chunked streaming, per-client rate
+  limiting) with ``--procs N`` ``SO_REUSEPORT`` process sharding — the
+  legacy thread-per-connection server remains as ``--transport
+  thread``,
 - a JSON API over runs, manifests, events, and provenance (including
-  lineage traversal),
+  lineage traversal), with offset/limit cursor pagination,
 - artifact downloads with content negotiation and content-hash ETags
-  (conditional GET returns 304),
-- on-demand SVG/PNG chart rendering behind a hash-keyed in-memory LRU,
+  (conditional GET returns 304); large bodies and event listings
+  stream with ``Transfer-Encoding: chunked``,
+- a write path: ``POST /api/runs`` ingests a tar-streamed workdir,
+  verifies every artifact against its provenance content hash, and
+  hot-registers the run — no restart,
 - a bounded background job queue with a worker pool for expensive work
   (LLM insight analysis, policy-lab simulations) with explicit
   backpressure (queue-full → 429 + ``Retry-After``),
 - Prometheus-style ``/metrics`` text export of the run context's
-  :class:`~repro.obs.metrics.MetricRegistry`, and
+  :class:`~repro.obs.metrics.MetricRegistry` (``shard`` label under
+  ``--procs``), and
 - the dashboard and trace pages served live.
 
 Start it with ``repro-serve --workdir out/`` or
@@ -24,6 +33,8 @@ Start it with ``repro-serve --workdir out/`` or
 
 from repro.serve.cache import LRUCache
 from repro.serve.jobs import Job, JobQueue, QueueDraining, QueueFull
+from repro.serve.limit import RateLimiter
+from repro.serve.proto import ParsedRequest, ProtocolError, RequestParser
 from repro.serve.router import (
     MethodNotAllowed,
     NotFound,
@@ -31,8 +42,11 @@ from repro.serve.router import (
     ServeError,
 )
 from repro.serve.runs import RunDir, RunRegistry
-from repro.serve.api import Request, Response, ServeApp
+from repro.serve.api import Request, Response, ServeApp, StreamBody
+from repro.serve.ingest import ingest_run
+from repro.serve.loop import EventLoopServer
 from repro.serve.server import ServeServer
+from repro.serve.shard import run_sharded, sharding_supported
 
 __all__ = [
     "LRUCache",
@@ -40,6 +54,10 @@ __all__ = [
     "JobQueue",
     "QueueDraining",
     "QueueFull",
+    "RateLimiter",
+    "ParsedRequest",
+    "ProtocolError",
+    "RequestParser",
     "MethodNotAllowed",
     "NotFound",
     "Router",
@@ -48,6 +66,11 @@ __all__ = [
     "RunRegistry",
     "Request",
     "Response",
+    "StreamBody",
     "ServeApp",
+    "ingest_run",
+    "EventLoopServer",
     "ServeServer",
+    "run_sharded",
+    "sharding_supported",
 ]

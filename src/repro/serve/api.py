@@ -24,11 +24,13 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro._util.clock import wall_now
 from repro._util.errors import DataError, ReproError
 from repro.fabric.campaign import submit_campaign
 from repro.fabric.runners import run_insight, run_simulate, \
     simulate_payload
 from repro.fabric.store import FabricStore
+from repro.frame.io import iter_table
 from repro.obs import RunContext
 from repro.serve.cache import LRUCache
 from repro.serve.jobs import JobQueue, QueueDraining, QueueFull
@@ -37,7 +39,7 @@ from repro.serve.runs import RunDir, RunRegistry
 from repro.store.hashing import default_hash_cache
 from repro.store.store import read_table_fast, resolve_table_path
 
-__all__ = ["Request", "Response", "ServeApp"]
+__all__ = ["Request", "Response", "StreamBody", "ServeApp"]
 
 _CTYPES = {
     ".csv": "text/csv; charset=utf-8",
@@ -66,9 +68,68 @@ class Request:
         return self.headers.get(name.lower(), default)
 
 
+class StreamBody:
+    """An iterable-of-chunks response body.
+
+    ``Response.body`` may be one of these instead of ``bytes``: the
+    event-loop transport sends each chunk with ``Transfer-Encoding:
+    chunked`` as it arrives, so a year-scale ``events.jsonl`` or a
+    large artifact never materializes server-side.  Dispatch-level
+    callers (the endpoint test matrix, the threaded adapter) keep the
+    ``bytes`` surface they already use — ``decode()``, ``bytes()``,
+    ``len()``, ``startswith()`` — by materializing on first touch, so
+    switching a handler to streaming is invisible below the transport.
+    """
+
+    def __init__(self, chunks) -> None:
+        self._chunks = chunks
+        self._consumed = False
+        self._cached: bytes | None = None
+
+    def __iter__(self):
+        if self._cached is not None:
+            yield self._cached
+            return
+        if self._consumed:
+            raise RuntimeError("stream body already consumed")
+        self._consumed = True
+        for chunk in self._chunks:
+            yield bytes(chunk)
+
+    def materialize(self) -> bytes:
+        if self._cached is None:
+            self._cached = b"".join(self)
+        return self._cached
+
+    def decode(self, encoding: str = "utf-8",
+               errors: str = "strict") -> str:
+        return self.materialize().decode(encoding, errors)
+
+    def startswith(self, prefix) -> bool:
+        return self.materialize().startswith(prefix)
+
+    def __bytes__(self) -> bytes:
+        return self.materialize()
+
+    def __len__(self) -> int:
+        return len(self.materialize())
+
+    def __getitem__(self, item):
+        return self.materialize()[item]
+
+    def close(self) -> None:
+        closer = getattr(self._chunks, "close", None)
+        if closer is not None:
+            closer()
+
+
 @dataclass
 class Response:
-    """Status, body, and headers, ready for any transport."""
+    """Status, body, and headers, ready for any transport.
+
+    ``body`` is ``bytes`` for buffered responses or a
+    :class:`StreamBody` for chunked streaming ones.
+    """
 
     status: int = 200
     body: bytes = b""
@@ -140,8 +201,11 @@ class ServeApp:
                  request_timeout_s: float | None = 30.0,
                  max_body_bytes: int = 1 << 20,
                  retry_after_s: int = 1,
-                 fabric: str | os.PathLike | None = None) -> None:
-        self.registry = RunRegistry(workdirs)
+                 fabric: str | os.PathLike | None = None,
+                 ingest_dir: str | os.PathLike | None = None,
+                 max_ingest_bytes: int = 256 * 1024 * 1024,
+                 stream_threshold_bytes: int = 256 * 1024) -> None:
+        self.registry = RunRegistry(workdirs, ingest_dir=ingest_dir)
         #: bounded history: a long-lived server must not accumulate an
         #: unbounded event/span record the way a batch run may
         self.obs = obs or RunContext(max_history=2048)
@@ -156,15 +220,28 @@ class ServeApp:
         self.llm_backend = llm_backend
         self.request_timeout_s = request_timeout_s
         self.max_body_bytes = max_body_bytes
+        self.max_ingest_bytes = max_ingest_bytes
+        self.stream_threshold_bytes = stream_threshold_bytes
         self.retry_after_s = retry_after_s
-        self.started_s = time.time()
+        #: shard index under --procs (labels /metrics); None unsharded
+        self.shard: str | None = None
+        self.started_s = wall_now()     # display only; uptime is below
+        self._started_mono = time.monotonic()
         self.router = self._build_router()
+
+    @property
+    def transport_body_cap(self) -> int:
+        """The largest request body any route admits — what a
+        transport should allow through before routing happens."""
+        return max(self.max_body_bytes, self.max_ingest_bytes)
 
     def _build_router(self) -> Router:
         r = Router()
         r.get("/healthz", self._h_healthz)
         r.get("/metrics", self._h_metrics)
         r.get("/api/runs", self._h_runs)
+        r.post("/api/runs", self._h_post_run)
+        r.get("/api/runs/<id>/artifacts", self._h_run_artifacts)
         r.get("/api/runs/<id>/manifest", self._h_run_manifest)
         r.get("/api/runs/<id>/summary", self._h_run_summary)
         r.get("/api/runs/<id>/events", self._h_run_events)
@@ -193,9 +270,12 @@ class ServeApp:
         try:
             route, params = self.router.resolve(request.method,
                                                 request.path)
-            if len(request.body) > self.max_body_bytes:
-                raise ServeError(
-                    413, f"body exceeds {self.max_body_bytes} bytes")
+            cap = self.max_ingest_bytes \
+                if (request.method == "POST"
+                    and route.pattern == "/api/runs") \
+                else self.max_body_bytes
+            if len(request.body) > cap:
+                raise ServeError(413, f"body exceeds {cap} bytes")
             with self.obs.span(f"http:{route.pattern}",
                                method=request.method):
                 response = _call_with_timeout(
@@ -263,9 +343,24 @@ class ServeApp:
         ctype = _CTYPES.get(ext, "application/octet-stream")
         try:
             sha = self.hashes.sha256(path)
+            size = os.path.getsize(path)
         except OSError:
             raise NotFound(f"missing file {os.path.basename(path)!r}") \
                 from None
+        if size > self.stream_threshold_bytes:
+            # large bodies stream chunked (uncached): buffering them
+            # whole would defeat both the LRU bound and the event loop
+            def stream() -> StreamBody:
+                def chunks():
+                    with open(path, "rb") as fh:
+                        while True:
+                            block = fh.read(256 * 1024)
+                            if not block:
+                                return
+                            yield block
+                return StreamBody(chunks())
+
+            return self._conditional(request, sha, stream, ctype)
 
         def read() -> bytes:
             with open(path, "rb") as fh:
@@ -277,14 +372,24 @@ class ServeApp:
     # -- service endpoints ---------------------------------------------------------
 
     def _h_healthz(self, request: Request, params: dict) -> Response:
-        return json_response({
+        payload = {
             "ok": True,
             "runs": [r.basename for r in self.registry.runs],
-            "uptime_s": round(time.time() - self.started_s, 3),
-        })
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
+        }
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        return json_response(payload)
 
     def _h_metrics(self, request: Request, params: dict) -> Response:
-        """Prometheus text exposition of the run context's registry."""
+        """Prometheus text exposition of the run context's registry.
+
+        Under ``--procs`` each shard is its own process with its own
+        registry, so every sample carries a ``shard`` label — scrape
+        each shard and sum, exactly like any multi-process exporter.
+        """
+        label = "" if self.shard is None \
+            else '{shard="%s"}' % self.shard
         lines = []
         for name, (kind, value) in \
                 self.obs.metrics.typed_snapshot().items():
@@ -293,16 +398,70 @@ class ServeApp:
             if kind == "counter":
                 metric += "_total"
             lines.append(f"# TYPE {metric} {kind}")
-            lines.append(f"{metric} {value:g}")
+            lines.append(f"{metric}{label} {value:g}")
         body = ("\n".join(lines) + "\n").encode("utf-8")
         return Response(body=body,
                         content_type="text/plain; version=0.0.4; "
                                      "charset=utf-8")
 
+    # -- pagination ----------------------------------------------------------------
+
+    @staticmethod
+    def _page_params(request: Request) -> tuple[int | None, int | None]:
+        """``(offset, limit)`` cursor; ``None`` where not given."""
+        out = []
+        for name in ("offset", "limit"):
+            raw = request.query.get(name)
+            if raw is None:
+                out.append(None)
+                continue
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ServeError(400, f"{name} must be an integer") \
+                    from None
+            if value < 0:
+                raise ServeError(400, f"{name} must be >= 0")
+            out.append(value)
+        return out[0], out[1]
+
+    @staticmethod
+    def _next_link(path: str, offset: int, limit: int,
+                   extra: dict[str, str] | None = None) -> str:
+        query = dict(extra or {})
+        query["offset"] = str(offset)
+        query["limit"] = str(limit)
+        pairs = "&".join(f"{k}={v}" for k, v in sorted(query.items()))
+        return f"{path}?{pairs}"
+
+    def _paginate(self, request: Request, path: str, items: list,
+                  key: str, extra_query: dict[str, str] | None = None,
+                  extra_payload: dict | None = None) -> Response:
+        """Slice ``items`` by the offset/limit cursor, linking the
+        next page while more remain (cursors are plain offsets, so
+        they stay stable as long as the listing only *appends* — which
+        ingest guarantees for runs)."""
+        offset, limit = self._page_params(request)
+        payload = dict(extra_payload or {})
+        payload["n_total"] = len(items)
+        if offset is None and limit is None:
+            payload[key] = items
+            return json_response(payload)
+        offset = offset or 0
+        window = items[offset:offset + limit] if limit is not None \
+            else items[offset:]
+        payload[key] = window
+        payload["offset"] = offset
+        if limit is not None and offset + limit < len(items):
+            payload["next"] = self._next_link(
+                path, offset + limit, limit, extra_query)
+        return json_response(payload)
+
     # -- run endpoints -------------------------------------------------------------
 
     def _h_runs(self, request: Request, params: dict) -> Response:
-        return json_response({"runs": self.registry.list_runs()})
+        return self._paginate(request, "/api/runs",
+                              self.registry.list_runs(), "runs")
 
     def _h_run_manifest(self, request: Request, params: dict) -> Response:
         return json_response(self._run(request, params["id"]).manifest())
@@ -311,17 +470,55 @@ class ServeApp:
         return json_response(self._run(request, params["id"]).summary())
 
     def _h_run_events(self, request: Request, params: dict) -> Response:
+        """Run events: tail page, cursor page, or full stream.
+
+        ``?limit=N`` alone keeps the original contract (the last N
+        matching events, buffered — a dashboard's "what just
+        happened").  With ``?offset`` the listing walks *forward* with
+        a ``next`` cursor, and the body streams chunked off the
+        ``events.jsonl`` reader — as does the no-parameter full dump —
+        so paper-scale manifests never materialize server-side.
+        """
         run = self._run(request, params["id"])
-        limit = None
-        if "limit" in request.query:
-            try:
-                limit = max(0, int(request.query["limit"]))
-            except ValueError:
-                raise ServeError(400, "limit must be an integer") \
-                    from None
-        events = run.events(kind=request.query.get("kind"), limit=limit)
-        return json_response({"run_id": run.run_id, "n": len(events),
-                              "events": events})
+        kind = request.query.get("kind")
+        offset, limit = self._page_params(request)
+        if offset is None and limit is not None:
+            events = run.events(kind=kind, limit=limit)
+            return json_response({"run_id": run.run_id,
+                                  "n": len(events), "events": events})
+        start = offset or 0
+        # open before committing to a 200: a missing manifest 404s here
+        events_iter = run.iter_events(kind)
+        path = f"/api/runs/{params['id']}/events"
+        extra = {"kind": kind} if kind is not None else None
+
+        def generate():
+            parts = [f'{{"offset": {start}, '
+                     f'"run_id": {json.dumps(run.run_id)}, "events": [']
+            size = taken = 0
+            more = False
+            for index, event in enumerate(events_iter):
+                if index < start:
+                    continue
+                if limit is not None and taken >= limit:
+                    more = True
+                    break
+                text = json.dumps(_sanitize(event), sort_keys=True)
+                parts.append(("," if taken else "") + text)
+                taken += 1
+                size += len(text)
+                if size >= 64 * 1024:
+                    yield "".join(parts).encode("utf-8")
+                    parts, size = [], 0
+            parts.append(f'], "n": {taken}')
+            if more:
+                link = self._next_link(path, start + limit, limit, extra)
+                parts.append(f', "next": {json.dumps(link)}')
+            parts.append("}")
+            yield "".join(parts).encode("utf-8")
+
+        return Response(status=200, body=StreamBody(generate()),
+                        content_type="application/json")
 
     def _h_run_provenance(self, request: Request,
                           params: dict) -> Response:
@@ -336,15 +533,42 @@ class ServeApp:
             status = 404 if "no provenance record" in str(exc) else 400
             raise ServeError(status, str(exc)) from None
 
+    def _h_run_artifacts(self, request: Request,
+                         params: dict) -> Response:
+        """Paginated provenance-record listing for one run."""
+        run = self._run(request, params["id"])
+        records = list(run.provenance().get("artifacts", []))
+        return self._paginate(
+            request, f"/api/runs/{params['id']}/artifacts",
+            records, "artifacts",
+            extra_payload={"run_id": run.run_id})
+
+    # -- ingest (the write path) ---------------------------------------------------
+
+    def _h_post_run(self, request: Request, params: dict) -> Response:
+        """Ingest a completed workdir (tar stream) into the registry.
+
+        Every artifact is verified against its ``provenance.json``
+        content hash before the run becomes visible; a tampered or
+        incomplete archive is rejected with a structured error and
+        leaves no trace on disk.
+        """
+        if self.registry.ingest_dir is None:
+            raise ServeError(503, "run ingest is disabled (start "
+                                  "repro-serve with --ingest-dir)")
+        from repro.serve.ingest import ingest_run
+        result = ingest_run(request.body, self.registry, self.obs)
+        return json_response(result, status=201)
+
     # -- artifact endpoint ---------------------------------------------------------
 
     def _negotiate(self, request: Request, path: str) -> str:
-        """Target representation: ``csv``/``npf``/``json``/``raw``."""
+        """Representation: ``csv``/``npf``/``json``/``jsonl``/``raw``."""
         fmt = request.query.get("format")
         if fmt is not None:
-            if fmt not in ("csv", "npf", "json", "raw"):
+            if fmt not in ("csv", "npf", "json", "jsonl", "raw"):
                 raise ServeError(400, f"unknown format {fmt!r}; "
-                                      f"want csv|npf|json|raw")
+                                      f"want csv|npf|json|jsonl|raw")
             return fmt
         accept = request.header("accept")
         tabular = path.endswith((".csv", ".npf"))
@@ -372,11 +596,13 @@ class ServeApp:
             path = twin
         elif fmt == "csv" and not path.endswith(".csv"):
             raise ServeError(406, f"{params['name']!r} has no CSV form")
-        if fmt != "json":
+        if fmt not in ("json", "jsonl"):
             return self._serve_file(request, path)
         if not path.endswith((".csv", ".npf")):
             raise ServeError(406, f"{params['name']!r} is not tabular; "
-                                  "only csv/npf convert to json")
+                                  f"only csv/npf convert to {fmt}")
+        if fmt == "jsonl":
+            return self._stream_jsonl(request, params["name"], path)
         sha = self.hashes.sha256(path)
 
         def to_json() -> bytes:
@@ -389,6 +615,29 @@ class ServeApp:
         return self._conditional(request, sha + "-json", to_json,
                                  "application/json",
                                  cache_key=("artifact-json", sha))
+
+    def _stream_jsonl(self, request: Request, name: str,
+                      path: str) -> Response:
+        """Row-streamed table conversion: one JSON object per line,
+        produced chunk-by-chunk off :func:`repro.frame.io.iter_table`
+        so an 18M-row table never lives in memory whole."""
+        sha = self.hashes.sha256(path)
+
+        def generate():
+            for frame in iter_table(path, chunk_rows=4096):
+                columns = frame.to_dict()
+                names = list(columns)
+                lines = []
+                for values in zip(*(columns[n] for n in names)):
+                    record = dict(zip(names, values))
+                    lines.append(json.dumps(_sanitize(record),
+                                            sort_keys=True))
+                if lines:
+                    yield ("\n".join(lines) + "\n").encode("utf-8")
+
+        return self._conditional(request, sha + "-jsonl",
+                                 lambda: StreamBody(generate()),
+                                 "application/jsonl")
 
     # -- chart endpoints -----------------------------------------------------------
 

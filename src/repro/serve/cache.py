@@ -17,15 +17,22 @@ __all__ = ["LRUCache"]
 
 
 class LRUCache:
-    """Least-recently-used mapping of hashable keys to ``bytes``."""
+    """Least-recently-used mapping of hashable keys to payloads.
+
+    Values are ``bytes`` by default; pass ``sizer`` to bound other
+    payload kinds (parsed manifests, frames) by an approximate byte
+    cost instead of ``len``.
+    """
 
     def __init__(self, max_entries: int = 128,
-                 max_bytes: int = 64 * 1024 * 1024, obs=None) -> None:
+                 max_bytes: int = 64 * 1024 * 1024, obs=None,
+                 sizer=len) -> None:
         if max_entries < 1:
             raise ValueError("cache needs at least one entry")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.obs = obs
+        self.sizer = sizer
         self._lock = threading.Lock()
         self._data: OrderedDict[object, bytes] = OrderedDict()
         self._bytes = 0
@@ -44,18 +51,19 @@ class LRUCache:
         return value
 
     def put(self, key, value: bytes) -> None:
-        if len(value) > self.max_bytes:
+        size = self.sizer(value)
+        if size > self.max_bytes:
             return                      # would evict everything else
         with self._lock:
             old = self._data.pop(key, None)
             if old is not None:
-                self._bytes -= len(old)
+                self._bytes -= self.sizer(old)
             self._data[key] = value
-            self._bytes += len(value)
+            self._bytes += size
             while (len(self._data) > self.max_entries
                    or self._bytes > self.max_bytes):
                 _, evicted = self._data.popitem(last=False)
-                self._bytes -= len(evicted)
+                self._bytes -= self.sizer(evicted)
                 self._count("serve.cache.evictions")
         if self.obs is not None:
             self.obs.gauge("serve.cache.entries").set(len(self._data))

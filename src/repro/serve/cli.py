@@ -12,8 +12,17 @@ then::
     curl localhost:8080/api/charts/volume.svg
     curl localhost:8080/metrics
 
-``SIGTERM``/``SIGINT`` trigger a graceful drain: in-flight requests
-finish, queued background jobs complete, then the process exits.
+The default transport is the ``selectors`` event loop (``--transport
+loop``); ``--transport thread`` keeps the legacy thread-per-connection
+server.  ``--procs N`` forks N event-loop shards sharing the port via
+``SO_REUSEPORT`` — each shard is a full process with its own
+``/metrics`` (labelled ``shard="i"``).  ``--ingest-dir`` opens the
+write path (``POST /api/runs``); ``--rate-limit R`` answers 429 once a
+client exceeds R requests/second.
+
+``SIGTERM``/``SIGINT`` trigger a graceful drain: stop accepting,
+in-flight requests finish, queued background jobs complete, then the
+process (or every shard) exits.
 """
 
 from __future__ import annotations
@@ -25,7 +34,10 @@ import threading
 
 from repro._util.errors import ReproError
 from repro.serve.api import ServeApp
+from repro.serve.limit import RateLimiter
+from repro.serve.loop import EventLoopServer
 from repro.serve.server import ServeServer
+from repro.serve.shard import run_sharded
 
 __all__ = ["main", "build_parser"]
 
@@ -41,6 +53,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080,
                    help="listen port (0 picks an ephemeral port)")
+    p.add_argument("--transport", choices=("loop", "thread"),
+                   default="loop",
+                   help="event-loop transport (default) or the legacy "
+                        "thread-per-connection server")
+    p.add_argument("--procs", type=int, default=1,
+                   help="fork N SO_REUSEPORT shards of the event-loop "
+                        "transport (1 = in-process, no fork)")
+    p.add_argument("--handler-threads", type=int, default=8,
+                   help="event-loop dispatch worker pool size")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   metavar="RPS",
+                   help="per-client token-bucket rate (requests/s; "
+                        "excess answered 429 + Retry-After)")
+    p.add_argument("--ingest-dir", default=None, metavar="DIR",
+                   help="enable POST /api/runs: verified ingested "
+                        "runs are committed under DIR and served "
+                        "immediately")
     p.add_argument("--job-workers", type=int, default=2,
                    help="background worker pool size")
     p.add_argument("--job-capacity", type=int, default=8,
@@ -53,7 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request handler timeout in seconds "
                         "(0 disables)")
     p.add_argument("--max-body-kb", type=int, default=1024,
-                   help="request body limit (KiB; larger -> 413)")
+                   help="request body limit (KiB; larger -> 413; "
+                        "POST /api/runs has its own archive cap)")
     p.add_argument("--llm-backend", default="chart-analyst",
                    help="backend for POST /api/insights jobs")
     p.add_argument("--fabric", nargs="?", const="auto", default=None,
@@ -68,29 +98,37 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    fabric = args.fabric
-    if fabric == "auto":
-        from repro.fabric import fabric_db_path
-        fabric = fabric_db_path(args.workdir[0])
-    try:
-        app = ServeApp(
-            args.workdir,
-            llm_backend=args.llm_backend,
-            cache_entries=args.cache_entries,
-            cache_bytes=args.cache_mb * 1024 * 1024,
-            job_workers=args.job_workers,
-            job_capacity=args.job_capacity,
-            request_timeout_s=args.timeout or None,
-            max_body_bytes=args.max_body_kb * 1024,
-            fabric=fabric)
-        server = ServeServer(app, host=args.host, port=args.port,
-                             verbose=args.verbose)
-    except (ReproError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+def _build_app(args, fabric) -> ServeApp:
+    return ServeApp(
+        args.workdir,
+        llm_backend=args.llm_backend,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        job_workers=args.job_workers,
+        job_capacity=args.job_capacity,
+        request_timeout_s=args.timeout or None,
+        max_body_bytes=args.max_body_kb * 1024,
+        ingest_dir=args.ingest_dir,
+        fabric=fabric)
 
+
+def _build_server(args, fabric, sock=None):
+    app = _build_app(args, fabric)
+    if args.transport == "thread":
+        if sock is not None:
+            raise ReproError("--procs sharding needs the event-loop "
+                             "transport")
+        return app, ServeServer(app, host=args.host, port=args.port,
+                                verbose=args.verbose)
+    limiter = None if args.rate_limit is None \
+        else RateLimiter(args.rate_limit)
+    return app, EventLoopServer(
+        app, host=args.host, port=args.port, sock=sock,
+        handler_threads=args.handler_threads,
+        rate_limit=limiter, verbose=args.verbose)
+
+
+def _serve_until_signal(app, server, banner: str) -> int:
     stop = threading.Event()
 
     def request_shutdown(signum, frame) -> None:   # pragma: no cover
@@ -98,12 +136,7 @@ def main(argv: list[str] | None = None) -> int:
 
     signal.signal(signal.SIGTERM, request_shutdown)
     signal.signal(signal.SIGINT, request_shutdown)
-
-    host, port = server.address
-    runs = ", ".join(r.basename for r in app.registry.runs)
-    mode = f"fabric {fabric}" if fabric else \
-        f"jobs: {args.job_workers} workers, queue {args.job_capacity}"
-    print(f"repro-serve: {runs} on http://{host}:{port} ({mode})")
+    print(banner)
     server.start()
     try:
         while not stop.wait(timeout=0.2):   # pragma: no cover - signal loop
@@ -113,7 +146,58 @@ def main(argv: list[str] | None = None) -> int:
         clean = server.close(graceful=True)
         print(f"repro-serve: {'clean' if clean else 'forced'} shutdown",
               file=sys.stderr)
-    return 0
+    return 0 if clean else 1
+
+
+def _shard_main(args, fabric, shard: int, sock) -> int:
+    """Runs inside one forked shard (its own process, app, metrics)."""
+    app, server = _build_server(args, fabric, sock=sock)
+    app.shard = str(shard)
+    return _serve_until_signal(
+        app, server, f"repro-serve: shard {shard} on "
+                     f"http://{args.host}:{sock.getsockname()[1]}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    fabric = args.fabric
+    if fabric == "auto":
+        from repro.fabric import fabric_db_path
+        fabric = fabric_db_path(args.workdir[0])
+    if args.procs < 1:
+        print("error: --procs must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.procs > 1:
+        if args.transport != "loop":
+            print("error: --procs sharding needs --transport loop",
+                  file=sys.stderr)
+            return 2
+        try:
+            return run_sharded(
+                args.procs, args.host, args.port,
+                lambda shard, sock: _shard_main(args, fabric, shard,
+                                                sock),
+                on_ready=lambda host, port, pids: print(
+                    f"repro-serve: {args.procs} shards on "
+                    f"http://{host}:{port} (pids {pids})"))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    try:
+        app, server = _build_server(args, fabric)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    host, port = server.address
+    runs = ", ".join(r.basename for r in app.registry.runs)
+    mode = f"fabric {fabric}" if fabric else \
+        f"jobs: {args.job_workers} workers, queue {args.job_capacity}"
+    return _serve_until_signal(
+        app, server,
+        f"repro-serve: {runs} on http://{host}:{port} "
+        f"({args.transport} transport; {mode})")
 
 
 if __name__ == "__main__":   # pragma: no cover

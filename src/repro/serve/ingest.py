@@ -1,0 +1,224 @@
+"""``POST /api/runs``: hash-verified ingest of a completed workdir.
+
+The write path accepts a tar archive of a finished workflow workdir
+and commits it to the registry only after every artifact listed in the
+archive's ``provenance.json`` has been re-hashed on the server and
+matched against its recorded content hash (the same streaming SHA-256
+:mod:`repro.store.hashing` computes when the ledger is written).  A
+tampered, truncated, or incomplete archive is rejected with a
+structured error and leaves nothing behind: extraction happens in a
+dot-prefixed temp directory inside the ingest dir (dot-prefixed names
+are invisible to :meth:`RunRegistry.refresh`), and only a fully
+verified run is renamed — atomically, same filesystem — to its final
+name and hot-registered.  Sibling shards pick the new directory up via
+their own registry refresh; no restart anywhere.
+
+Archive rules: plain files and directories only (symlinks, hardlinks,
+and device nodes are rejected — an archive must not be able to alias
+files outside its own root), no absolute paths, no ``..``.  The run
+root may be the archive root or a single shared top-level directory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import posixpath
+import shutil
+import tarfile
+import uuid
+
+from repro.obs.context import MANIFEST_PROVENANCE, MANIFEST_SUMMARY
+from repro.serve.router import ServeError
+from repro.store.hashing import file_sha256
+
+__all__ = ["ingest_run"]
+
+#: decompressed-size guard: a tiny compressed body must not be able to
+#: expand into an arbitrarily large extraction (zip-bomb containment)
+_MAX_EXTRACTED_BYTES = 1024 * 1024 * 1024
+
+
+def _member_relpath(member: tarfile.TarInfo) -> str | None:
+    """Run-root-relative posix path for one member; ``None`` for the
+    archive root itself; :class:`ServeError` (400) for anything that
+    could write outside the extraction root."""
+    if member.issym() or member.islnk():
+        raise ServeError(400, f"archive member {member.name!r} is a "
+                              "link; only plain files and directories "
+                              "are ingestable")
+    if not (member.isreg() or member.isdir()):
+        raise ServeError(400, f"archive member {member.name!r} has an "
+                              "unsupported type")
+    name = posixpath.normpath(member.name.lstrip("/"))
+    if name in (".", ""):
+        return None
+    if name.startswith("..") or posixpath.isabs(name):
+        raise ServeError(400, f"archive member {member.name!r} "
+                              "escapes the run root")
+    return name
+
+
+def _extract(body: bytes, tmp_root: str) -> int:
+    """Unpack ``body`` into ``tmp_root``; returns extracted bytes."""
+    try:
+        archive = tarfile.open(fileobj=io.BytesIO(body), mode="r:*")
+    except tarfile.TarError as exc:
+        raise ServeError(400, f"body is not a readable tar archive: "
+                              f"{exc}") from None
+    total = 0
+    with archive:
+        for member in archive:
+            rel = _member_relpath(member)
+            if rel is None:
+                continue
+            dest = os.path.join(tmp_root, *rel.split("/"))
+            if member.isdir():
+                os.makedirs(dest, exist_ok=True)
+                continue
+            total += member.size
+            if total > _MAX_EXTRACTED_BYTES:
+                raise ServeError(413, "archive expands past "
+                                      f"{_MAX_EXTRACTED_BYTES} bytes")
+            os.makedirs(os.path.dirname(dest), exist_ok=True)
+            src = archive.extractfile(member)
+            if src is None:             # pragma: no cover - defensive
+                raise ServeError(400, f"unreadable archive member "
+                                      f"{member.name!r}")
+            with src, open(dest, "wb") as out:
+                shutil.copyfileobj(src, out)
+    return total
+
+
+def _locate_root(tmp_root: str) -> str:
+    """The run root inside the extraction: the archive root when the
+    manifest sits there, else a single shared top-level directory."""
+    if os.path.isfile(os.path.join(tmp_root, MANIFEST_SUMMARY)):
+        return tmp_root
+    entries = os.listdir(tmp_root)
+    if len(entries) == 1:
+        candidate = os.path.join(tmp_root, entries[0])
+        if os.path.isfile(os.path.join(candidate, MANIFEST_SUMMARY)):
+            return candidate
+    raise ServeError(422, f"archive has no {MANIFEST_SUMMARY} at its "
+                          "root; is this a finished workflow workdir?")
+
+
+def _verify(root: str) -> int:
+    """Re-hash every provenance-listed artifact; count of verified
+    records, or :class:`ServeError` (422) naming the first failure."""
+    prov_path = os.path.join(root, MANIFEST_PROVENANCE)
+    try:
+        with open(prov_path, encoding="utf-8") as fh:
+            provenance = json.load(fh)
+    except OSError:
+        raise ServeError(422, f"archive has no {MANIFEST_PROVENANCE}; "
+                              "unverifiable runs are not ingestable") \
+            from None
+    except ValueError as exc:
+        raise ServeError(422, f"malformed {MANIFEST_PROVENANCE}: "
+                              f"{exc}") from None
+    records = provenance.get("artifacts")
+    if not isinstance(records, list):
+        raise ServeError(422, f"{MANIFEST_PROVENANCE} has no "
+                              "artifacts list")
+    for record in records:
+        rel = record.get("path") if isinstance(record, dict) else None
+        expected = record.get("sha256") if isinstance(record, dict) \
+            else None
+        if not rel or not expected:
+            raise ServeError(422, "provenance record without "
+                                  f"path/sha256: {record!r}")
+        norm = posixpath.normpath(rel)
+        if norm.startswith("..") or posixpath.isabs(norm):
+            raise ServeError(422, f"provenance path {rel!r} escapes "
+                                  "the run root")
+        path = os.path.join(root, *norm.split("/"))
+        if not os.path.isfile(path):
+            raise ServeError(422, f"artifact {rel!r} is listed in "
+                                  "provenance but missing from the "
+                                  "archive")
+        actual = file_sha256(path)
+        if actual != expected:
+            raise ServeError(422, f"artifact {rel!r} failed content "
+                                  "verification: provenance records "
+                                  f"sha256 {expected[:12]}…, archive "
+                                  f"holds {actual[:12]}…")
+        declared = record.get("bytes")
+        if declared is not None \
+                and int(declared) != os.path.getsize(path):
+            raise ServeError(422, f"artifact {rel!r} size mismatch: "
+                                  f"provenance records {declared} "
+                                  "bytes")
+    return len(records)
+
+
+def _run_name(root: str) -> str:
+    """The committed directory name: the manifest run id when it is a
+    safe single path segment, else the extracted directory's name."""
+    try:
+        with open(os.path.join(root, MANIFEST_SUMMARY),
+                  encoding="utf-8") as fh:
+            run_id = str(json.load(fh).get("run_id", ""))
+    except (OSError, ValueError):
+        run_id = ""
+    if run_id and "/" not in run_id and os.sep not in run_id \
+            and not run_id.startswith(".") and run_id not in (".", ".."):
+        return run_id
+    base = os.path.basename(root.rstrip(os.sep))
+    if base.startswith(".ingest-"):
+        raise ServeError(422, "archive carries no usable run id "
+                              "(summary.json run_id is empty or "
+                              "unsafe and the archive has no named "
+                              "top-level directory)")
+    return base
+
+
+def ingest_run(body: bytes, registry, obs) -> dict:
+    """Verify and commit one tar-streamed run; the handler's core.
+
+    Returns the registration summary for the 201 body.  Raises
+    :class:`ServeError` — 400 (malformed archive), 409 (run exists),
+    413 (oversized extraction), 422 (verification failure) — with the
+    temp extraction already cleaned up.
+    """
+    ingest_dir = registry.ingest_dir
+    assert ingest_dir is not None, "caller gates on ingest_dir"
+    if not body:
+        raise ServeError(400, "empty body; POST a tar archive of a "
+                              "finished workflow workdir")
+    os.makedirs(ingest_dir, exist_ok=True)
+    tmp_root = os.path.join(ingest_dir, f".ingest-{uuid.uuid4().hex}")
+    os.makedirs(tmp_root)
+    try:
+        total = _extract(bytes(body), tmp_root)
+        root = _locate_root(tmp_root)
+        verified = _verify(root)
+        name = _run_name(root)
+        final = os.path.join(ingest_dir, name)
+        if os.path.exists(final) or registry.get(name) is not None:
+            raise ServeError(409, f"run {name!r} already exists")
+        try:
+            os.rename(root, final)
+        except OSError:                 # raced a sibling shard's commit
+            raise ServeError(409, f"run {name!r} already exists") \
+                from None
+        run = registry.add(final)
+    except ServeError:
+        obs.counter("serve.ingest.rejected").inc()
+        raise
+    finally:
+        shutil.rmtree(tmp_root, ignore_errors=True)
+    obs.counter("serve.ingest.accepted").inc()
+    obs.counter("serve.ingest.bytes").inc(len(body))
+    obs.counter("serve.ingest.verified").inc(verified)
+    obs.bus.emit("run_ingested", run.basename, run_id=run.run_id,
+                 artifacts=verified, archive_bytes=len(body))
+    return {
+        "run": {"id": run.run_id, "workdir": run.basename},
+        "artifacts_verified": verified,
+        "archive_bytes": len(body),
+        "extracted_bytes": total,
+        "url": f"/api/runs/{run.basename}/manifest",
+    }

@@ -19,6 +19,8 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro._util.clock import wall_now
+
 from repro._util.errors import ReproError
 
 __all__ = ["Job", "JobQueue", "QueueFull", "QueueDraining"]
@@ -44,7 +46,7 @@ class Job:
     status: str = "pending"
     result: object = None
     error: str = ""
-    submitted_s: float = field(default_factory=time.time)
+    submitted_s: float = field(default_factory=wall_now)
     started_s: float | None = None
     finished_s: float | None = None
 
@@ -156,7 +158,7 @@ class JobQueue:
             with self._lock:
                 self._active += 1
                 job.status = "running"
-                job.started_s = time.time()
+                job.started_s = wall_now()
             self._gauges()
             try:
                 result = fn()
@@ -165,7 +167,7 @@ class JobQueue:
                     job.status = "failed"
                     job.error = "".join(traceback.format_exception_only(
                         type(exc), exc)).strip()
-                    job.finished_s = time.time()
+                    job.finished_s = wall_now()
                 self._count("serve.jobs.failed")
                 if not isinstance(exc, Exception):
                     # KeyboardInterrupt/SystemExit must still stop the
@@ -176,7 +178,7 @@ class JobQueue:
                 with self._lock:
                     job.status = "done"
                     job.result = result
-                    job.finished_s = time.time()
+                    job.finished_s = wall_now()
                 self._count("serve.jobs.completed")
             finally:
                 with self._idle:
@@ -234,7 +236,7 @@ class JobQueue:
             with self._idle:
                 job.status = "failed"
                 job.error = "cancelled at shutdown"
-                job.finished_s = time.time()
+                job.finished_s = wall_now()
                 self._outstanding -= 1
                 self._idle.notify_all()
             self._queue.task_done()

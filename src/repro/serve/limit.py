@@ -1,0 +1,76 @@
+"""Per-client token-bucket rate limiting for the serve transports.
+
+One bucket per peer address: ``rate`` tokens refill per second up to
+``burst``; a request spends one token; an empty bucket means 429 with a
+``Retry-After`` the client can actually obey (the seconds until one
+token exists again).  Refill arithmetic runs on ``time.monotonic()`` —
+a wall-clock step must never mint or destroy tokens.
+
+The bucket table is bounded: peers that have fully refilled are pruned
+once the table passes ``max_peers``, so a scan across many source
+addresses cannot grow server memory without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["RateLimiter"]
+
+
+class RateLimiter:
+    """Token buckets keyed by peer address (monotonic clock)."""
+
+    def __init__(self, rate: float, burst: int | None = None,
+                 max_peers: int = 4096,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive (requests/second)")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None
+                           else max(1, round(rate)))
+        if self.burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.max_peers = max_peers
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: peer -> (tokens, last_refill_monotonic)
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def allow(self, peer: str) -> tuple[bool, float]:
+        """Spend one token for ``peer``.
+
+        Returns ``(allowed, retry_after_s)`` — ``retry_after_s`` is 0
+        when allowed, else the seconds until a token will exist.
+        """
+        now = self._clock()
+        with self._lock:
+            tokens, last = self._buckets.get(peer, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[peer] = (tokens - 1.0, now)
+                self._prune_locked(now)
+                return True, 0.0
+            self._buckets[peer] = (tokens, now)
+            self._prune_locked(now)
+            return False, (1.0 - tokens) / self.rate
+
+    def _prune_locked(self, now: float) -> None:
+        """Drop peers whose buckets have refilled to full (they carry
+        no state worth keeping) once the table outgrows its bound."""
+        if len(self._buckets) <= self.max_peers:
+            return
+        full = [p for p, (tokens, last) in self._buckets.items()
+                if tokens + (now - last) * self.rate >= self.burst]
+        for p in full:
+            del self._buckets[p]
+        if len(self._buckets) > self.max_peers:
+            # every remaining peer is mid-burst; drop oldest readings
+            by_age = sorted(self._buckets.items(), key=lambda kv: kv[1][1])
+            for p, _ in by_age[:len(self._buckets) - self.max_peers]:
+                del self._buckets[p]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)

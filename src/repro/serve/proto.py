@@ -1,0 +1,294 @@
+"""Incremental HTTP/1.1 wire protocol: parser state machine + encoder.
+
+The event-loop transport (:mod:`repro.serve.loop`) never blocks on a
+socket, so it cannot use file-like request parsing the way the stdlib
+``BaseHTTPRequestHandler`` does.  :class:`RequestParser` is the
+replacement: a per-connection state machine fed whatever bytes the
+socket produced, emitting zero or more complete requests per feed —
+which is exactly what keep-alive and pipelining require (several
+requests may sit in one TCP segment, or one request may trickle in
+over many).
+
+Deliberate limits (each maps to a concrete HTTP status):
+
+- request head larger than ``max_head_bytes`` → 431;
+- declared or accumulated body larger than ``max_body_bytes`` → 413;
+- ``Transfer-Encoding: chunked`` request bodies are *decoded* (the
+  streaming ingest path wants them), any other transfer coding → 501;
+- both ``Content-Length`` and ``Transfer-Encoding`` present → 400
+  (request smuggling vector — never guess);
+- malformed request line, header, or chunk framing → 400.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from http.client import responses as _REASONS
+
+from repro._util.errors import ReproError
+
+__all__ = ["ParsedRequest", "ProtocolError", "RequestParser",
+           "response_head", "encode_chunk", "CHUNK_END"]
+
+#: terminating frame of a chunked response body
+CHUNK_END = b"0\r\n\r\n"
+
+_MAX_HEAD_BYTES = 32 * 1024
+_CRLF = b"\r\n"
+
+
+class ProtocolError(ReproError):
+    """A request the parser refuses; carries the HTTP status to send.
+
+    Protocol errors always close the connection after the error
+    response: the read stream is no longer in a known state.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class ParsedRequest:
+    """One complete request off the wire."""
+
+    method: str
+    target: str                 # raw request target (path + query)
+    version: str                # "HTTP/1.1" | "HTTP/1.0"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in conn
+        return "close" not in conn
+
+
+class RequestParser:
+    """Feed bytes in, get complete :class:`ParsedRequest`\\ s out.
+
+    States: ``head`` (accumulating up to the blank line), ``body``
+    (fixed ``Content-Length`` remainder), ``chunk-size`` /
+    ``chunk-data`` / ``chunk-crlf`` / ``trailers`` (chunked decoding).
+    A :class:`ProtocolError` poisons the parser — the transport must
+    send the error and close.
+    """
+
+    def __init__(self, max_head_bytes: int = _MAX_HEAD_BYTES,
+                 max_body_bytes: int = 1 << 20) -> None:
+        self.max_head_bytes = max_head_bytes
+        self.max_body_bytes = max_body_bytes
+        self._buf = bytearray()
+        self._state = "head"
+        self._req: ParsedRequest | None = None
+        self._body = bytearray()
+        self._remaining = 0
+
+    @property
+    def mid_request(self) -> bool:
+        """Whether a request has started but not finished arriving —
+        the window the header/slowloris timeout applies to."""
+        return self._state != "head" or len(self._buf) > 0
+
+    @property
+    def expects_continue(self) -> bool:
+        """A body-bearing request announced ``Expect: 100-continue``
+        and is still owed the interim response."""
+        return (self._req is not None and self._state != "head"
+                and "100-continue" in
+                self._req.headers.get("expect", "").lower())
+
+    # -- feeding -----------------------------------------------------------------
+
+    def feed(self, data: bytes) -> list[ParsedRequest]:
+        """Consume ``data``; return every request it completed."""
+        self._buf += data
+        out: list[ParsedRequest] = []
+        while True:
+            made = self._step()
+            if made is None:
+                return out
+            out.append(made)
+
+    def _step(self) -> ParsedRequest | None:
+        if self._state == "head":
+            return self._parse_head()
+        if self._state == "body":
+            return self._parse_body()
+        return self._parse_chunked()
+
+    # -- head --------------------------------------------------------------------
+
+    def _parse_head(self) -> ParsedRequest | None:
+        end = self._buf.find(b"\r\n\r\n")
+        if end < 0:
+            if len(self._buf) > self.max_head_bytes:
+                raise ProtocolError(431, "request head exceeds "
+                                         f"{self.max_head_bytes} bytes")
+            return None
+        if end + 4 > self.max_head_bytes:
+            # an oversized head is refused even when it arrived whole
+            # in one segment — the bound is on the head, not on how
+            # the kernel happened to chop it
+            raise ProtocolError(431, "request head exceeds "
+                                     f"{self.max_head_bytes} bytes")
+        head = bytes(self._buf[:end])
+        del self._buf[:end + 4]
+        lines = head.split(_CRLF)
+        parts = lines[0].split(b" ")
+        if len(parts) != 3 or not parts[0] or not parts[1]:
+            raise ProtocolError(400, "malformed request line")
+        version = parts[2].decode("latin-1")
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise ProtocolError(400, f"unsupported version {version!r}")
+        headers: dict[str, str] = {}
+        for raw in lines[1:]:
+            name, sep, value = raw.partition(b":")
+            if not sep or not name or name.strip() != name:
+                raise ProtocolError(400, "malformed header line")
+            key = name.decode("latin-1").lower()
+            val = value.strip().decode("latin-1")
+            if key in headers:
+                headers[key] += ", " + val
+            else:
+                headers[key] = val
+        self._req = ParsedRequest(
+            method=parts[0].decode("latin-1").upper(),
+            target=parts[1].decode("latin-1"),
+            version=version, headers=headers)
+        return self._start_body(headers)
+
+    def _start_body(self, headers: dict[str, str]) -> ParsedRequest | None:
+        te = headers.get("transfer-encoding", "").lower().strip()
+        cl = headers.get("content-length")
+        if te and cl is not None:
+            raise ProtocolError(
+                400, "both Content-Length and Transfer-Encoding")
+        if te:
+            if te != "chunked":
+                raise ProtocolError(
+                    501, f"unsupported transfer coding {te!r}")
+            self._state = "chunk-size"
+            self._body = bytearray()
+            return self._parse_chunked()
+        length = 0
+        if cl is not None:
+            try:
+                length = int(cl)
+            except ValueError:
+                length = -1
+            if length < 0:
+                raise ProtocolError(400, "bad Content-Length")
+        if length > self.max_body_bytes:
+            raise ProtocolError(413, f"declared body of {length} bytes "
+                                     f"exceeds {self.max_body_bytes}")
+        if length == 0:
+            return self._finish(b"")
+        self._state = "body"
+        self._body = bytearray()
+        self._remaining = length
+        return self._parse_body()
+
+    # -- fixed-length body -------------------------------------------------------
+
+    def _parse_body(self) -> ParsedRequest | None:
+        take = min(self._remaining, len(self._buf))
+        if take:
+            self._body += self._buf[:take]
+            del self._buf[:take]
+            self._remaining -= take
+        if self._remaining:
+            return None
+        return self._finish(bytes(self._body))
+
+    # -- chunked body ------------------------------------------------------------
+
+    def _parse_chunked(self) -> ParsedRequest | None:
+        while True:
+            if self._state == "chunk-size":
+                line = self._take_line()
+                if line is None:
+                    return None
+                size_part = line.split(b";", 1)[0].strip()
+                try:
+                    size = int(size_part, 16)
+                except ValueError:
+                    raise ProtocolError(400, "bad chunk size") from None
+                if size < 0:
+                    raise ProtocolError(400, "bad chunk size")
+                if size == 0:
+                    self._state = "trailers"
+                    continue
+                if len(self._body) + size > self.max_body_bytes:
+                    raise ProtocolError(
+                        413, "chunked body exceeds "
+                             f"{self.max_body_bytes} bytes")
+                self._remaining = size
+                self._state = "chunk-data"
+            elif self._state == "chunk-data":
+                take = min(self._remaining, len(self._buf))
+                if take:
+                    self._body += self._buf[:take]
+                    del self._buf[:take]
+                    self._remaining -= take
+                if self._remaining:
+                    return None
+                self._state = "chunk-crlf"
+            elif self._state == "chunk-crlf":
+                if len(self._buf) < 2:
+                    return None
+                if self._buf[:2] != _CRLF:
+                    raise ProtocolError(400, "chunk missing CRLF")
+                del self._buf[:2]
+                self._state = "chunk-size"
+            else:                       # trailers
+                line = self._take_line()
+                if line is None:
+                    return None
+                if line == b"":
+                    return self._finish(bytes(self._body))
+                # trailer fields are tolerated and dropped
+
+    def _take_line(self) -> bytes | None:
+        idx = self._buf.find(_CRLF)
+        if idx < 0:
+            if len(self._buf) > self.max_head_bytes:
+                raise ProtocolError(400, "unterminated chunk line")
+            return None
+        line = bytes(self._buf[:idx])
+        del self._buf[:idx + 2]
+        return line
+
+    # -- completion --------------------------------------------------------------
+
+    def _finish(self, body: bytes) -> ParsedRequest:
+        req = self._req
+        assert req is not None
+        req.body = body
+        self._req = None
+        self._state = "head"
+        self._remaining = 0
+        self._body = bytearray()
+        return req
+
+
+# -- response encoding -------------------------------------------------------------
+
+
+def response_head(status: int, headers: list[tuple[str, str]],
+                  version: str = "HTTP/1.1") -> bytes:
+    """Serialize the status line and header block (through the blank
+    line); the transport appends the body frames."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"{version} {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One ``Transfer-Encoding: chunked`` body frame."""
+    return b"%x\r\n%s\r\n" % (len(data), data)

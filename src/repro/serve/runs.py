@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+from collections import deque
 
 from repro._util.errors import ConfigError, DataError
 from repro.obs.context import (
@@ -21,6 +22,7 @@ from repro.obs.context import (
     MANIFEST_PROVENANCE,
     MANIFEST_SUMMARY,
 )
+from repro.serve.cache import LRUCache
 from repro.store.artifact import FORMATS
 from repro.store.store import LAYOUT
 
@@ -29,40 +31,45 @@ __all__ = ["RunDir", "RunRegistry"]
 #: artifact-name search order: data formats first, then presentation
 _SEARCH_FMTS = ("csv", "npf", "pipe", "html", "png", "md", "json")
 
+#: parsed-manifest cache bounds (per RunDir): manifests are small, but
+#: a long-lived server over many runs must not accumulate them forever
+_MANIFEST_CACHE_ENTRIES = 64
+_MANIFEST_CACHE_BYTES = 32 * 1024 * 1024
+
 
 class _FileCache:
-    """Parse a file at most once per on-disk version (stat-keyed)."""
+    """Parse a file at most once per on-disk version (stat-keyed).
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._entries: dict[str, tuple[tuple, object]] = {}
+    Bounded by entry count and by the on-disk bytes of the parsed
+    sources, with the LRU discipline from :mod:`repro.serve.cache` —
+    an unbounded dict here leaked every manifest a long-lived server
+    ever touched.  A file too large for the byte bound is simply never
+    cached (parsed per request) rather than evicting everything else.
+    """
+
+    def __init__(self, max_entries: int = _MANIFEST_CACHE_ENTRIES,
+                 max_bytes: int = _MANIFEST_CACHE_BYTES) -> None:
+        # entry layout: (stat_key, source_bytes, parsed_value)
+        self._cache = LRUCache(max_entries, max_bytes,
+                               sizer=lambda entry: entry[1])
 
     def load(self, path: str, parser):
         st = os.stat(path)
         key = (st.st_size, st.st_mtime_ns)
-        with self._lock:
-            entry = self._entries.get(path)
-            if entry is not None and entry[0] == key:
-                return entry[1]
+        entry = self._cache.get(path)
+        if entry is not None and entry[0] == key:
+            return entry[2]
         value = parser(path)
-        with self._lock:
-            self._entries[path] = (key, value)
+        self._cache.put(path, (key, st.st_size, value))
         return value
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
 
 def _parse_json(path: str):
     with open(path, encoding="utf-8") as fh:
         return json.load(fh)
-
-
-def _parse_jsonl(path: str) -> list[dict]:
-    out = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(json.loads(line))
-    return out
 
 
 class RunDir:
@@ -106,14 +113,49 @@ class RunDir:
     def provenance(self) -> dict:
         return self._manifest_file(MANIFEST_PROVENANCE, _parse_json)
 
+    def iter_events(self, kind: str | None = None):
+        """Stream manifest events one parsed line at a time.
+
+        Opens eagerly (so a missing manifest raises *here*, before a
+        transport has committed to a 200) and never materializes the
+        file — a paper-scale ``events.jsonl`` flows through in
+        constant memory.
+        """
+        path = os.path.join(self.root, MANIFEST_EVENTS)
+        try:
+            fh = open(path, encoding="utf-8")
+        except OSError as exc:
+            raise DataError(
+                f"run {self.basename!r} has no {MANIFEST_EVENTS} "
+                f"(not a finished workflow workdir?)") from exc
+        return self._iter_events_fh(fh, kind)
+
+    @staticmethod
+    def _iter_events_fh(fh, kind: str | None):
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if kind is None or event.get("kind") == kind:
+                    yield event
+
     def events(self, kind: str | None = None,
                limit: int | None = None) -> list[dict]:
-        events = self._manifest_file(MANIFEST_EVENTS, _parse_jsonl)
-        if kind is not None:
-            events = [e for e in events if e.get("kind") == kind]
+        """Filtered events; ``limit`` keeps the *tail* (most recent).
+
+        Streams line-by-line through a bounded deque — the old
+        implementation parsed the entire file into a list first, which
+        at paper scale meant loading millions of events to answer
+        ``?limit=5``.
+        """
         if limit is not None and limit >= 0:
-            events = events[-limit:]
-        return events
+            tail: deque = deque(maxlen=limit)
+            for event in self.iter_events(kind):
+                tail.append(event)
+            return list(tail)
+        return list(self.iter_events(kind))
 
     def manifest(self) -> dict:
         """What this run exposes: the manifest files plus a summary of
@@ -238,32 +280,91 @@ class RunDir:
 
 
 class RunRegistry:
-    """Run id → :class:`RunDir` over one or more served workdirs."""
+    """Run id → :class:`RunDir` over one or more served workdirs.
 
-    def __init__(self, workdirs) -> None:
+    With an ``ingest_dir``, the registry is *live*: ``add`` registers
+    a freshly ingested run without a restart, and :meth:`refresh`
+    picks up runs a sibling shard ingested into the shared directory
+    (each shard is a separate process; the filesystem is the only
+    channel they share).
+    """
+
+    def __init__(self, workdirs, ingest_dir: str | None = None) -> None:
         self.runs: list[RunDir] = [RunDir(w) for w in workdirs]
         if not self.runs:
             raise ConfigError("serve needs at least one --workdir")
+        self.ingest_dir = (os.path.abspath(os.fspath(ingest_dir))
+                           if ingest_dir is not None else None)
+        self._lock = threading.Lock()
         seen: dict[str, RunDir] = {}
         for run in self.runs:
             if run.basename in seen:
                 raise ConfigError(
                     f"duplicate workdir basename {run.basename!r}")
             seen[run.basename] = run
+        if self.ingest_dir is not None:
+            os.makedirs(self.ingest_dir, exist_ok=True)
+            self.refresh()
 
     @property
     def default(self) -> RunDir:
         return self.runs[0]
+
+    def _snapshot(self) -> list[RunDir]:
+        with self._lock:
+            return list(self.runs)
+
+    def add(self, root: str | os.PathLike) -> RunDir:
+        """Hot-register a run directory (the ingest commit step)."""
+        run = RunDir(root)
+        with self._lock:
+            if any(r.basename == run.basename for r in self.runs):
+                raise ConfigError(
+                    f"run {run.basename!r} is already registered")
+            self.runs.append(run)
+        return run
+
+    def refresh(self) -> list[RunDir]:
+        """Register runs that appeared in the ingest directory (a
+        sibling shard's ingests); returns the newly added ones."""
+        if self.ingest_dir is None:
+            return []
+        try:
+            names = sorted(os.listdir(self.ingest_dir))
+        except OSError:
+            return []
+        with self._lock:
+            known = {r.basename for r in self.runs}
+        added: list[RunDir] = []
+        for name in names:
+            if name.startswith(".") or name in known:
+                continue                # dot-prefixed: in-flight temp
+            root = os.path.join(self.ingest_dir, name)
+            if not os.path.isfile(os.path.join(root, MANIFEST_SUMMARY)):
+                continue
+            try:
+                added.append(self.add(root))
+            except ConfigError:
+                continue                # raced with a local ingest
+        return added
 
     def get(self, run_id: str | None) -> RunDir | None:
         """Resolve by manifest run id or workdir basename; ``None`` of
         an unknown id (the default run when no id is given)."""
         if run_id is None:
             return self.default
-        for run in self.runs:
+        found = self._find(run_id)
+        if found is None and self.ingest_dir is not None \
+                and self.refresh():
+            found = self._find(run_id)
+        return found
+
+    def _find(self, run_id: str) -> RunDir | None:
+        runs = self._snapshot()
+        for run in runs:
             if run.basename == run_id:
                 return run
-        for run in self.runs:
+        for run in runs:
             try:
                 if run.run_id == run_id:
                     return run
@@ -272,8 +373,9 @@ class RunRegistry:
         return None
 
     def list_runs(self) -> list[dict]:
+        self.refresh()
         out = []
-        for run in self.runs:
+        for run in self._snapshot():
             entry = {"id": run.run_id, "workdir": run.basename}
             try:
                 summary = run.summary()

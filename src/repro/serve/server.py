@@ -33,19 +33,36 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _read_body(self) -> bytes | None:
-        """Request body, or ``None`` after replying 413 to an oversized
-        declared length (read-and-discard keeps the connection sane)."""
+        """Request body, or ``None`` after replying to a body this
+        transport will not read (oversized declared length → 413;
+        ``Transfer-Encoding`` → 411, since this adapter only reads
+        ``Content-Length`` bodies — silently treating a chunked body
+        as empty, as it once did, corrupts the connection *and* the
+        request).  The event-loop transport decodes chunked bodies;
+        here the explicit refusal keeps the contract honest."""
+        if self.headers.get("Transfer-Encoding"):
+            self._send(error_response(
+                411, "this transport needs Content-Length; chunked "
+                     "request bodies need the event-loop transport "
+                     "(repro-serve --transport loop)"))
+            self.close_connection = True
+            return None
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             length = 0
-        if length > self.app.max_body_bytes:
+        if length > self.app.transport_body_cap:
             self._send(error_response(
-                413, f"body exceeds {self.app.max_body_bytes} bytes"))
+                413, f"body exceeds {self.app.transport_body_cap} "
+                     "bytes"))
+            self.close_connection = True
             return None
         return self.rfile.read(length) if length > 0 else b""
 
     def _send(self, response: Response) -> None:
+        body = response.body
+        if not isinstance(body, (bytes, bytearray)):
+            body = bytes(body)          # StreamBody: baseline buffers
         self.send_response(response.status)
         for name, value in response.headers.items():
             self.send_header(name, value)
@@ -55,10 +72,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.end_headers()
             return
         self.send_header("Content-Type", response.content_type)
-        self.send_header("Content-Length", str(len(response.body)))
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         if self.command != "HEAD":
-            self.wfile.write(response.body)
+            self.wfile.write(body)
 
     def _handle(self, method: str) -> None:
         body = self._read_body()

@@ -1,0 +1,16 @@
+"""RL013 (serve scope): wall clock on timing paths of the service
+layer — rate-token refills, deadlines, and uptime must be monotonic."""
+
+import time
+
+
+def refill(bucket, rate):
+    now = time.time()  # expect[RL013]
+    bucket.tokens += (now - bucket.last) * rate
+    bucket.last = now
+    return bucket
+
+
+def arm_deadline(conn, timeout_s):
+    conn.deadline = time.time_ns() / 1e9 + timeout_s  # expect[RL013]
+    return conn

@@ -1,0 +1,22 @@
+"""Clean counterpart: monotonic timing, wall_now for display only."""
+
+import time
+
+from repro._util.clock import wall_now
+
+
+def refill(bucket, rate):
+    now = time.monotonic()
+    bucket.tokens += (now - bucket.last) * rate
+    bucket.last = now
+    return bucket
+
+
+def arm_deadline(conn, timeout_s):
+    conn.deadline = time.monotonic() + timeout_s
+    return conn
+
+
+def job_record(job):
+    job.submitted_s = wall_now()    # display timestamp, not timing
+    return job
