@@ -1,0 +1,175 @@
+"""repro.scenarios sweep cost: what injection handling adds per job.
+
+Three legs, all on the 16-node ``testsys`` profile so the simulator is
+the entire cost:
+
+``baseline sweep``
+    :func:`~repro.scenarios.run.sweep_scenario` with an empty injection
+    stream — the control arm, and the reference throughput.
+``injected sweep``
+    the same sweep with the full zoo riding on the config: a
+    full-machine fault wave, a power-cap window, and an elastic
+    window.  The delta against the baseline is the price of the
+    ``_SCEN`` event path (extra heap events, cap bookkeeping,
+    eviction/requeue work).
+``federated what-if``
+    :func:`~repro.scenarios.run.run_federated` routing one stream
+    across two systems and running the cross-system analytics — the
+    Figures 7-9 axis at campaign scale.
+
+The acceptance gate (``--min-jps``, default 50) bounds *injected*
+sweep throughput in scheduled jobs per second: scenario campaigns fan
+hundreds of sweeps through the fabric, so a regression that makes
+injection handling super-linear must fail CI, while normal machine
+variance must not.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py          # full
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick  # CI
+
+or under pytest (quick shape only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro._util.tables import TextTable
+from repro.scenarios import Scenario, run_federated, sweep_scenario
+from repro.scenarios.spec import FederationSpec
+from repro.sched import ElasticWindow, NodeFault, PowerCap, ScenarioInjections
+
+QUICK_DAYS = 2
+FULL_DAYS = 7
+
+#: the full zoo, sized to stress a 16-node machine: a machine-wide
+#: fault, a deep power cap, and an aggressive elastic window
+ZOO = ScenarioInjections(
+    faults=(NodeFault(t=12 * 3600, nodes=16, duration_s=6 * 3600),),
+    power_caps=(PowerCap(start=24 * 3600, end=40 * 3600, frac=0.5),),
+    elastic=(ElasticWindow(start=30 * 3600, end=38 * 3600, frac=0.8),),
+)
+
+
+@dataclass
+class Measurement:
+    """One leg: how many jobs it scheduled, and the resulting rate."""
+
+    label: str
+    jobs: int
+    seconds: float
+
+    @property
+    def jobs_per_s(self) -> float:
+        return self.jobs / self.seconds if self.seconds else float("inf")
+
+
+def _scenario(injections: ScenarioInjections) -> Scenario:
+    return Scenario(name="bench", system="testsys", months=("2024-01",),
+                    seed=7, rate_scale=0.6, injections=injections)
+
+
+def bench_sweep(label: str, injections: ScenarioInjections,
+                days: int) -> Measurement:
+    t0 = time.perf_counter()
+    outcomes = sweep_scenario(_scenario(injections), days=days,
+                              variant_names=["baseline", "fairshare"])
+    elapsed = time.perf_counter() - t0
+    jobs = sum(o.n_jobs for o in outcomes)
+    assert jobs > 0
+    return Measurement(label, jobs, elapsed)
+
+
+def bench_federated(workdir: str) -> Measurement:
+    scn = Scenario(
+        name="bench-fed", kind="federated", system="testsys",
+        months=("2024-01",), seed=7, rate_scale=0.4, injections=ZOO,
+        federation=FederationSpec(systems=("testsys", "andes"),
+                                  split_nodes=2))
+    t0 = time.perf_counter()
+    result = run_federated(scn, workdir)
+    elapsed = time.perf_counter() - t0
+    assert result.n_jobs > 0 and result.delta_rows
+    return Measurement("federated what-if", result.n_jobs, elapsed)
+
+
+def run_benches(days: int, workdir: str) -> list[Measurement]:
+    return [
+        bench_sweep("baseline sweep", ScenarioInjections(), days),
+        bench_sweep("injected sweep", ZOO, days),
+        bench_federated(workdir),
+    ]
+
+
+def render(results: list[Measurement]) -> str:
+    table = TextTable(
+        ["leg", "jobs", "seconds", "jobs/s"],
+        title="repro.scenarios — injection cost over policy sweeps")
+    for m in results:
+        table.add_row([m.label, m.jobs, f"{m.seconds:.3f}",
+                       f"{m.jobs_per_s:,.0f}"])
+    return table.render()
+
+
+def test_scenario_bench_quick(tmp_path):
+    """Pytest smoke: every leg completes with a positive rate, and the
+    injected sweep stays within an order of magnitude of the control."""
+    results = run_benches(QUICK_DAYS, str(tmp_path))
+    print()
+    print(render(results))
+    assert all(m.jobs_per_s > 0 for m in results)
+    by_label = {m.label: m for m in results}
+    overhead = (by_label["baseline sweep"].jobs_per_s
+                / by_label["injected sweep"].jobs_per_s)
+    assert overhead < 10.0, f"injection overhead {overhead:.1f}x"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer sweep days (CI smoke)")
+    ap.add_argument("--out", default=None,
+                    help="write bench_scenarios.json results here")
+    ap.add_argument("--min-jps", type=float, default=50.0,
+                    help="fail unless the injected sweep schedules at "
+                         "least this many jobs/s")
+    args = ap.parse_args(argv)
+    days = QUICK_DAYS if args.quick else FULL_DAYS
+
+    with tempfile.TemporaryDirectory(prefix="bench-scn-") as root:
+        results = run_benches(days, root)
+
+    print(render(results))
+    by_label = {m.label: m for m in results}
+    injected_jps = by_label["injected sweep"].jobs_per_s
+    overhead = (by_label["baseline sweep"].jobs_per_s
+                / max(injected_jps, 1e-9))
+    print(f"injection overhead: the full zoo costs {overhead:.2f}x "
+          f"over the control sweep ({injected_jps:,.0f} jobs/s)")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "bench_scenarios.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump({"results": [{**vars(m),
+                                    "jobs_per_s": round(m.jobs_per_s, 2)}
+                                   for m in results],
+                       "injection_overhead_x": round(overhead, 2)},
+                      fh, indent=2)
+        print(f"results kept in {args.out}/")
+    if args.min_jps and injected_jps < args.min_jps:
+        print(f"FAIL: injected sweep throughput {injected_jps:,.1f} "
+              f"jobs/s < required {args.min_jps:,.1f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

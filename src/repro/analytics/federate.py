@@ -9,6 +9,7 @@ portability section (4.3) narrates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.analytics.backfill import BackfillSummary, walltime_accuracy
@@ -45,8 +46,17 @@ class FederatedComparison:
                 return v
         raise DataError(f"no system {name!r} in comparison")
 
-    def delta_rows(self) -> list[tuple[str, str, float]]:
-        """(metric, system, value) rows across every system."""
+    def delta_rows(self, *, relative: bool = False
+                   ) -> list[tuple[str, str, float]]:
+        """(metric, system, value) rows across every system.
+
+        With ``relative=True`` each value becomes the fractional delta
+        ``(v - v0) / v0`` against the first system.  A zero baseline
+        (degenerate view: no jobs, all-zero metric) yields 0.0 when the
+        value is also zero and ±inf otherwise — never a
+        ZeroDivisionError, so a dead cluster in a federation does not
+        crash the comparison.
+        """
         out: list[tuple[str, str, float]] = []
         for v in self.systems:
             out.extend([
@@ -59,7 +69,20 @@ class FederatedComparison:
                 ("median_walltime_ratio", v.name,
                  v.backfill.median_ratio_all),
             ])
-        return out
+        if not relative:
+            return out
+        per_system = 7
+        base = {m: val for m, _, val in out[:per_system]}
+        rel = []
+        for metric, name, val in out:
+            v0 = base[metric]
+            if v0 == 0:
+                delta = 0.0 if val == 0 else math.copysign(math.inf,
+                                                           val)
+            else:
+                delta = (val - v0) / v0
+            rel.append((metric, name, delta))
+        return rel
 
 
 def compare_systems(frames: dict[str, Frame]) -> FederatedComparison:

@@ -25,7 +25,7 @@ from repro._util.timefmt import month_bounds
 
 __all__ = ["BUILTIN_RUNNERS", "run_simulate", "run_insight",
            "run_sleep", "run_noop", "run_shard_sim", "run_shard_emit",
-           "load_runners", "simulate_payload"]
+           "run_scenario_job", "load_runners", "simulate_payload"]
 
 
 def simulate_payload(body: dict) -> dict:
@@ -126,6 +126,13 @@ def run_shard_emit(payload: dict, obs=None) -> dict:
     return run_emit_month(payload, obs=obs)
 
 
+def run_scenario_job(payload: dict, obs=None) -> dict:
+    """One scenario-zoo execution (durable campaign fan-out)."""
+    from repro.scenarios import run_scenario_payload
+
+    return run_scenario_payload(payload, obs=obs)
+
+
 def run_sleep(payload: dict, obs=None) -> dict:
     """Sleep in small slices (crash-recovery tests kill mid-sleep)."""
     seconds = float(payload.get("seconds", 0.0))
@@ -147,6 +154,7 @@ BUILTIN_RUNNERS = {
     "insight": run_insight,
     "shard_sim": run_shard_sim,
     "shard_emit": run_shard_emit,
+    "scenario": run_scenario_job,
     "sleep": run_sleep,
     "noop": run_noop,
 }

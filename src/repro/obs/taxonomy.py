@@ -42,6 +42,7 @@ EVENT_KINDS: dict[str, str] = {
     "llm_call":      "LLMClient.complete: one LLM completion",
     "fabric_transition": "FabricStore: durable job changed state",
     "run_ingested":  "serve ingest: verified run committed to the registry",
+    "scenario_run":  "repro.scenarios: one scenario execution finished",
 }
 
 
@@ -73,6 +74,15 @@ METRICS: dict[str, MetricDef] = {
     "sched.preemptions":     MetricDef(_C, "jobs preempted"),
     "sched.jobs":            MetricDef(_C, "jobs realized into records"),
     "sched.queue_depth_hwm": MetricDef(_G, "peak pending-queue depth"),
+
+    # -- scenario injections (repro.sched.simulator / repro.scenarios) -----------
+    "sched.scenario.injections": MetricDef(
+        _C, "scenario injection ops applied (fault/cap/elastic onsets)"),
+    "sched.scenario.victims": MetricDef(
+        _C, "running jobs evicted by injected node faults"),
+    "sched.scenario.shrunk": MetricDef(
+        _C, "nodes released by elastic windows"),
+    "scenario.runs": MetricDef(_C, "scenario executions completed"),
 
     # -- sharded execution (repro.workflows.shard) -------------------------------
     "sched.shard.windows":   MetricDef(_C, "generator windows simulated"),

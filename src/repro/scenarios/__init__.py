@@ -1,0 +1,33 @@
+"""The scenario zoo: declarative what-if experiments over the simulator.
+
+Fault injection, power-capped windows, elastic/malleable jobs,
+real-trace replay, and federated two-system what-ifs — each described
+by a :class:`Scenario` spec and executed through the same scheduler,
+workflow, policylab, and analytics machinery as every other run (see
+``docs/architecture.md`` § Scenario zoo).
+"""
+
+from repro.scenarios.spec import (FederationSpec, Scenario,
+                                  builtin_scenarios, load_scenario,
+                                  scenario_from_spec, scenario_to_spec)
+from repro.scenarios.run import (ScenarioRunResult, calibrate_trace,
+                                 resolve_scenario, run_federated,
+                                 run_scenario, run_scenario_payload,
+                                 scenario_sim_config, sweep_scenario)
+
+__all__ = [
+    "Scenario",
+    "FederationSpec",
+    "ScenarioRunResult",
+    "builtin_scenarios",
+    "load_scenario",
+    "scenario_to_spec",
+    "scenario_from_spec",
+    "resolve_scenario",
+    "scenario_sim_config",
+    "sweep_scenario",
+    "run_scenario",
+    "run_federated",
+    "calibrate_trace",
+    "run_scenario_payload",
+]

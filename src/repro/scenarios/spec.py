@@ -1,0 +1,236 @@
+"""Scenario specs: declarative what-if descriptions of operations.
+
+A :class:`Scenario` names a system, a month window, a workload scale,
+and an injection stream (:class:`~repro.sched.injections.
+ScenarioInjections` with times *relative to the first month's start*),
+plus — for federated what-ifs — a :class:`FederationSpec` describing
+how one incoming stream routes across two systems.  Scenarios load
+from JSON or TOML files (``load_scenario``) and round-trip through
+JSON-safe dicts (``scenario_to_spec`` / ``scenario_from_spec``), so
+the same spec drives the CLI, policylab sweeps, fabric campaigns, and
+tests.
+
+The built-in registry (:func:`builtin_scenarios`) is the zoo: the
+fault / power-cap / elastic / federated axes ROADMAP item 4 calls the
+untouched scenario dimension of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field, replace
+
+from repro._util.errors import ConfigError, DataError
+from repro.sched.injections import (ElasticWindow, NodeFault, PowerCap,
+                                    ScenarioInjections)
+
+__all__ = ["Scenario", "FederationSpec", "builtin_scenarios",
+           "load_scenario", "scenario_to_spec", "scenario_from_spec"]
+
+_DAY = 86400
+
+#: scenario spec schema version (files carry it; bump on layout change)
+SCENARIO_SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FederationSpec:
+    """How a federated scenario routes one stream across two systems."""
+
+    #: (primary, secondary); the stream is generated against the
+    #: primary's workload profile
+    systems: tuple[str, str] = ("frontier", "andes")
+    #: "size-split" (small jobs offload to the secondary) or
+    #: "round-robin" (alternate submissions)
+    routing: str = "size-split"
+    #: size-split threshold: jobs requesting <= this many nodes route
+    #: to the secondary system
+    split_nodes: int = 4
+    #: which system the scenario's injections hit (None = the primary)
+    inject: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "systems", tuple(self.systems))
+        if len(self.systems) != 2 or len(set(self.systems)) != 2:
+            raise ConfigError("federation needs exactly two distinct "
+                              "systems")
+        if self.routing not in ("size-split", "round-robin"):
+            raise ConfigError(
+                f"routing must be 'size-split' or 'round-robin', "
+                f"got {self.routing!r}")
+        if self.split_nodes < 1:
+            raise ConfigError("split_nodes must be >= 1")
+        if self.inject is not None and self.inject not in self.systems:
+            raise ConfigError(
+                f"inject target {self.inject!r} is not one of "
+                f"{self.systems}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, fully-declarative what-if experiment."""
+
+    name: str
+    description: str = ""
+    #: "single" (one system, full analytics stack) or "federated"
+    #: (two-system co-scheduling feeding analytics.federate)
+    kind: str = "single"
+    system: str = "frontier"
+    months: tuple[str, ...] = ("2024-03",)
+    seed: int = 0
+    rate_scale: float = 0.05
+    #: injection times are seconds relative to the first month's start;
+    #: the runner shifts them to absolute epochs
+    injections: ScenarioInjections = field(
+        default_factory=ScenarioInjections)
+    federation: FederationSpec | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scenario needs a name")
+        object.__setattr__(self, "months", tuple(self.months))
+        if not self.months:
+            raise ConfigError("scenario needs at least one month")
+        if list(self.months) != sorted(self.months):
+            raise ConfigError("scenario months must be sorted")
+        if self.kind not in ("single", "federated"):
+            raise ConfigError(
+                f"kind must be 'single' or 'federated', got {self.kind!r}")
+        if not 0 < self.rate_scale <= 1.0:
+            raise ConfigError(
+                f"rate_scale must be in (0, 1], got {self.rate_scale}")
+        if self.kind == "federated" and self.federation is None:
+            object.__setattr__(self, "federation", FederationSpec())
+        if self.kind == "single" and self.federation is not None:
+            raise ConfigError("a single-system scenario carries no "
+                              "federation spec")
+
+
+# -- spec round-trips ---------------------------------------------------------------
+
+def scenario_to_spec(scn: Scenario) -> dict:
+    """Flatten a scenario to a JSON-safe dict."""
+    spec = {
+        "version": SCENARIO_SPEC_VERSION,
+        "name": scn.name,
+        "description": scn.description,
+        "kind": scn.kind,
+        "system": scn.system,
+        "months": list(scn.months),
+        "seed": scn.seed,
+        "rate_scale": scn.rate_scale,
+        "injections": scn.injections.to_spec(),
+    }
+    if scn.federation is not None:
+        spec["federation"] = {
+            "systems": list(scn.federation.systems),
+            "routing": scn.federation.routing,
+            "split_nodes": scn.federation.split_nodes,
+            "inject": scn.federation.inject,
+        }
+    return spec
+
+
+def scenario_from_spec(spec: dict) -> Scenario:
+    """Rebuild the scenario a spec dict describes (validates fully)."""
+    if not isinstance(spec, dict):
+        raise ConfigError(
+            f"scenario spec must be a mapping, got {type(spec).__name__}")
+    spec = dict(spec)
+    version = spec.pop("version", SCENARIO_SPEC_VERSION)
+    if version != SCENARIO_SPEC_VERSION:
+        raise DataError(f"scenario spec version {version} != "
+                        f"{SCENARIO_SPEC_VERSION}")
+    known = {"name", "description", "kind", "system", "months", "seed",
+             "rate_scale", "injections", "federation"}
+    unknown = set(spec) - known
+    if unknown:
+        raise ConfigError(f"unknown scenario spec keys: {sorted(unknown)}")
+    if "injections" in spec:
+        spec["injections"] = ScenarioInjections.from_spec(
+            spec["injections"])
+    fed = spec.get("federation")
+    if fed is not None:
+        fed = dict(fed)
+        fed["systems"] = tuple(fed.get("systems", ("frontier", "andes")))
+        spec["federation"] = FederationSpec(**fed)
+    if "months" in spec:
+        spec["months"] = tuple(spec["months"])
+    return Scenario(**spec)
+
+
+def load_scenario(path: str) -> Scenario:
+    """Load a scenario spec file (``.json``, or ``.toml`` on 3.11+)."""
+    if path.endswith(".toml"):
+        if sys.version_info < (3, 11):
+            raise ConfigError(
+                "TOML scenario files need python >= 3.11 (tomllib); "
+                "use the JSON form on this interpreter")
+        import tomllib
+        with open(path, "rb") as fh:
+            spec = tomllib.load(fh)
+    else:
+        with open(path, encoding="utf-8") as fh:
+            spec = json.load(fh)
+    return scenario_from_spec(spec)
+
+
+# -- the zoo ------------------------------------------------------------------------
+
+def builtin_scenarios() -> dict[str, Scenario]:
+    """The built-in scenario registry, keyed by name."""
+    zoo = [
+        Scenario(
+            name="baseline",
+            description="no injections: the control arm every other "
+                        "scenario is compared against"),
+        Scenario(
+            name="node-storm",
+            description="two node-fault waves (requeue policy) plus a "
+                        "terminal kill fault late in the month",
+            injections=ScenarioInjections(faults=(
+                NodeFault(t=5 * _DAY, nodes=128, duration_s=6 * 3600),
+                NodeFault(t=12 * _DAY, nodes=256, duration_s=12 * 3600),
+                NodeFault(t=21 * _DAY, nodes=64, duration_s=3 * 3600,
+                          policy="kill"),
+            ))),
+        Scenario(
+            name="power-brownout",
+            description="facility power caps: a deep two-day 60% window "
+                        "and a shallower 80% follow-up",
+            injections=ScenarioInjections(power_caps=(
+                PowerCap(start=8 * _DAY, end=10 * _DAY, frac=0.6),
+                PowerCap(start=20 * _DAY, end=21 * _DAY, frac=0.8),
+            ))),
+        Scenario(
+            name="elastic-burst",
+            description="malleable mtask/ai_train jobs surrender 40% of "
+                        "their nodes during two daily-peak windows",
+            injections=ScenarioInjections(elastic=(
+                ElasticWindow(start=6 * _DAY, end=6 * _DAY + 8 * 3600,
+                              frac=0.4),
+                ElasticWindow(start=13 * _DAY, end=13 * _DAY + 8 * 3600,
+                              frac=0.4),
+            ))),
+        Scenario(
+            name="mixed-ops",
+            description="the full zoo in one month: a fault wave, a "
+                        "power cap, and an elastic relief window",
+            injections=ScenarioInjections(
+                faults=(NodeFault(t=4 * _DAY, nodes=192,
+                                  duration_s=8 * 3600),),
+                power_caps=(PowerCap(start=10 * _DAY, end=12 * _DAY,
+                                     frac=0.7),),
+                elastic=(ElasticWindow(start=18 * _DAY,
+                                       end=18 * _DAY + 6 * 3600,
+                                       frac=0.5),))),
+        Scenario(
+            name="frontier-andes",
+            kind="federated",
+            description="co-scheduling what-if: small jobs offload from "
+                        "Frontier to Andes; deltas feed "
+                        "analytics.federate (Figures 7-9 axis)",
+            federation=FederationSpec()),
+    ]
+    return {s.name: s for s in zoo}

@@ -21,6 +21,8 @@ Entry point: :class:`Simulator` (or :func:`simulate_month` /
 :func:`simulate_range` in :mod:`repro.sched.run`).
 """
 
+from repro.sched.injections import (ElasticWindow, NodeFault, PowerCap,
+                                    ScenarioInjections)
 from repro.sched.nodes import NodePool
 from repro.sched.priority import PriorityModel
 from repro.sched.simulator import Simulator, SimConfig, SimResult
@@ -34,6 +36,10 @@ __all__ = [
     "Simulator",
     "SimConfig",
     "SimResult",
+    "NodeFault",
+    "PowerCap",
+    "ElasticWindow",
+    "ScenarioInjections",
     "simulate_month",
     "simulate_range",
     "build_database",

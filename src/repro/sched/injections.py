@@ -1,0 +1,165 @@
+"""Scenario injections: typed operational events for the simulator.
+
+The scenario zoo (``repro.scenarios``) describes operational incidents
+declaratively; this module is the typed vocabulary the scheduler core
+understands.  Three injection kinds cover the practices the paper's
+Section 6 calls out as unexplored scenario axes:
+
+- :class:`NodeFault` — a hardware loss: ``nodes`` node-ids leave the
+  pool at ``t`` and return ``duration_s`` later.  Free nodes are taken
+  first; if the fault is larger than the free set, running jobs are
+  evicted youngest-start-first, either requeued (Slurm's node-fail
+  requeue, ``policy="requeue"``) or killed terminally
+  (``policy="kill"``).
+- :class:`PowerCap` — a facility power window: between ``start`` and
+  ``end`` the schedulable allocation of a pool is capped at
+  ``frac * total`` nodes.  Jobs already running keep their nodes (a
+  cap constrains *placement*, not running work), so the effective
+  headroom can be negative until enough jobs drain.
+- :class:`ElasticWindow` — malleable-job pressure relief: running jobs
+  of the named classes release ``frac`` of their allocation at
+  ``start`` (keeping at least one node) and reclaim what headroom
+  allows at ``end``.
+
+All times are integer epochs.  A :class:`ScenarioInjections` container
+rides on :class:`~repro.sched.simulator.SimConfig` (the ``scenario``
+field); scenario specs store times *relative* to the run origin and
+call :meth:`ScenarioInjections.shifted` to resolve them.  Every
+injection has a bounded duration by construction, so a drained
+simulation always regains full capacity and never strands pending work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro._util.errors import ConfigError
+
+__all__ = ["NodeFault", "PowerCap", "ElasticWindow", "ScenarioInjections"]
+
+#: job classes elastic windows shrink by default: the malleable,
+#: throughput-oriented kinds (see repro.workload.jobs.JOB_CLASSES)
+DEFAULT_ELASTIC_CLASSES = ("mtask", "ai_train")
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """``nodes`` node-ids fail at ``t`` and recover ``duration_s`` later."""
+
+    t: int
+    nodes: int
+    duration_s: int
+    #: what happens to running jobs caught on failed nodes:
+    #: "requeue" (Slurm node-fail requeue, once per job) or "kill"
+    policy: str = "requeue"
+    #: fenced-partition pool to hit (None = the shared pool)
+    partition: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigError("a fault needs at least one node")
+        if self.duration_s < 1:
+            raise ConfigError("fault duration must be >= 1 s")
+        if self.policy not in ("requeue", "kill"):
+            raise ConfigError(
+                f"fault policy must be 'requeue' or 'kill', "
+                f"got {self.policy!r}")
+
+
+@dataclass(frozen=True)
+class PowerCap:
+    """Cap a pool's schedulable allocation to ``frac * total`` nodes."""
+
+    start: int
+    end: int
+    frac: float
+    #: fenced-partition pool to cap (None = every pool — a full-system
+    #: facility power window)
+    partition: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError("power-cap window must have end > start")
+        if not 0.0 <= self.frac <= 1.0:
+            raise ConfigError(
+                f"power-cap frac must be in [0, 1], got {self.frac}")
+
+
+@dataclass(frozen=True)
+class ElasticWindow:
+    """Running jobs of ``classes`` shrink by ``frac`` inside the window."""
+
+    start: int
+    end: int
+    frac: float
+    classes: tuple[str, ...] = DEFAULT_ELASTIC_CLASSES
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError("elastic window must have end > start")
+        if not 0.0 < self.frac <= 1.0:
+            raise ConfigError(
+                f"elastic frac must be in (0, 1], got {self.frac}")
+        if not self.classes:
+            raise ConfigError("elastic window needs at least one class")
+        object.__setattr__(self, "classes", tuple(self.classes))
+
+
+@dataclass(frozen=True)
+class ScenarioInjections:
+    """The full injection stream one scenario feeds the simulator."""
+
+    faults: tuple[NodeFault, ...] = ()
+    power_caps: tuple[PowerCap, ...] = ()
+    elastic: tuple[ElasticWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "power_caps", tuple(self.power_caps))
+        object.__setattr__(self, "elastic", tuple(self.elastic))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults or self.power_caps or self.elastic)
+
+    def shifted(self, delta: int) -> "ScenarioInjections":
+        """All times moved by ``delta`` (spec-relative → absolute epochs)."""
+        return ScenarioInjections(
+            faults=tuple(replace(f, t=f.t + delta) for f in self.faults),
+            power_caps=tuple(replace(c, start=c.start + delta,
+                                     end=c.end + delta)
+                             for c in self.power_caps),
+            elastic=tuple(replace(w, start=w.start + delta,
+                                  end=w.end + delta)
+                          for w in self.elastic))
+
+    # -- JSON-safe specs (shard payloads, scenario files) ---------------------
+
+    def to_spec(self) -> dict:
+        import dataclasses
+        return {"faults": [dataclasses.asdict(f) for f in self.faults],
+                "power_caps": [dataclasses.asdict(c)
+                               for c in self.power_caps],
+                "elastic": [dataclasses.asdict(w) for w in self.elastic]}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ScenarioInjections":
+        def build(kind, entries):
+            out = []
+            for entry in entries or ():
+                entry = dict(entry)
+                if kind is ElasticWindow and "classes" in entry:
+                    entry["classes"] = tuple(entry["classes"])
+                out.append(kind(**entry))
+            return tuple(out)
+
+        if not isinstance(spec, dict):
+            raise ConfigError(
+                f"injection spec must be a mapping, got "
+                f"{type(spec).__name__}")
+        unknown = set(spec) - {"faults", "power_caps", "elastic"}
+        if unknown:
+            raise ConfigError(
+                f"unknown injection spec keys: {sorted(unknown)}")
+        return cls(faults=build(NodeFault, spec.get("faults")),
+                   power_caps=build(PowerCap, spec.get("power_caps")),
+                   elastic=build(ElasticWindow, spec.get("elastic")))

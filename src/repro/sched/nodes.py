@@ -30,6 +30,27 @@ class NodePool:
         #: sorted, disjoint, non-adjacent free intervals [lo, hi] inclusive
         self._free: list[list[int]] = [[first_id, first_id + total - 1]]
         self.free_count = total
+        #: power-cap ceiling on concurrently-allocated nodes (None = no
+        #: cap); set by scenario injections, read through slack/avail
+        self.limit: int | None = None
+
+    @property
+    def slack(self) -> int:
+        """Signed headroom under the cap: how many more nodes may be
+        allocated.  Negative while work started before a cap came on
+        still holds more than the cap allows (running jobs keep their
+        nodes; the cap constrains placement only).  With no cap this is
+        exactly ``free_count``, so cap-aware scheduler math degrades to
+        the uncapped math bit-identically."""
+        if self.limit is None:
+            return self.free_count
+        return self.limit - (self.total - self.free_count)
+
+    @property
+    def avail(self) -> int:
+        """Nodes the scheduler may allocate right now (never negative,
+        never more than are physically free)."""
+        return max(0, min(self.free_count, self.slack))
 
     def allocate(self, n: int) -> list[int]:
         """Allocate ``n`` node ids (first-fit across intervals).

@@ -19,14 +19,17 @@ __all__ = ["simulate_range", "simulate_month", "build_database"]
 def simulate_range(system_name: str, start: int, end: int, *,
                    seed: int = 0, rate_scale: float = 1.0,
                    config: SimConfig | None = None,
-                   obs=None) -> SimResult:
+                   profile=None, obs=None) -> SimResult:
     """Generate and schedule the submission stream for ``[start, end)``.
 
-    ``obs`` is an optional :class:`repro.obs.RunContext`; the simulator
-    reports its counters (passes, backfill hits, queue high-water) into
-    it, and the whole simulation runs under a timing span.
+    ``profile`` overrides the built-in workload for ``system_name`` —
+    scenario replay passes a trace-calibrated
+    :class:`~repro.workload.spec.WorkloadProfile` here.  ``obs`` is an
+    optional :class:`repro.obs.RunContext`; the simulator reports its
+    counters (passes, backfill hits, queue high-water) into it, and the
+    whole simulation runs under a timing span.
     """
-    profile = workload_for(system_name)
+    profile = profile or workload_for(system_name)
     gen = WorkloadGenerator(profile, seed=seed, rate_scale=rate_scale)
     requests = gen.generate(start, end)
     sim = Simulator(profile.system, config or SimConfig(seed=seed),
@@ -40,11 +43,12 @@ def simulate_range(system_name: str, start: int, end: int, *,
 def simulate_month(system_name: str, month: str, *,
                    seed: int = 0, rate_scale: float = 1.0,
                    config: SimConfig | None = None,
-                   obs=None) -> SimResult:
+                   profile=None, obs=None) -> SimResult:
     """Generate and schedule one ``YYYY-MM`` month."""
     start, end = month_bounds(month)
     return simulate_range(system_name, start, end, seed=seed,
-                          rate_scale=rate_scale, config=config, obs=obs)
+                          rate_scale=rate_scale, config=config,
+                          profile=profile, obs=obs)
 
 
 def build_database(system_name: str, months: list[str], *,

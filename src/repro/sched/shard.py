@@ -51,7 +51,9 @@ __all__ = ["ShardHandoff", "ChainSimulator", "SPOOL_COLUMNS",
 
 #: Handoff schema version — bumped on any layout change so a stale
 #: artifact fails loudly instead of resuming garbage.
-HANDOFF_VERSION = 1
+#: v2: scenario-injection state (downed nodes, active power caps),
+#: per-job ``elastic_shrunk``, and scenario counters.
+HANDOFF_VERSION = 2
 
 #: Columns of the per-origin-month outcome spool the orchestrator
 #: appends between shards (everything deferred finalization needs that
@@ -62,7 +64,7 @@ SPOOL_COLUMNS = ["idx", "state", "eligible", "start", "end", "reason",
 _JOB_FIELDS = ("idx", "eligible", "start", "end", "state", "backfilled",
                "node_ids", "reason", "static_prio", "was_head",
                "restarts", "node_failed_once", "completed_work",
-               "dep_idx")
+               "dep_idx", "elastic_shrunk")
 
 
 def _fingerprint(system: SystemProfile, config: SimConfig) -> str:
@@ -105,7 +107,11 @@ class ShardHandoff:
         held           {parent_idx: [child_idx, ...]}
         events         [[t, kind, seq, idx], ...]  (remaining heap)
         counters       {n_backfilled, n_passes, max_depth, n_preempted,
-                        n_finished}
+                        n_finished, n_injections, n_victims, n_shrunk}
+        scenario       None, or {"down": {fault_idx: [node_id, ...]},
+                        "caps": [cap_idx, ...]}  (injections active at
+                        the cut; downed ids re-reserve on import and
+                        caps recompute pool limits)
     """
 
     fingerprint: str
@@ -204,7 +210,10 @@ class ChainSimulator:
                 "n_passes": core.n_passes,
                 "max_depth": core.max_depth,
                 "n_preempted": core.n_preempted,
-                "n_finished": self.n_finished}
+                "n_finished": self.n_finished,
+                "n_injections": core.n_injections,
+                "n_victims": core.n_fault_victims,
+                "n_shrunk": core.n_shrunk_nodes}
 
     def live_idx(self) -> list[int]:
         """Global indices of jobs still live (not yet finished)."""
@@ -239,6 +248,10 @@ class ChainSimulator:
                      for p, children in core.held.items()},
             "events": sorted(core.events),
             "counters": self.counters,
+            "scenario": (None if core.cfg.scenario is None else
+                         {"down": {str(i): ids
+                                   for i, ids in core.scn_down.items()},
+                          "caps": sorted(core.scn_caps)}),
         }
         return ShardHandoff(fingerprint=self.fingerprint, cut=cut,
                             state=state)
@@ -282,12 +295,28 @@ class ChainSimulator:
             core.held[int(parent)] = [core.jobs[c] for c in children]
         core.events = [tuple(e) for e in state["events"]]
         heapq.heapify(core.events)
+        scenario = state.get("scenario")
+        if scenario is not None:
+            if core.cfg.scenario is None:
+                raise DataError("handoff has scenario state but the "
+                                "config carries no scenario")
+            for key, ids in scenario["down"].items():
+                i = int(key)
+                part = core.cfg.scenario.faults[i].partition
+                pool = core.pools[part if part in core.pools else None]
+                pool.reserve(list(ids))
+                core.scn_down[i] = list(ids)
+            core.scn_caps = set(scenario["caps"])
+            core.recompute_caps()
         counters = state["counters"]
         core.n_backfilled = counters["n_backfilled"]
         core.n_passes = counters["n_passes"]
         core.max_depth = counters["max_depth"]
         core.n_preempted = counters["n_preempted"]
         self.n_finished = counters["n_finished"]
+        core.n_injections = counters["n_injections"]
+        core.n_fault_victims = counters["n_victims"]
+        core.n_shrunk_nodes = counters["n_shrunk"]
 
 
 def finalize_outcomes(system: SystemProfile, config: SimConfig,

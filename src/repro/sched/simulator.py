@@ -43,6 +43,7 @@ from repro._util.sortedlist import SortedKeyList
 from repro._util.timefmt import UNKNOWN_TIME
 from repro.cluster import SystemProfile
 from repro.sched.accounting import finalize_job
+from repro.sched.injections import ScenarioInjections
 from repro.sched.nodes import NodePool
 from repro.sched.priority import PriorityModel, UsageTracker, queue_key
 from repro.slurm.records import JobRecord
@@ -50,7 +51,7 @@ from repro.workload.jobs import JobRequest
 
 __all__ = ["Simulator", "SimConfig", "SimResult"]
 
-_SUBMIT, _END, _CANCEL, _TICK = 0, 1, 2, 3
+_SUBMIT, _END, _CANCEL, _TICK, _SCEN = 0, 1, 2, 3, 4
 
 #: pending-queue container — swappable so equivalence tests and the
 #: hot-path benchmark can run the same simulation on the legacy O(n)
@@ -84,6 +85,10 @@ class SimConfig:
     #: may run into a window, producing the pre-maintenance drain and
     #: post-maintenance wait spike of Figure 4
     maintenance: tuple[tuple[int, int], ...] = ()
+    #: scenario injection stream (node faults, power caps, elastic
+    #: windows) with absolute-epoch times; None = no injections, and
+    #: the event loop is bit-identical to the pre-scenario simulator
+    scenario: ScenarioInjections | None = None
 
     def maintenance_blocks(self, t: int, limit_s: int) -> bool:
         """Would a job starting at ``t`` with ``limit_s`` hit a window?
@@ -126,6 +131,12 @@ class SimResult:
     max_queue_depth: int
     #: preemption events (victim requeues)
     n_preempted: int = 0
+    #: scenario injection operations applied (faults, caps, shrinks)
+    n_injections: int = 0
+    #: running jobs evicted by injected node faults
+    n_fault_victims: int = 0
+    #: node allocations released by elastic-window shrinks
+    n_shrunk_nodes: int = 0
 
     @property
     def n_steps(self) -> int:
@@ -138,7 +149,8 @@ class _SimJob:
     __slots__ = ("req", "idx", "jobid", "eligible", "start", "end", "state",
                  "backfilled", "node_ids", "reason", "static_prio",
                  "was_head", "done", "finalized", "restarts",
-                 "node_failed_once", "completed_work", "dep_idx")
+                 "node_failed_once", "completed_work", "dep_idx",
+                 "elastic_shrunk")
 
     def __init__(self, req: JobRequest, idx: int, jobid: int,
                  static_prio: int) -> None:
@@ -160,6 +172,7 @@ class _SimJob:
         self.node_failed_once = False
         self.completed_work = 0    # checkpointed seconds (resubmits)
         self.dep_idx: int | None = None   # absolute parent idx, if any
+        self.elastic_shrunk = 0    # nodes released to an elastic window
 
     def sort_key(self) -> tuple:
         return queue_key(self.static_prio, self.eligible, self.jobid)
@@ -252,6 +265,9 @@ class _SimCore:
         self.n_passes = 0
         self.max_depth = 0
         self.n_preempted = 0
+        self.n_injections = 0
+        self.n_fault_victims = 0
+        self.n_shrunk_nodes = 0
 
         for _, window_end in config.maintenance:
             # wake the scheduler the moment a window closes (kind breaks
@@ -260,6 +276,30 @@ class _SimCore:
             # unchanged)
             heapq.heappush(self.events, (window_end, _TICK, self.seq, -1))
             self.seq += 1
+
+        #: scenario op timeline: (t, op, injection index), heap-indexed
+        #: by position.  Built deterministically from the config, so a
+        #: handoff-resumed core rebuilds the identical table and the
+        #: serialized event heap's _SCEN indices stay valid.
+        self.scn_ops: list[tuple[int, str, int]] = []
+        self.scn_down: dict[int, list[int]] = {}   # fault idx -> node ids
+        self.scn_caps: set[int] = set()            # active power-cap idx
+        if config.scenario is not None:
+            ops: list[tuple[int, str, int]] = []
+            for i, f in enumerate(config.scenario.faults):
+                ops.append((f.t, "fault_down", i))
+                ops.append((f.t + f.duration_s, "fault_up", i))
+            for i, c in enumerate(config.scenario.power_caps):
+                ops.append((c.start, "cap_on", i))
+                ops.append((c.end, "cap_off", i))
+            for i, w in enumerate(config.scenario.elastic):
+                ops.append((w.start, "shrink", i))
+                ops.append((w.end, "grow", i))
+            ops.sort()
+            self.scn_ops = ops
+            for j, (t, _, _) in enumerate(ops):
+                heapq.heappush(self.events, (t, _SCEN, self.seq, j))
+                self.seq += 1
 
     # -- feeding -----------------------------------------------------------------
 
@@ -343,6 +383,7 @@ class _SimCore:
         job.node_ids = self.pool_for(req).allocate(req.nnodes)
         job.start = t
         job.backfilled = backfilled
+        job.elastic_shrunk = 0     # a (re)start claims the full request
         job.state, elapsed = _execution(
             self.exec_rng, req, job.node_failed_once, job.completed_work)
         job.end = t + elapsed
@@ -368,7 +409,7 @@ class _SimCore:
         if not self.system.qos(head.req.qos).can_preempt:
             return False
         head_key = self.pkey(head.req)
-        need = head.req.nnodes - self.pools[head_key].free_count
+        need = head.req.nnodes - self.pools[head_key].avail
         victims: list[_SimJob] = []
         # youngest victims first: least completed work is discarded
         for job in sorted(self.running.values(), key=lambda j: -j.start):
@@ -393,6 +434,127 @@ class _SimCore:
             self.n_preempted += 1
         return True
 
+    # -- scenario injections ------------------------------------------------------
+
+    def _scen_pool_key(self, partition: str | None) -> str | None:
+        return partition if partition in self.pools else None
+
+    def _scen_op(self, j: int, t: int) -> None:
+        """Apply scenario op ``j`` of the timeline (a popped _SCEN event)."""
+        _, op, i = self.scn_ops[j]
+        if op == "fault_down":
+            self._scen_fault_down(i, t)
+            self.n_injections += 1
+        elif op == "fault_up":
+            down = self.scn_down.pop(i, [])
+            if down:
+                key = self._scen_pool_key(
+                    self.cfg.scenario.faults[i].partition)
+                self.pools[key].release(down)
+        elif op == "cap_on":
+            self.scn_caps.add(i)
+            self.recompute_caps()
+            self.n_injections += 1
+        elif op == "cap_off":
+            self.scn_caps.discard(i)
+            self.recompute_caps()
+        elif op == "shrink":
+            self._scen_shrink(i)
+            self.n_injections += 1
+        else:                                  # "grow"
+            self._scen_grow()
+
+    def recompute_caps(self) -> None:
+        """Set each pool's allocation ceiling to the tightest active cap
+        (also called on handoff import to restore serialized cap state)."""
+        scen = self.cfg.scenario
+        for key, pool in self.pools.items():
+            limit = None
+            for i in sorted(self.scn_caps):
+                cap = scen.power_caps[i]
+                if cap.partition is not None and \
+                        key != self._scen_pool_key(cap.partition):
+                    continue
+                lim = int(round(cap.frac * pool.total))
+                limit = lim if limit is None else min(limit, lim)
+            pool.limit = limit
+
+    def _scen_fault_down(self, i: int, t: int) -> None:
+        """Take a fault's nodes out of service: free nodes first, then
+        evict youngest-start running jobs until enough are captured."""
+        fault = self.cfg.scenario.faults[i]
+        key = self._scen_pool_key(fault.partition)
+        pool = self.pools[key]
+        want = min(fault.nodes, pool.total)
+        down: list[int] = []
+        take = min(want, pool.free_count)
+        if take:
+            down.extend(pool.allocate(take))
+        if len(down) < want:
+            victims = sorted(
+                (job for job in self.running.values()
+                 if self.pkey(job.req) == key),
+                key=lambda j: (-j.start, -j.idx))
+            for victim in victims:
+                if len(down) >= want:
+                    break
+                self._scen_evict(victim, t, fault.policy)
+                take = min(want - len(down), pool.free_count)
+                if take:
+                    down.extend(pool.allocate(take))
+        self.scn_down[i] = down
+
+    def _scen_evict(self, victim: _SimJob, t: int, policy: str) -> None:
+        del self.running[victim.idx]
+        self.drop_run_est(victim)
+        self.pool_for(victim.req).release(victim.node_ids)
+        victim.node_ids = []
+        self.n_fault_victims += 1
+        if policy == "requeue" and not victim.node_failed_once:
+            # same requeue-once semantics as an organic NODE_FAIL end
+            victim.restarts += 1
+            victim.node_failed_once = True
+            victim.state = ""
+            victim.backfilled = False
+            victim.reason = "NodeFail"
+            self.enqueue(victim, t)
+        else:
+            victim.reason = "NodeFail"
+            self.terminal(victim, t, "NODE_FAIL")
+
+    def _scen_shrink(self, i: int) -> None:
+        """Running malleable jobs release part of their allocation
+        (keeping at least one node); iteration order is by global idx,
+        so the released id set is deterministic."""
+        window = self.cfg.scenario.elastic[i]
+        for idx in sorted(self.running):
+            job = self.running[idx]
+            if job.req.job_class not in window.classes:
+                continue
+            give = min(int(job.req.nnodes * window.frac),
+                       len(job.node_ids) - 1)
+            if give <= 0:
+                continue
+            released = job.node_ids[-give:]
+            del job.node_ids[-give:]
+            job.elastic_shrunk += give
+            self.pool_for(job.req).release(released)
+            self.n_shrunk_nodes += give
+
+    def _scen_grow(self) -> None:
+        """Shrunk jobs reclaim nodes as the window closes, bounded by
+        what the pool (and any active cap) can give back right now."""
+        for idx in sorted(self.running):
+            job = self.running[idx]
+            if job.elastic_shrunk <= 0:
+                continue
+            pool = self.pool_for(job.req)
+            back = min(job.elastic_shrunk, pool.avail)
+            if back <= 0:
+                continue
+            job.node_ids = sorted(job.node_ids + pool.allocate(back))
+            job.elastic_shrunk -= back
+
     def sched_pass(self, t: int) -> None:
         cfg = self.cfg
         pending = self.pending
@@ -404,7 +566,7 @@ class _SimCore:
         def head_clear() -> bool:
             head = pending[0]
             return head.req.nnodes <= \
-                self.pool_for(head.req).free_count and \
+                self.pool_for(head.req).avail and \
                 not cfg.maintenance_blocks(t, head.req.timelimit_s)
 
         while pending and head_clear():
@@ -430,7 +592,9 @@ class _SimCore:
         need = head.req.nnodes
         # shadow time: when enough running jobs of the head's pool
         # will have ended (by their walltime limits) to fit the head
-        free = pools[head_key].free_count
+        # (slack, not free_count: under a power cap each ending job
+        # returns headroom even while its nodes were already "free")
+        free = pools[head_key].slack
         shadow = None
         extra = 0
         for est_end, _, nn in self.run_ests[head_key]:
@@ -447,7 +611,7 @@ class _SimCore:
         # per-pass snapshot of pool headroom: one dict read per
         # candidate instead of repeated attribute chains; start_job
         # keeps the true counts, the snapshot mirrors them locally
-        free_snap = {key: pool.free_count
+        free_snap = {key: pool.avail
                      for key, pool in pools.items()}
         # snapshot the scan window once: the candidates examined are
         # exactly the first backfill_depth jobs behind the head, in
@@ -499,6 +663,10 @@ class _SimCore:
             while events and events[0][0] == t:
                 _, kind, _, idx = heapq.heappop(events)
                 if kind == _TICK:
+                    dirty = True
+                    continue
+                if kind == _SCEN:
+                    self._scen_op(idx, t)
                     dirty = True
                     continue
                 job = jobs.get(idx)
@@ -635,7 +803,10 @@ class Simulator:
         result = SimResult(jobs=records, n_backfilled=core.n_backfilled,
                            n_sched_passes=core.n_passes,
                            max_queue_depth=core.max_depth,
-                           n_preempted=core.n_preempted)
+                           n_preempted=core.n_preempted,
+                           n_injections=core.n_injections,
+                           n_fault_victims=core.n_fault_victims,
+                           n_shrunk_nodes=core.n_shrunk_nodes)
         self._report_obs(result)
         return result
 
@@ -651,6 +822,10 @@ class Simulator:
         m.counter("sched.preemptions").inc(result.n_preempted)
         m.counter("sched.jobs").inc(len(result.jobs))
         m.gauge("sched.queue_depth_hwm").set_max(result.max_queue_depth)
+        if result.n_injections:
+            m.counter("sched.scenario.injections").inc(result.n_injections)
+            m.counter("sched.scenario.victims").inc(result.n_fault_victims)
+            m.counter("sched.scenario.shrunk").inc(result.n_shrunk_nodes)
 
     # -- internals ------------------------------------------------------------
 

@@ -80,6 +80,14 @@ class WorkflowConfig:
     llm_backend: str = "chart-analyst"
     malformed_rate: float = DEFAULT_MALFORMED_RATE
     db: AccountingDB | None = None    # supply an existing database
+    #: scheduler-config template for the synthesized database (scenario
+    #: runs attach their injection stream here); per-month seeds and
+    #: job-id bases are layered on top with dataclasses.replace
+    sim_config: SimConfig | None = None
+    #: trace-calibrated workload profile spec (see
+    #: repro.workload.spec.profile_to_spec); None = the built-in
+    #: workload for ``system``
+    profile_spec: dict | None = None
     #: > 0 switches to paper-scale sharded execution: one continuous
     #: simulated timeline split into this many month groups, curated
     #: tables streamed out per month (repro.workflows.shard)
@@ -197,14 +205,20 @@ class SchedulingAnalysisWorkflow:
 
     def _ensure_db_locked(self) -> AccountingDB:
         if self._db is None:
-            db = AccountingDB(self.config.system)
-            for i, month in enumerate(self.config.months):
+            from repro.workload.spec import profile_from_spec
+
+            cfg = self.config
+            base = cfg.sim_config or SimConfig()
+            profile = profile_from_spec(cfg.profile_spec) \
+                if cfg.profile_spec else None
+            db = AccountingDB(cfg.system)
+            for i, month in enumerate(cfg.months):
                 res = simulate_month(
-                    self.config.system, month, seed=self.config.seed + i,
-                    rate_scale=self.config.rate_scale,
-                    config=SimConfig(seed=self.config.seed + i,
-                                     first_jobid=400_000 + 1_000_000 * i),
-                    obs=self.obs)
+                    cfg.system, month, seed=cfg.seed + i,
+                    rate_scale=cfg.rate_scale,
+                    config=replace(base, seed=cfg.seed + i,
+                                   first_jobid=400_000 + 1_000_000 * i),
+                    profile=profile, obs=self.obs)
                 db.extend(res.jobs)
             self._db = db
         return self._db
@@ -240,10 +254,13 @@ class SchedulingAnalysisWorkflow:
         from repro.workflows.shard import run_sharded
 
         cfg = self.config
+        base = cfg.sim_config or SimConfig()
         self.result.shard_report = run_sharded(
             cfg.system, list(cfg.months), cfg.workdir,
             shards=cfg.shards, procs=cfg.procs, seed=cfg.seed,
-            rate_scale=cfg.rate_scale, config=SimConfig(seed=cfg.seed),
+            rate_scale=cfg.rate_scale,
+            config=replace(base, seed=cfg.seed),
+            profile_spec=cfg.profile_spec,
             fabric_db=fabric_db_path(cfg.workdir) if cfg.fabric else None,
             data_dir=self.store.dir_for("csv"), obs=self.obs)
 

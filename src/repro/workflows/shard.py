@@ -45,6 +45,7 @@ from repro.frame import Frame
 from repro.frame.io import NpfAppender, _cell, iter_npf, read_csv, write_npf
 from repro.pipeline.curate import (JOB_CSV_COLUMNS, STEP_CSV_COLUMNS,
                                    curate_records)
+from repro.sched.injections import ScenarioInjections
 from repro.sched.priority import PriorityModel
 from repro.sched.shard import (SPOOL_COLUMNS, ChainSimulator, ShardHandoff,
                                finalize_outcomes)
@@ -74,6 +75,8 @@ def simconfig_from_spec(spec: dict) -> SimConfig:
     spec = dict(spec)
     spec["priority"] = PriorityModel(**spec["priority"])
     spec["maintenance"] = tuple(tuple(w) for w in spec["maintenance"])
+    spec["scenario"] = ScenarioInjections.from_spec(spec["scenario"]) \
+        if spec.get("scenario") else None
     return SimConfig(**spec)
 
 
@@ -469,6 +472,13 @@ def run_sharded(system: str, months: list[str], out_dir: str, *,
             if handoff_out:
                 obs.metrics.counter("sched.shard.handoffs").inc()
         handoff_prev = handoff_out
+    if obs is not None and report.counters.get("n_injections"):
+        obs.metrics.counter("sched.scenario.injections").inc(
+            report.counters["n_injections"])
+        obs.metrics.counter("sched.scenario.victims").inc(
+            report.counters["n_victims"])
+        obs.metrics.counter("sched.scenario.shrunk").inc(
+            report.counters["n_shrunk"])
 
     # phase 2: per-month emit fan-out
     base_by_month = {m: (b, n) for m, b, n in report.bases}

@@ -208,3 +208,57 @@ class TestFederate:
                                 "andes": andes_jobs})
         with pytest.raises(DataError):
             comp.view("summit")
+
+    @staticmethod
+    def _zero_view(name):
+        """A dead cluster's snapshot: every headline metric zero."""
+        from repro.analytics.backfill import BackfillSummary
+        from repro.analytics.federate import SystemView
+        from repro.analytics.scale import ScaleSummary
+        from repro.analytics.states import StateSummary
+        from repro.analytics.waits import WaitSummary
+
+        empty = np.array([])
+        return SystemView(
+            name=name, n_jobs=0,
+            scale=ScaleSummary(
+                nnodes=empty, elapsed_s=empty, node_split=0,
+                elapsed_split_s=0, frac_small_short=0.0,
+                frac_small_long=0.0, frac_large_short=0.0,
+                frac_large_long=0.0, median_nodes=0.0,
+                median_elapsed_s=0.0, max_nodes=0),
+            waits=WaitSummary(submit=empty, wait_s=empty, state=empty),
+            states=StateSummary(users=[], states=[]),
+            backfill=BackfillSummary(requested_s=empty, actual_s=empty,
+                                     backfilled=empty))
+
+    def test_relative_deltas_against_live_baseline(self, frontier_jobs,
+                                                   andes_jobs):
+        comp = compare_systems({"frontier": frontier_jobs,
+                                "andes": andes_jobs})
+        rel = comp.delta_rows(relative=True)
+        base = {m: v for m, s, v in rel if s == "frontier"}
+        # the baseline system's delta against itself is identically 0
+        assert all(v == 0.0 for v in base.values())
+        assert all(np.isfinite(v) for _, _, v in rel)
+
+    def test_zero_baseline_never_divides_by_zero(self, andes_jobs):
+        """A dead cluster as the federation baseline yields 0 or ±inf
+        relative deltas — never a ZeroDivisionError."""
+        from repro.analytics.federate import FederatedComparison
+
+        comp = compare_systems({"andes": andes_jobs,
+                                "spare": andes_jobs})
+        comp = FederatedComparison(
+            systems=[self._zero_view("dead"), comp.view("andes")])
+        rel = comp.delta_rows(relative=True)
+        dead = [v for _, s, v in rel if s == "dead"]
+        assert all(v == 0.0 for v in dead)
+        live = {m: v for m, s, v in rel if s == "andes"}
+        # any nonzero live metric over a zero baseline reads as +inf
+        absolute = {m: v for m, s, v in comp.delta_rows() if s == "andes"}
+        for metric, val in live.items():
+            if absolute[metric] == 0:
+                assert val == 0.0
+            else:
+                assert np.isinf(val)

@@ -75,6 +75,46 @@ class TestRead:
         with pytest.raises(DataError, match="UnixStartTime"):
             read_swf(str(path))
 
+    def test_missing_unixstarttime_anchors_on_first_submit(
+            self, tmp_path):
+        """Some archive conversions drop the header; the reader must
+        anchor on the earliest submit and warn instead of crashing."""
+        row = "1 {s} 10 60 4 -1 -1 4 600 -1 1 1 1 -1 1 1 -1 -1"
+        path = tmp_path / "headerless.swf"
+        path.write_text("; Computer: archive\n" +
+                        row.format(s=500) + "\n" + row.format(s=300) + "\n")
+        with pytest.warns(UserWarning, match="no UnixStartTime"):
+            origin, frame = read_swf(str(path))
+        assert origin == 300
+        assert len(frame) == 2
+
+    def test_max_rows_caps_the_read(self, tmp_path, sim_jobs):
+        path = str(tmp_path / "trace.swf")
+        write_swf(sim_jobs, path, cpus_per_node=8)
+        _, frame = read_swf(path, max_rows=3)
+        assert len(frame) == 3
+
+    def test_max_rows_beyond_data_is_harmless(self, tmp_path, sim_jobs):
+        path = str(tmp_path / "trace.swf")
+        write_swf(sim_jobs, path, cpus_per_node=8)
+        _, frame = read_swf(path, max_rows=10 ** 9)
+        assert len(frame) == len(sim_jobs)
+
+    def test_max_rows_below_one_rejected(self, tmp_path, sim_jobs):
+        path = str(tmp_path / "trace.swf")
+        write_swf(sim_jobs, path, cpus_per_node=8)
+        with pytest.raises(DataError, match="max_rows"):
+            read_swf(path, max_rows=0)
+
+    def test_max_rows_skips_parsing_excess_rows(self, tmp_path):
+        """Rows past the cap are never parsed — a malformed tail cannot
+        fail a prefix-limited read of a huge archive trace."""
+        good = "1 0 10 60 4 -1 -1 4 600 -1 1 1 1 -1 1 1 -1 -1\n"
+        path = tmp_path / "tail.swf"
+        path.write_text("; UnixStartTime: 1000\n" + good + "this is junk\n")
+        _, frame = read_swf(str(path), max_rows=1)
+        assert len(frame) == 1
+
 
 class TestSwfToFrame:
     def test_schema_matches_curated(self, tmp_path, sim_jobs):
@@ -122,6 +162,12 @@ class TestSwfToFrame:
         assert set(waits.by_state) <= {"COMPLETED", "FAILED", "CANCELLED"}
         assert states.overall_failure_rate > 0
         assert 0 < bf.median_ratio_all < 1
+
+    def test_max_rows_passthrough(self, tmp_path, sim_jobs):
+        path = str(tmp_path / "trace.swf")
+        write_swf(sim_jobs, path, cpus_per_node=8)
+        frame = swf_to_frame(path, cpus_per_node=8, max_rows=5)
+        assert len(frame) == 5
 
     def test_never_started_jobs_have_unknown_start(self, tmp_path):
         path = tmp_path / "t.swf"

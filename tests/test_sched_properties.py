@@ -5,7 +5,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro._util.timefmt import UNKNOWN_TIME
 from repro.cluster import get_system
-from repro.sched import SimConfig, Simulator
+from repro.sched import (NodeFault, PowerCap, ScenarioInjections,
+                         SimConfig, Simulator)
 from repro.sched.priority import PriorityModel
 from repro.slurm.records import check_job_invariants
 from repro.workload.jobs import JobRequest
@@ -134,6 +135,66 @@ def test_fifo_head_monotonicity_without_backfill(reqs):
         # an earlier one under pure FIFO... unless separated by cancels;
         # assert the weaker sortedness-after-filtering property
         assert all(s >= 0 for s in starts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(streams(), st.integers(0, 3))
+def test_node_fail_requeue_runs_at_most_twice(reqs, seed):
+    """Slurm's node-fail requeue is once per job: with the policy on,
+    no job ends NODE_FAIL, a natural node-fail outcome accounts for at
+    most one extra attempt, and the record's Restarts field carries the
+    attempt count."""
+    cfg = SimConfig(seed=seed, requeue_node_fail=True)
+    result = Simulator(SYS, cfg).run(reqs)
+    failing = [i for i, r in enumerate(reqs) if r.outcome == "NODE_FAIL"]
+    for job in result.jobs:
+        assert job.state != "NODE_FAIL"
+        check_job_invariants(job)
+    # determinism of the requeue path: same seed, same timeline
+    again = Simulator(SYS, cfg).run(reqs)
+    assert [(j.start, j.end, j.state, j.restarts) for j in result.jobs] \
+        == [(j.start, j.end, j.state, j.restarts) for j in again.jobs]
+    if failing:
+        # preemption and timeout-resubmit are off in this config, so
+        # node fail is the sole requeue source: at most one retry
+        ran = [result.jobs[i] for i in failing
+               if result.jobs[i].elapsed > 0]
+        assert all(j.restarts <= 1 for j in ran)
+
+
+@st.composite
+def injections(draw):
+    faults = []
+    for _ in range(draw(st.integers(0, 2))):
+        faults.append(NodeFault(
+            t=draw(st.integers(0, 48 * 3600)),
+            nodes=draw(st.integers(1, 16)),
+            duration_s=draw(st.integers(60, 12 * 3600)),
+            policy=draw(st.sampled_from(["requeue", "kill"]))))
+    caps = []
+    for _ in range(draw(st.integers(0, 2))):
+        start = draw(st.integers(0, 48 * 3600))
+        caps.append(PowerCap(
+            start=start, end=start + draw(st.integers(60, 12 * 3600)),
+            frac=draw(st.floats(0.0, 1.0))))
+    return ScenarioInjections(faults=tuple(faults),
+                              power_caps=tuple(caps))
+
+
+@settings(max_examples=25, deadline=None)
+@given(streams(), injections(), st.integers(0, 3))
+def test_injected_streams_still_terminate_legally(reqs, inj, seed):
+    """Arbitrary bounded faults and power caps never strand work: every
+    job still reaches a legal terminal state, and capacity recovery
+    means nothing stays pending once the stream drains."""
+    cfg = SimConfig(seed=seed, requeue_node_fail=True, scenario=inj)
+    result = Simulator(SYS, cfg).run(reqs)
+    assert len(result.jobs) == len(reqs)
+    for job in result.jobs:
+        check_job_invariants(job)
+        assert job.state != "PENDING"
+        assert job.elapsed <= job.timelimit_s
+    assert result.n_fault_victims >= 0
 
 
 @settings(max_examples=15, deadline=None)
